@@ -1,0 +1,48 @@
+// Ablation: the one-owner-per-badge assumption.
+//
+// "Astronaut F reused a badge that had belonged to deceased astronaut C
+// whereas the algorithms assumed that each device can be assigned to one
+// owner only." The corrected pipeline attributes each badge-day to the
+// astronaut who actually wore it; this harness shows what the naive
+// assumption does to C's and F's metrics.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hs;
+  const core::Dataset data = bench::run_mission(argc, argv);
+
+  core::AnalysisPipeline corrected(data);
+  core::PipelineOptions naive_options;
+  naive_options.corrected_ownership = false;
+  core::AnalysisPipeline naive(data, naive_options);
+
+  auto coverage_h = [](const core::AnalysisPipeline& p, std::size_t who) {
+    double total = 0.0;
+    for (const auto& s : p.track(who)) total += s.duration_s() / 3600.0;
+    return total;
+  };
+
+  std::printf("\nTrack coverage per astronaut (hours of localized, worn data):\n");
+  std::printf("  %-10s %-12s %s\n", "astronaut", "corrected", "naive (one owner per badge)");
+  for (std::size_t i = 0; i < crew::kCrewSize; ++i) {
+    std::printf("  %c          %6.1f h     %6.1f h%s\n", crew::astronaut_letter(i),
+                coverage_h(corrected, i), coverage_h(naive, i),
+                i == 2 ? "   <- dead C keeps 'walking' after day 6" : (i == 5 ? "   <- F loses days 6-14" : ""));
+  }
+
+  const auto t_corrected = corrected.table1();
+  const auto t_naive = naive.table1();
+  std::printf("\nTable I talking column under both attributions:\n");
+  std::printf("  %-10s %-12s %s\n", "astronaut", "corrected", "naive");
+  for (std::size_t i = 0; i < crew::kCrewSize; ++i) {
+    std::printf("  %c          %.2f         %.2f\n", crew::astronaut_letter(i),
+                t_corrected[i].talking, t_naive[i].talking);
+  }
+
+  std::printf("\nExpected: naive attribution keeps crediting badge 2 to C after C's\n"
+              "death (C appears to live on) and silently drops F's second-week data —\n"
+              "the deployment lesson behind the paper's ownership discussion.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation: reference-badge time synchronization.
+//
+// Badge clocks drift tens of ppm — tens of seconds over two weeks — and
+// boot with stale counters (up to 10 minutes off). The pipeline rectifies
+// every timestamp against the reference badge. Without rectification,
+// cross-badge co-presence and meeting detection operate on timelines that
+// disagree by minutes, and the social metrics collapse.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hs;
+  const core::Dataset data = bench::run_mission(argc, argv);
+
+  core::AnalysisPipeline rectified(data);
+  core::PipelineOptions raw_options;
+  raw_options.rectify_clocks = false;
+  core::AnalysisPipeline raw(data, raw_options);
+
+  std::printf("\nClock fits (rectified pipeline):\n");
+  std::printf("  %-6s %-14s %-12s %s\n", "badge", "rate", "samples", "max residual");
+  for (io::BadgeId id = 0; id < 6; ++id) {
+    const auto* fit = rectified.clock_fit(id);
+    if (fit == nullptr) continue;
+    std::printf("  %-6d %.9f  %-12zu %.1f ms\n", int{id}, fit->rate, fit->samples,
+                fit->max_residual_ms);
+  }
+
+  auto meeting_hours = [](core::AnalysisPipeline& p) {
+    double total = 0.0;
+    for (int day = 2; day <= 14; ++day) {
+      for (const auto& m : p.meetings_on(day)) total += m.duration_s() / 3600.0;
+    }
+    return total;
+  };
+  auto pair_af = [](core::AnalysisPipeline& p) { return p.pair_stats().af_meetings_h; };
+
+  const double rect_meet = meeting_hours(rectified);
+  const double raw_meet = meeting_hours(raw);
+  std::printf("\nDetected meeting time over the mission:\n");
+  std::printf("  rectified clocks:  %.1f h\n", rect_meet);
+  std::printf("  raw local clocks:  %.1f h\n", raw_meet);
+  std::printf("A&F shared meeting time: %.1f h rectified vs %.1f h raw.\n", pair_af(rectified),
+              pair_af(raw));
+  std::printf("\nExpected: raw clocks smear co-presence (minutes of cross-badge offset),\n"
+              "deflating detected meeting time — the reference badge is not optional.\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Shared helpers for the figure-reproduction harnesses.
+//
+// Every harness runs the canonical ICAres-1 mission (seed from argv[1],
+// default 42), feeds the dataset through the AnalysisPipeline, and prints
+// the same rows/series the paper's figure or table reports, with the
+// paper's reference values alongside.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/analysis.hpp"
+#include "core/runner.hpp"
+
+namespace hs::bench {
+
+inline std::uint64_t seed_from_args(int argc, char** argv) {
+  return argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+}
+
+inline core::Dataset run_mission(int argc, char** argv) {
+  const auto seed = seed_from_args(argc, argv);
+  std::printf("# ICAres-1 mission simulation, seed %llu (pass a seed as argv[1])\n",
+              static_cast<unsigned long long>(seed));
+  return core::run_icares_mission(seed);
+}
+
+}  // namespace hs::bench

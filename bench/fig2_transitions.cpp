@@ -1,0 +1,51 @@
+// Fig. 2: "Total number of passages from one room to another (the main
+// room adjacent to all other rooms is not considered)."
+//
+// Expected shape (paper): the kitchen<->office pair dominates, with the
+// workshop as runner-up — the finding behind "the kitchen should have been
+// situated close to the office and the workshop".
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "io/csv.hpp"
+#include "io/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hs;
+  const core::Dataset data = bench::run_mission(argc, argv);
+  core::AnalysisPipeline pipeline(data);
+  const auto m = pipeline.fig2_transitions();
+
+  std::printf("\nFig. 2 — room-to-room passages (>= 10 s dwell in the destination):\n\n");
+  io::TextTable table({"from\\to", "airlock", "bedroom", "biolab", "kitchen", "office",
+                       "restroom", "storage", "workshop"});
+  for (const auto from : habitat::fig2_rooms()) {
+    std::vector<std::string> row{habitat::room_name(from)};
+    for (const auto to : habitat::fig2_rooms()) {
+      row.push_back(std::to_string(m.count(from, to)));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::printf("\nCSV (from,to,count):\n");
+  io::CsvWriter csv(std::cout);
+  csv.write_row({"from", "to", "count"});
+  for (const auto from : habitat::fig2_rooms()) {
+    for (const auto to : habitat::fig2_rooms()) {
+      if (m.count(from, to) == 0) continue;
+      csv.write_row({habitat::room_name(from), habitat::room_name(to),
+                     std::to_string(m.count(from, to))});
+    }
+  }
+
+  const int office_kitchen = m.count(habitat::RoomId::kOffice, habitat::RoomId::kKitchen) +
+                             m.count(habitat::RoomId::kKitchen, habitat::RoomId::kOffice);
+  const int workshop_kitchen = m.count(habitat::RoomId::kWorkshop, habitat::RoomId::kKitchen) +
+                               m.count(habitat::RoomId::kKitchen, habitat::RoomId::kWorkshop);
+  std::printf("\nOffice<->kitchen total:   %d (the paper's dominant pair, scale ~200)\n",
+              office_kitchen);
+  std::printf("Workshop<->kitchen total: %d (the paper's runner-up)\n", workshop_kitchen);
+  std::printf("All passages:             %d\n", m.total());
+  return 0;
+}

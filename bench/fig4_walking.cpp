@@ -1,0 +1,44 @@
+// Fig. 4: "Fraction of recorded time spent on walking during the initial
+// days" (days 2-8, per astronaut).
+//
+// Expected shape (paper): A clearly lowest (a few percent); two distinct
+// pairs — D and F walking significantly more than B and E; C (days 2-4)
+// at the top; day 3 relatively calm.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "io/csv.hpp"
+#include "io/table.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hs;
+  const core::Dataset data = bench::run_mission(argc, argv);
+  core::AnalysisPipeline pipeline(data);
+  const auto series = pipeline.fig4_walking();
+
+  std::printf("\nFig. 4 — fraction of recorded time walking, days 2-8:\n\n");
+  io::TextTable table({"day", "A", "B", "C", "D", "E", "F"});
+  for (int day = 2; day <= 8; ++day) {
+    std::vector<std::string> row{std::to_string(day)};
+    const auto& vals = series.values[static_cast<std::size_t>(day - series.first_day)];
+    for (double v : vals) row.push_back(v < 0 ? "-" : format_fixed(v, 3));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::printf("\nCSV (day,astronaut,fraction):\n");
+  io::CsvWriter csv(std::cout);
+  csv.write_row({"day", "astronaut", "walking_fraction"});
+  for (int day = 2; day <= 8; ++day) {
+    const auto& vals = series.values[static_cast<std::size_t>(day - series.first_day)];
+    for (std::size_t i = 0; i < crew::kCrewSize; ++i) {
+      if (vals[i] < 0) continue;
+      csv.write_row({std::to_string(day), std::string(1, crew::astronaut_letter(i)),
+                     format_fixed(vals[i], 4)});
+    }
+  }
+
+  std::printf("\nShape checks: A lowest each day; D,F above B,E; C highest while aboard.\n");
+  return 0;
+}

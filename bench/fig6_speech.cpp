@@ -1,0 +1,63 @@
+// Fig. 6: "Fraction of recorded time intervals when the badges detected
+// speech" per day (days 2-14), using the paper's exact rule: a 15 s
+// interval is speech if voice frequencies of at least 60 dB cover at
+// least 20% of it.
+//
+// Expected shape (paper): decline toward the mission end; the food
+// shortage (day 11) and reprimand (day 12) days among the quietest;
+// C clearly highest while aboard.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "io/csv.hpp"
+#include "io/table.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hs;
+  const core::Dataset data = bench::run_mission(argc, argv);
+  core::AnalysisPipeline pipeline(data);
+  const auto series = pipeline.fig6_speech();
+
+  std::printf("\nFig. 6 — fraction of 15 s intervals with detected speech:\n\n");
+  io::TextTable table({"day", "A", "B", "C", "D", "E", "F", "crew-mean"});
+  std::vector<double> crew_means;
+  for (std::size_t d = 0; d < series.values.size(); ++d) {
+    std::vector<std::string> row{std::to_string(series.first_day + static_cast<int>(d))};
+    double sum = 0.0;
+    int n = 0;
+    for (double v : series.values[d]) {
+      row.push_back(v < 0 ? "-" : format_fixed(v, 3));
+      if (v >= 0) {
+        sum += v;
+        ++n;
+      }
+    }
+    const double mean = n > 0 ? sum / n : 0.0;
+    crew_means.push_back(mean);
+    row.push_back(format_fixed(mean, 3));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::printf("\nCSV (day,astronaut,speech_fraction):\n");
+  io::CsvWriter csv(std::cout);
+  csv.write_row({"day", "astronaut", "speech_fraction"});
+  for (std::size_t d = 0; d < series.values.size(); ++d) {
+    for (std::size_t i = 0; i < crew::kCrewSize; ++i) {
+      if (series.values[d][i] < 0) continue;
+      csv.write_row({std::to_string(series.first_day + static_cast<int>(d)),
+                     std::string(1, crew::astronaut_letter(i)),
+                     format_fixed(series.values[d][i], 4)});
+    }
+  }
+
+  const double early = (crew_means[0] + crew_means[1] + crew_means[2]) / 3.0;
+  const double late =
+      (crew_means[crew_means.size() - 3] + crew_means[crew_means.size() - 2] +
+       crew_means.back()) /
+      3.0;
+  std::printf("\nCrew mean, days 2-4: %.3f   days 12-14: %.3f   (paper: clear decline)\n",
+              early, late);
+  return 0;
+}

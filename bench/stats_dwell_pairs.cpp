@@ -1,0 +1,38 @@
+// Section V dwell and pairwise findings:
+//  - "the astronauts tended to stay at the biolab mostly about 2.5 h while
+//    the majority of stays at the office and the workshop lasted twice as
+//    much";
+//  - "A and F talked privately with each other for about 5 h more than D
+//    and E during the mission. In addition, A and F spent together 10 h
+//    more on all meetings, both private and group ones, than the latter
+//    pair."
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hs;
+  const core::Dataset data = bench::run_mission(argc, argv);
+  core::AnalysisPipeline pipeline(data);
+
+  const auto dwell = pipeline.dwell_stats();
+  std::printf("\nTypical work-stay lengths (time-weighted mean session; paper in parens):\n");
+  std::printf("  biolab:   %4.1f h  (~2.5 h)\n", dwell.typical_biolab_h);
+  std::printf("  office:   %4.1f h  (~2x biolab; see EXPERIMENTS.md on the evening-report\n"
+              "                     sessions that shorten our office stays)\n",
+              dwell.typical_office_h);
+  std::printf("  workshop: %4.1f h  (~2x biolab)\n", dwell.typical_workshop_h);
+  std::printf("  workshop/biolab ratio: %.2f\n",
+              dwell.typical_workshop_h / dwell.typical_biolab_h);
+
+  const auto pairs = pipeline.pair_stats();
+  std::printf("\nPairwise relations (paper: A&F ~5 h more private talk, ~10 h more total\n"
+              "meeting time than D&E):\n");
+  std::printf("  A&F private conversation: %5.1f h\n", pairs.af_private_h);
+  std::printf("  D&E private conversation: %5.1f h\n", pairs.de_private_h);
+  std::printf("  delta:                    %5.1f h\n", pairs.af_private_h - pairs.de_private_h);
+  std::printf("  A&F all meetings:         %5.1f h\n", pairs.af_meetings_h);
+  std::printf("  D&E all meetings:         %5.1f h\n", pairs.de_meetings_h);
+  std::printf("  delta:                    %5.1f h\n", pairs.af_meetings_h - pairs.de_meetings_h);
+  return 0;
+}

@@ -1,0 +1,27 @@
+#include "badge/battery.hpp"
+
+#include <algorithm>
+
+namespace hs::badge {
+
+void Battery::step(SimDuration dt, Mode mode) {
+  double current_ma = 0.0;
+  switch (mode) {
+    case Mode::kActive:
+      current_ma = params_.active_draw_ma;
+      break;
+    case Mode::kIdle:
+      current_ma = params_.idle_draw_ma;
+      break;
+    case Mode::kOff:
+      current_ma = params_.off_draw_ma;
+      break;
+    case Mode::kCharging:
+      current_ma = -params_.charge_ma;
+      break;
+  }
+  const double hours = to_hours(dt);
+  charge_mah_ = std::clamp(charge_mah_ - current_ma * hours, 0.0, params_.capacity_mah);
+}
+
+}  // namespace hs::badge

@@ -1,0 +1,40 @@
+// Badge battery and charging model.
+//
+// Badges log raw multi-modal data continuously ("this decision inherently
+// led to increased energy consumption, we required each badge to be charged
+// overnight"). A simple coulomb counter reproduces that constraint: a full
+// charge survives a duty day but not two.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace hs::badge {
+
+struct BatteryParams {
+  double capacity_mah = 2200.0;
+  double active_draw_ma = 135.0;  ///< sampling + radios + SD writes
+  double idle_draw_ma = 110.0;    ///< active but stationary (fewer SD writes)
+  double off_draw_ma = 0.8;       ///< RTC + sync wakeups while docked
+  double charge_ma = 450.0;       ///< net charging current when docked
+};
+
+class Battery {
+ public:
+  explicit Battery(BatteryParams params = {}) : params_(params), charge_mah_(params.capacity_mah) {}
+
+  enum class Mode { kActive, kIdle, kOff, kCharging };
+
+  /// Advance the battery by `dt` in the given mode.
+  void step(SimDuration dt, Mode mode);
+
+  [[nodiscard]] bool depleted() const { return charge_mah_ <= 0.0; }
+  [[nodiscard]] double fraction() const { return charge_mah_ / params_.capacity_mah; }
+  [[nodiscard]] double charge_mah() const { return charge_mah_; }
+  [[nodiscard]] const BatteryParams& params() const { return params_; }
+
+ private:
+  BatteryParams params_;
+  double charge_mah_;
+};
+
+}  // namespace hs::badge

@@ -1,0 +1,73 @@
+// The deployed badge fleet plus its shared radio environment.
+//
+// BadgeNetwork owns every badge (crew badges, the reference badge at the
+// charging station, unused backups), the beacon set and the channel models,
+// and advances the whole sensing layer one simulated second at a time. It
+// is the "30+ wireless sensors" of the title wired together.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "badge/badge.hpp"
+#include "badge/wearer.hpp"
+#include "beacon/beacon.hpp"
+#include "habitat/habitat.hpp"
+#include "radio/channel.hpp"
+#include "radio/ir.hpp"
+#include "util/rng.hpp"
+
+namespace hs::badge {
+
+class BadgeNetwork {
+ public:
+  BadgeNetwork(const habitat::Habitat& habitat, std::vector<beacon::Beacon> beacons,
+               Vec2 charging_station, habitat::ChannelParams ble = habitat::kBleChannel,
+               habitat::ChannelParams subghz = habitat::kSubGhzChannel);
+
+  /// Wire the world model the badge sensors sample. Must be set before the
+  /// first tick (the crew simulator provides it, and needs the network to
+  /// exist first).
+  void set_environment(const EnvironmentModel& env) { env_ = &env; }
+
+  /// Create and register a badge. The network keeps ownership; the returned
+  /// pointer stays valid for the network's lifetime.
+  Badge* add_badge(io::BadgeId id, timesync::DriftingClock clock, BadgeParams params = {});
+
+  /// Create the permanently-charged reference badge at the station. It
+  /// samples environmental sensors and serves as the fleet's time source.
+  Badge* add_reference_badge(timesync::DriftingClock clock, BadgeParams params = {});
+
+  /// Advance the sensing layer by one second ending at `now`.
+  void tick(SimTime now, Rng& rng);
+
+  [[nodiscard]] Badge* badge(io::BadgeId id);
+  [[nodiscard]] const Badge* badge(io::BadgeId id) const;
+  [[nodiscard]] const std::vector<std::unique_ptr<Badge>>& badges() const { return badges_; }
+  [[nodiscard]] const std::vector<beacon::Beacon>& beacons() const { return beacons_; }
+  [[nodiscard]] Vec2 charging_station() const { return station_; }
+  [[nodiscard]] const Badge* reference() const { return reference_; }
+  [[nodiscard]] const habitat::Habitat& habitat() const { return *habitat_; }
+
+  /// Total bytes across all SD cards (the paper's "150 GiB of data").
+  [[nodiscard]] std::int64_t total_bytes() const;
+
+ private:
+  /// Beacons audible from a room: same room or adjacent (two metal walls
+  /// put everything else > 30 dB below sensitivity, so they are skipped).
+  [[nodiscard]] const std::vector<const beacon::Beacon*>& candidates_for(habitat::RoomId room) const;
+
+  const habitat::Habitat* habitat_;
+  std::vector<beacon::Beacon> beacons_;
+  Vec2 station_;
+  const EnvironmentModel* env_ = nullptr;
+  radio::Channel ble_;
+  radio::Channel subghz_;
+  radio::IrLink ir_;
+  std::vector<std::unique_ptr<Badge>> badges_;
+  Badge* reference_ = nullptr;
+  // candidate lists indexed by room (kRoomCount entries + 1 for kNone).
+  std::vector<std::vector<const beacon::Beacon*>> candidates_;
+};
+
+}  // namespace hs::badge

@@ -1,0 +1,37 @@
+#include "badge/sdcard.hpp"
+
+namespace hs::badge {
+
+std::int64_t SdCard::bytes_written() const {
+  // Feature records are tiny next to the raw streams; count them at their
+  // encoded sizes anyway for an honest ledger.
+  const std::int64_t records = static_cast<std::int64_t>(beacon_obs_.size()) * 8 +
+                               static_cast<std::int64_t>(pings_.size()) * 9 +
+                               static_cast<std::int64_t>(ir_contacts_.size()) * 7 +
+                               static_cast<std::int64_t>(motion_.size()) * 14 +
+                               static_cast<std::int64_t>(audio_.size()) * 18 +
+                               static_cast<std::int64_t>(env_.size()) * 18 +
+                               static_cast<std::int64_t>(wear_.size()) * 7 +
+                               static_cast<std::int64_t>(sync_.size()) * 10;
+  return raw_bytes_ + records;
+}
+
+std::size_t SdCard::record_count() const {
+  return beacon_obs_.size() + pings_.size() + ir_contacts_.size() + motion_.size() +
+         audio_.size() + env_.size() + wear_.size() + sync_.size();
+}
+
+std::vector<std::uint8_t> SdCard::export_binlog() const {
+  io::BinLogWriter writer;
+  for (const auto& r : beacon_obs_) writer.append(r);
+  for (const auto& r : pings_) writer.append(r);
+  for (const auto& r : ir_contacts_) writer.append(r);
+  for (const auto& r : motion_) writer.append(r);
+  for (const auto& r : audio_) writer.append(r);
+  for (const auto& r : env_) writer.append(r);
+  for (const auto& r : wear_) writer.append(r);
+  for (const auto& r : sync_) writer.append(r);
+  return writer.take();
+}
+
+}  // namespace hs::badge

@@ -1,0 +1,71 @@
+// On-board SD card: the badge's only persistent output.
+//
+// The deployment "collected frequently sampled raw data and stored them on
+// an on-board SD card for offline analyses" — 150 GiB over the mission.
+// The card tracks two things: the typed feature/record log the offline
+// pipeline consumes, and a byte ledger modelling the raw streams (16 kHz
+// microphone, 50 Hz IMU, environmental sensors, scan logs) that dominate
+// the data volume. Raw waveforms themselves are never materialized; only
+// their size is accounted, which is all any reported result needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "io/binlog.hpp"
+#include "io/records.hpp"
+#include "util/expected.hpp"
+
+namespace hs::badge {
+
+/// Raw stream rates (bytes per active second), calibrated so a full
+/// mission lands at the paper's reported ~150 GiB:
+/// mic 16 kHz x 16 bit = 32000, IMU 9ch x 16 bit x 50 Hz = 900,
+/// env + light ~160, radio scan/ping logs ~440, filesystem overhead ~3000.
+constexpr double kRawBytesPerActiveSecond = 38500.0;
+
+class SdCard {
+ public:
+  void log(const io::BeaconObs& r) { beacon_obs_.push_back(r); }
+  void log(const io::ProximityPing& r) { pings_.push_back(r); }
+  void log(const io::IrContact& r) { ir_contacts_.push_back(r); }
+  void log(const io::MotionFrame& r) { motion_.push_back(r); }
+  void log(const io::AudioFrame& r) { audio_.push_back(r); }
+  void log(const io::EnvFrame& r) { env_.push_back(r); }
+  void log(const io::WearEvent& r) { wear_.push_back(r); }
+  void log(const io::SyncSample& r) { sync_.push_back(r); }
+
+  /// Account raw-stream bytes for one active interval.
+  void account_raw(double bytes) { raw_bytes_ += static_cast<std::int64_t>(bytes); }
+
+  /// Total stored volume: raw streams + encoded feature records.
+  [[nodiscard]] std::int64_t bytes_written() const;
+
+  [[nodiscard]] const std::vector<io::BeaconObs>& beacon_obs() const { return beacon_obs_; }
+  [[nodiscard]] const std::vector<io::ProximityPing>& pings() const { return pings_; }
+  [[nodiscard]] const std::vector<io::IrContact>& ir_contacts() const { return ir_contacts_; }
+  [[nodiscard]] const std::vector<io::MotionFrame>& motion() const { return motion_; }
+  [[nodiscard]] const std::vector<io::AudioFrame>& audio() const { return audio_; }
+  [[nodiscard]] const std::vector<io::EnvFrame>& env() const { return env_; }
+  [[nodiscard]] const std::vector<io::WearEvent>& wear() const { return wear_; }
+  [[nodiscard]] const std::vector<io::SyncSample>& sync() const { return sync_; }
+
+  [[nodiscard]] std::size_t record_count() const;
+
+  /// Serialize the typed log to the badge binlog format (persistence /
+  /// transfer); replayable with io::replay_binlog.
+  [[nodiscard]] std::vector<std::uint8_t> export_binlog() const;
+
+ private:
+  std::vector<io::BeaconObs> beacon_obs_;
+  std::vector<io::ProximityPing> pings_;
+  std::vector<io::IrContact> ir_contacts_;
+  std::vector<io::MotionFrame> motion_;
+  std::vector<io::AudioFrame> audio_;
+  std::vector<io::EnvFrame> env_;
+  std::vector<io::WearEvent> wear_;
+  std::vector<io::SyncSample> sync_;
+  std::int64_t raw_bytes_ = 0;
+};
+
+}  // namespace hs::badge

@@ -1,0 +1,59 @@
+// Interfaces between a badge and the physical world it senses.
+//
+// The badge firmware never sees simulator internals: it reads its bearer's
+// kinematics through Wearer and the local sound/climate field through
+// EnvironmentModel, exactly the quantities a real badge's sensors measure.
+// The crew simulator implements both; tests substitute fixtures.
+#pragma once
+
+#include "util/vec2.hpp"
+#include "util/units.hpp"
+
+namespace hs::badge {
+
+/// Instantaneous kinematic state of a badge bearer.
+struct MotionSample {
+  bool walking = false;
+  double speed_mps = 0.0;
+  /// Non-locomotion activity level in [0,1] (gesturing, handling tools);
+  /// scales the stationary accelerometer variance.
+  double activity = 0.2;
+};
+
+class Wearer {
+ public:
+  virtual ~Wearer() = default;
+
+  [[nodiscard]] virtual Vec2 position() const = 0;
+  /// Facing direction in radians (drives the IR cone).
+  [[nodiscard]] virtual double facing() const = 0;
+  [[nodiscard]] virtual MotionSample motion() const = 0;
+  /// Extra microphone attenuation in dB (e.g. badge worn backwards —
+  /// astronaut A's "occasionally muffled recordings").
+  [[nodiscard]] virtual double mic_attenuation_db() const { return 0.0; }
+};
+
+/// Sound and climate field at a point, as a badge microphone and
+/// environmental sensors would measure it.
+struct AmbientSample {
+  /// Speech sound pressure level at the point in dB SPL; 0 when no speech
+  /// is audible.
+  double speech_db = 0.0;
+  /// Fraction of the last second containing voice-band energy, in [0,1].
+  double voiced_fraction = 0.0;
+  /// Fundamental frequency of the dominant audible speaker (Hz, 0 if none).
+  double dominant_f0_hz = 0.0;
+  /// Non-speech background level in dB SPL (HVAC, machinery).
+  double noise_db = 32.0;
+  double temperature_c = 21.0;
+  double pressure_hpa = 1005.0;
+  double light_lux = 300.0;
+};
+
+class EnvironmentModel {
+ public:
+  virtual ~EnvironmentModel() = default;
+  [[nodiscard]] virtual AmbientSample ambient_at(Vec2 position, SimTime now) const = 0;
+};
+
+}  // namespace hs::badge

@@ -1,0 +1,566 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace hs::core {
+namespace {
+
+/// Sorted-interval membership test with a moving cursor (streams are
+/// processed in time order).
+class IntervalCursor {
+ public:
+  explicit IntervalCursor(const std::vector<std::pair<double, double>>& intervals)
+      : intervals_(&intervals) {}
+
+  bool contains(double t) {
+    while (idx_ < intervals_->size() && (*intervals_)[idx_].second <= t) ++idx_;
+    return idx_ < intervals_->size() && (*intervals_)[idx_].first <= t;
+  }
+
+ private:
+  const std::vector<std::pair<double, double>>* intervals_;
+  std::size_t idx_ = 0;
+};
+
+/// Overlap of [a0,a1) with a set of sorted intervals.
+double overlap_seconds(const std::vector<std::pair<double, double>>& intervals, double a0,
+                       double a1) {
+  double total = 0.0;
+  for (const auto& [b0, b1] : intervals) {
+    const double lo = std::max(a0, b0);
+    const double hi = std::min(a1, b1);
+    if (hi > lo) total += hi - lo;
+    if (b0 >= a1) break;
+  }
+  return total;
+}
+
+}  // namespace
+
+AnalysisPipeline::AnalysisPipeline(const Dataset& dataset, PipelineOptions options)
+    : dataset_(&dataset), options_(options) {
+  assemble();
+}
+
+std::vector<std::vector<locate::RoomStay>> AnalysisPipeline::tracks() const {
+  std::vector<std::vector<locate::RoomStay>> out;
+  out.reserve(crew::kCrewSize);
+  for (const auto& p : persons_) out.push_back(p.track);
+  return out;
+}
+
+const timesync::ClockFit* AnalysisPipeline::clock_fit(io::BadgeId badge) const {
+  auto it = fits_.find(badge);
+  return it == fits_.end() ? nullptr : &it->second;
+}
+
+void AnalysisPipeline::assemble() {
+  const auto& ownership =
+      options_.corrected_ownership ? dataset_->ownership : dataset_->naive_ownership;
+
+  // 1. Clock rectification per badge.
+  for (const auto& log : dataset_->logs) {
+    timesync::ClockFit fit;  // identity (rate 1, offset 0)
+    if (options_.rectify_clocks) {
+      timesync::OffsetEstimator est;
+      est.add_samples(log.card.sync());
+      if (auto fitted = est.fit(log.id)) fit = *fitted;
+    }
+    fits_[log.id] = fit;
+  }
+
+  // 2. Worn/active intervals per badge from its wear events.
+  for (const auto& log : dataset_->logs) {
+    const auto& fit = fits_[log.id];
+    auto& worn = worn_[log.id];
+    auto& active = active_[log.id];
+    constexpr double kNotOpen = -1.0;
+    double worn_since = kNotOpen;
+    double active_since = kNotOpen;
+    for (const auto& ev : log.card.wear()) {
+      const double t = fit.rectify(ev.t) / 1000.0;
+      const bool is_worn = ev.state == io::WearState::kWorn;
+      const bool is_active = ev.state != io::WearState::kOff;
+      if (is_worn && worn_since == kNotOpen) worn_since = t;
+      if (!is_worn && worn_since != kNotOpen) {
+        worn.emplace_back(worn_since, t);
+        worn_since = kNotOpen;
+      }
+      if (is_active && active_since == kNotOpen) active_since = t;
+      if (!is_active && active_since != kNotOpen) {
+        active.emplace_back(active_since, t);
+        active_since = kNotOpen;
+      }
+    }
+    const double mission_end = static_cast<double>(day_start(dataset_->last_day() + 1)) / 1e6;
+    if (worn_since != kNotOpen) worn.emplace_back(worn_since, mission_end);
+    if (active_since != kNotOpen) active.emplace_back(active_since, mission_end);
+  }
+
+  // 3. Attribute records to astronauts (worn periods only).
+  for (const auto& log : dataset_->logs) {
+    const auto& fit = fits_[log.id];
+    IntervalCursor worn_cursor(worn_[log.id]);
+
+    auto owner_at = [&](double t_s) -> std::optional<std::size_t> {
+      const int day = mission_day(static_cast<SimTime>(t_s * 1e6));
+      return ownership.owner(log.id, day);
+    };
+
+    for (const auto& r : log.card.beacon_obs()) {
+      const double t = fit.rectify(r.t) / 1000.0;
+      if (!worn_cursor.contains(t)) continue;
+      if (const auto who = owner_at(t)) {
+        persons_[*who].obs.push_back(locate::TimedRssi{t, r.beacon, r.rssi_dbm});
+      }
+    }
+    IntervalCursor worn_audio(worn_[log.id]);
+    for (const auto& r : log.card.audio()) {
+      const double t = fit.rectify(r.t) / 1000.0;
+      if (!worn_audio.contains(t)) continue;
+      if (const auto who = owner_at(t)) {
+        persons_[*who].audio.push_back(
+            dsp::TimedAudio{t, r.level_db, r.voiced_fraction, r.dominant_f0_hz});
+      }
+    }
+    IntervalCursor worn_motion(worn_[log.id]);
+    for (const auto& r : log.card.motion()) {
+      const double t = fit.rectify(r.t) / 1000.0;
+      if (!worn_motion.contains(t)) continue;
+      if (const auto who = owner_at(t)) {
+        persons_[*who].motion.push_back(TimedMotion{t, r.accel_var, r.step_freq_hz});
+      }
+    }
+  }
+
+  // 4. Sort (multiple badges can contribute to one astronaut) and derive.
+  const locate::RoomClassifier classifier(dataset_->beacons, options_.classifier);
+  const dsp::SpeechDetector speech(options_.speech);
+  for (auto& p : persons_) {
+    auto by_time = [](const auto& a, const auto& b) { return a.t_s < b.t_s; };
+    std::sort(p.obs.begin(), p.obs.end(), by_time);
+    std::sort(p.audio.begin(), p.audio.end(), by_time);
+    std::sort(p.motion.begin(), p.motion.end(), by_time);
+    p.track = classifier.classify(p.obs);
+    p.speech = speech.analyze(p.audio, 0.0);
+  }
+}
+
+locate::TransitionMatrix AnalysisPipeline::fig2_transitions(double min_dwell_s) const {
+  locate::TransitionMatrix matrix;
+  for (const auto& p : persons_) matrix.add_track(p.track, min_dwell_s);
+  return matrix;
+}
+
+locate::HeatmapAccumulator AnalysisPipeline::fig3_heatmap(std::size_t astronaut) const {
+  const locate::Triangulator tri(dataset_->habitat, dataset_->beacons);
+  locate::HeatmapAccumulator heat(dataset_->habitat);
+  const auto& p = persons_[astronaut];
+  heat.add_fixes(tri.fixes(p.obs, p.track));
+  return heat;
+}
+
+AnalysisPipeline::DailySeries AnalysisPipeline::fig4_walking() const {
+  const dsp::WalkingDetector detector(options_.walking);
+  DailySeries series;
+  series.first_day = dataset_->first_day();
+  const int days = dataset_->last_day() - dataset_->first_day() + 1;
+  series.values.assign(static_cast<std::size_t>(days), {});
+  for (auto& row : series.values) row.fill(-1.0);
+
+  for (std::size_t i = 0; i < crew::kCrewSize; ++i) {
+    // Split the motion stream by day and classify.
+    std::size_t walking = 0;
+    std::size_t total = 0;
+    int cur_day = -1;
+    auto flush = [&]() {
+      if (cur_day < series.first_day || total < 600) return;  // <10 min of data: no estimate
+      series.values[static_cast<std::size_t>(cur_day - series.first_day)][i] =
+          static_cast<double>(walking) / static_cast<double>(total);
+    };
+    for (const auto& m : persons_[i].motion) {
+      const int day = mission_day(static_cast<SimTime>(m.t_s * 1e6));
+      if (day != cur_day) {
+        flush();
+        cur_day = day;
+        walking = 0;
+        total = 0;
+      }
+      if (day > dataset_->last_day()) break;
+      ++total;
+      io::MotionFrame f;
+      f.accel_var = m.accel_var;
+      f.step_freq_hz = m.step_freq_hz;
+      if (detector.is_walking(f)) ++walking;
+    }
+    flush();
+  }
+  return series;
+}
+
+AnalysisPipeline::DailySeries AnalysisPipeline::fig6_speech() const {
+  DailySeries series;
+  series.first_day = dataset_->first_day();
+  const int days = dataset_->last_day() - dataset_->first_day() + 1;
+  series.values.assign(static_cast<std::size_t>(days), {});
+  for (auto& row : series.values) row.fill(-1.0);
+
+  for (std::size_t i = 0; i < crew::kCrewSize; ++i) {
+    std::size_t speech = 0;
+    std::size_t total = 0;
+    int cur_day = -1;
+    auto flush = [&]() {
+      if (cur_day < series.first_day || total < 40) return;  // <10 min of intervals
+      series.values[static_cast<std::size_t>(cur_day - series.first_day)][i] =
+          static_cast<double>(speech) / static_cast<double>(total);
+    };
+    for (const auto& iv : persons_[i].speech) {
+      const int day = mission_day(static_cast<SimTime>(iv.start_s * 1e6));
+      if (day != cur_day) {
+        flush();
+        cur_day = day;
+        speech = 0;
+        total = 0;
+      }
+      if (day > dataset_->last_day()) break;
+      ++total;
+      if (iv.speech) ++speech;
+    }
+    flush();
+  }
+  return series;
+}
+
+std::vector<std::vector<AnalysisPipeline::TimelineBin>> AnalysisPipeline::fig5_timeline(
+    int day, int bin_minutes) const {
+  const double t0 = static_cast<double>(day_start(day)) / 1e6 + 8.0 * 3600.0;
+  const double t1 = static_cast<double>(day_start(day)) / 1e6 + 22.0 * 3600.0;
+  const double bin_s = bin_minutes * 60.0;
+  const auto bins = static_cast<std::size_t>((t1 - t0) / bin_s);
+
+  std::vector<std::vector<TimelineBin>> out(crew::kCrewSize);
+  for (std::size_t i = 0; i < crew::kCrewSize; ++i) {
+    out[i].resize(bins);
+    for (std::size_t b = 0; b < bins; ++b) {
+      TimelineBin& bin = out[i][b];
+      bin.start_s = t0 + static_cast<double>(b) * bin_s;
+      // Room: sample the track each minute; majority wins.
+      std::array<int, habitat::kRoomCount> votes{};
+      int best = 0;
+      for (double t = bin.start_s; t < bin.start_s + bin_s; t += 60.0) {
+        const auto room = locate::room_at_time(persons_[i].track, t);
+        if (room == habitat::RoomId::kNone) continue;
+        const int v = ++votes[habitat::room_index(room)];
+        if (v > best) {
+          best = v;
+          bin.room = room;
+        }
+      }
+      // Speech within the bin.
+      std::size_t total = 0;
+      std::size_t speech = 0;
+      double loud = 0.0;
+      std::size_t loud_n = 0;
+      for (const auto& iv : persons_[i].speech) {
+        if (iv.start_s < bin.start_s) continue;
+        if (iv.start_s >= bin.start_s + bin_s) break;
+        ++total;
+        if (iv.speech) {
+          ++speech;
+          loud += iv.mean_voiced_db;
+          ++loud_n;
+        }
+      }
+      bin.speech_fraction = total > 0 ? static_cast<double>(speech) / total : 0.0;
+      bin.loudness_db = loud_n > 0 ? loud / loud_n : 0.0;
+    }
+  }
+  return out;
+}
+
+sna::CompanyAnalysis AnalysisPipeline::company_analysis() const {
+  sna::CompanyAnalysis company(crew::kCrewSize);
+  const auto all_tracks = tracks();
+  for (int day = dataset_->first_day(); day <= dataset_->last_day(); ++day) {
+    const double d0 = static_cast<double>(day_start(day)) / 1e6;
+    company.accumulate(all_tracks, d0 + 8 * 3600.0, d0 + 22 * 3600.0);
+  }
+  return company;
+}
+
+std::vector<AnalysisPipeline::Table1Row> AnalysisPipeline::table1() const {
+  const auto company = company_analysis();
+  const auto scores = sna::hits(company.pair_matrix());
+  const dsp::WalkingDetector detector(options_.walking);
+
+  std::vector<Table1Row> rows(crew::kCrewSize);
+
+  // Raw metrics first.
+  std::array<double, crew::kCrewSize> company_raw{};
+  std::array<double, crew::kCrewSize> talking_raw{};
+  std::array<double, crew::kCrewSize> walking_raw{};
+  double max_covered = 0.0;
+  for (std::size_t i = 0; i < crew::kCrewSize; ++i) {
+    company_raw[i] = company.company_seconds(i);
+    max_covered = std::max(max_covered, company.covered_seconds(i));
+    // Talking: fraction of recorded 15 s intervals with detected speech.
+    std::size_t speech = 0;
+    for (const auto& iv : persons_[i].speech) speech += iv.speech ? 1 : 0;
+    talking_raw[i] = persons_[i].speech.empty()
+                         ? 0.0
+                         : static_cast<double>(speech) / persons_[i].speech.size();
+    // Walking: fraction of recorded motion frames classified as walking.
+    std::size_t walk = 0;
+    for (const auto& m : persons_[i].motion) {
+      io::MotionFrame f;
+      f.accel_var = m.accel_var;
+      f.step_freq_hz = m.step_freq_hz;
+      if (detector.is_walking(f)) ++walk;
+    }
+    walking_raw[i] = persons_[i].motion.empty()
+                         ? 0.0
+                         : static_cast<double>(walk) / persons_[i].motion.size();
+  }
+
+  // Company is a *rate*: normalize by coverage before scaling (C is aboard
+  // for only 2.5 instrumented days). The paper reports C's social scores
+  // as n/a; we do the same when coverage is under 30% of the maximum.
+  std::array<double, crew::kCrewSize> company_rate{};
+  for (std::size_t i = 0; i < crew::kCrewSize; ++i) {
+    const double covered = company.covered_seconds(i);
+    company_rate[i] = covered > 0.0 ? company_raw[i] / covered : 0.0;
+  }
+
+  std::array<bool, crew::kCrewSize> has_social{};
+  for (std::size_t i = 0; i < crew::kCrewSize; ++i) {
+    has_social[i] = company.covered_seconds(i) >= 0.3 * max_covered;
+  }
+
+  // Social scores of a crew member with marginal coverage (C) are reported
+  // n/a and excluded from the normalization; talking/walking are rates, so
+  // C stays in (the paper's Table I shows C at 1.00 for both).
+  auto norm = [&](std::array<double, crew::kCrewSize>& xs, bool social_only) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < crew::kCrewSize; ++i) {
+      if (!social_only || has_social[i]) m = std::max(m, xs[i]);
+    }
+    if (m > 0.0) {
+      for (double& x : xs) x /= m;
+    }
+  };
+
+  std::array<double, crew::kCrewSize> authority{};
+  for (std::size_t i = 0; i < crew::kCrewSize; ++i) authority[i] = scores.authority[i];
+
+  norm(company_rate, true);
+  norm(talking_raw, false);
+  norm(walking_raw, false);
+  norm(authority, true);
+
+  for (std::size_t i = 0; i < crew::kCrewSize; ++i) {
+    rows[i].id = crew::astronaut_letter(i);
+    rows[i].has_social = has_social[i];
+    // Social scores of marginal-coverage members are n/a: zeroed so no
+    // consumer mistakes them for comparable values.
+    rows[i].company = has_social[i] ? company_rate[i] : 0.0;
+    rows[i].authority = has_social[i] ? authority[i] : 0.0;
+    rows[i].talking = talking_raw[i];
+    rows[i].walking = walking_raw[i];
+  }
+  return rows;
+}
+
+AnalysisPipeline::DatasetStats AnalysisPipeline::dataset_stats() const {
+  DatasetStats stats;
+  stats.total_gib = to_gib(dataset_->total_bytes);
+  for (const auto& log : dataset_->logs) stats.total_records += log.card.record_count();
+
+  const auto& ownership =
+      options_.corrected_ownership ? dataset_->ownership : dataset_->naive_ownership;
+
+  double worn_sum = 0.0;
+  double active_sum = 0.0;
+  double daytime_sum = 0.0;
+  const int days = dataset_->last_day() - dataset_->first_day() + 1;
+  std::vector<double> worn_day_sum(static_cast<std::size_t>(days), 0.0);
+  std::vector<double> worn_day_den(static_cast<std::size_t>(days), 0.0);
+
+  for (const auto& log : dataset_->logs) {
+    auto wit = worn_.find(log.id);
+    auto ait = active_.find(log.id);
+    if (wit == worn_.end()) continue;
+    for (int day = dataset_->first_day(); day <= dataset_->last_day(); ++day) {
+      if (!ownership.owner(log.id, day)) continue;  // unowned badge-days don't count
+      const double d0 = static_cast<double>(day_start(day)) / 1e6;
+      const double daytime0 = d0 + 8 * 3600.0;
+      const double daytime1 = d0 + 22 * 3600.0;
+      const double worn = overlap_seconds(wit->second, daytime0, daytime1);
+      const double active =
+          ait != active_.end() ? overlap_seconds(ait->second, daytime0, daytime1) : 0.0;
+      worn_sum += worn;
+      active_sum += active;
+      daytime_sum += daytime1 - daytime0;
+      const auto di = static_cast<std::size_t>(day - dataset_->first_day());
+      worn_day_sum[di] += worn;
+      worn_day_den[di] += daytime1 - daytime0;
+    }
+  }
+  stats.worn_of_daytime = daytime_sum > 0.0 ? worn_sum / daytime_sum : 0.0;
+  stats.active_of_daytime = daytime_sum > 0.0 ? active_sum / daytime_sum : 0.0;
+  stats.worn_by_day.resize(static_cast<std::size_t>(days));
+  for (std::size_t d = 0; d < stats.worn_by_day.size(); ++d) {
+    stats.worn_by_day[d] = worn_day_den[d] > 0.0 ? worn_day_sum[d] / worn_day_den[d] : 0.0;
+  }
+  return stats;
+}
+
+AnalysisPipeline::DwellStats AnalysisPipeline::dwell_stats() const {
+  // "Stays" are work sessions: visits to the same room separated by less
+  // than ~25 min (a hydration run, a supervision drop-in, a restroom
+  // break) belong to one stay. The typical stay is the time-weighted mean
+  // session length — "how long is the stay an astronaut is in the middle
+  // of", which matches the paper's "tended to stay ... about 2.5 h".
+  constexpr double kSessionGapS = 25.0 * 60.0;
+  std::vector<double> biolab;
+  std::vector<double> office;
+  std::vector<double> workshop;
+  auto collect = [&](const std::vector<locate::RoomStay>& track, habitat::RoomId room,
+                     std::vector<double>& out) {
+    double start = -1.0;
+    double end = -1.0;
+    for (const auto& s : track) {
+      if (s.room != room) continue;
+      if (start >= 0.0 && s.start_s - end < kSessionGapS) {
+        end = s.end_s;
+      } else {
+        if (start >= 0.0 && end - start >= 1800.0) out.push_back((end - start) / 3600.0);
+        start = s.start_s;
+        end = s.end_s;
+      }
+    }
+    if (start >= 0.0 && end - start >= 1800.0) out.push_back((end - start) / 3600.0);
+  };
+  for (const auto& p : persons_) {
+    const auto filtered = locate::filter_short_stays(p.track, 10.0);
+    collect(filtered, habitat::RoomId::kBiolab, biolab);
+    collect(filtered, habitat::RoomId::kOffice, office);
+    collect(filtered, habitat::RoomId::kWorkshop, workshop);
+  }
+  auto time_weighted_mean = [](const std::vector<double>& xs) {
+    double num = 0.0;
+    double den = 0.0;
+    for (double x : xs) {
+      num += x * x;
+      den += x;
+    }
+    return den > 0.0 ? num / den : 0.0;
+  };
+  DwellStats stats;
+  stats.typical_biolab_h = time_weighted_mean(biolab);
+  stats.typical_office_h = time_weighted_mean(office);
+  stats.typical_workshop_h = time_weighted_mean(workshop);
+  return stats;
+}
+
+AnalysisPipeline::PairStats AnalysisPipeline::pair_stats() const {
+  // "Talked privately" requires an actual conversation, not mere
+  // co-working in the same room: meetings are speech-gated and private
+  // time is weighted by the conversation's speech coverage.
+  PairStats stats;
+  const auto all_tracks = tracks();
+  std::vector<std::vector<dsp::SpeechInterval>> speech;
+  speech.reserve(crew::kCrewSize);
+  for (const auto& p : persons_) speech.push_back(p.speech);
+
+  for (int day = dataset_->first_day(); day <= dataset_->last_day(); ++day) {
+    const double d0 = static_cast<double>(day_start(day)) / 1e6;
+    const auto meetings = sna::detect_meetings(all_tracks, d0 + 8 * 3600.0, d0 + 22 * 3600.0);
+    for (const auto& m : meetings) {
+      const auto dyn = sna::analyze_meeting(m, speech);
+      if (dyn.speech_fraction < 0.15) continue;  // silent co-presence, not a meeting
+      const double hours = m.duration_s() / 3600.0;
+      // Private tete-a-tetes shorter than ~6 min are mostly artifacts of
+      // staggered arrivals at group gatherings (two badges visible before
+      // the rest of the crew shows up).
+      const bool real_private = m.is_private() && m.duration_s() >= 360.0;
+      if (m.involves(0) && m.involves(5)) {
+        stats.af_meetings_h += hours;
+        if (real_private) stats.af_private_h += hours * dyn.speech_fraction;
+      }
+      if (m.involves(3) && m.involves(4)) {
+        stats.de_meetings_h += hours;
+        if (real_private) stats.de_private_h += hours * dyn.speech_fraction;
+      }
+    }
+  }
+  return stats;
+}
+
+AnalysisPipeline::SurveyValidation AnalysisPipeline::survey_validation() const {
+  SurveyValidation v;
+  v.responses = dataset_->surveys.size();
+  if (dataset_->surveys.empty()) return v;
+
+  // Daily crew means of the survey wellbeing and comfort scales.
+  const int first = dataset_->first_day();
+  const int last = dataset_->last_day();
+  std::vector<double> wellbeing(static_cast<std::size_t>(last - first + 1), 0.0);
+  std::vector<double> comfort(wellbeing.size(), 0.0);
+  std::vector<int> counts(wellbeing.size(), 0);
+  for (const auto& s : dataset_->surveys) {
+    if (s.day < first || s.day > last) continue;
+    const auto d = static_cast<std::size_t>(s.day - first);
+    wellbeing[d] += s.wellbeing;
+    comfort[d] += s.comfort;
+    ++counts[d];
+  }
+  const auto speech = fig6_speech();
+  std::vector<double> survey_series;
+  std::vector<double> speech_series;
+  std::vector<double> comfort_series;
+  std::vector<double> day_series;
+  for (std::size_t d = 0; d < wellbeing.size(); ++d) {
+    if (counts[d] == 0) continue;
+    double speech_sum = 0.0;
+    int speech_n = 0;
+    for (double val : speech.values[d]) {
+      if (val >= 0) {
+        speech_sum += val;
+        ++speech_n;
+      }
+    }
+    if (speech_n == 0) continue;
+    survey_series.push_back(wellbeing[d] / counts[d]);
+    speech_series.push_back(speech_sum / speech_n);
+    comfort_series.push_back(comfort[d] / counts[d]);
+    day_series.push_back(static_cast<double>(first) + static_cast<double>(d));
+  }
+  v.wellbeing_speech_corr = pearson(survey_series, speech_series);
+  v.comfort_slope_per_day = linear_fit(day_series, comfort_series).slope;
+  return v;
+}
+
+std::array<dsp::VoiceClass, crew::kCrewSize> AnalysisPipeline::voice_census() const {
+  std::array<dsp::VoiceClass, crew::kCrewSize> census{};
+  for (std::size_t i = 0; i < crew::kCrewSize; ++i) {
+    census[i] = dsp::dominant_voice_class(persons_[i].speech);
+  }
+  return census;
+}
+
+std::vector<sna::Meeting> AnalysisPipeline::meetings_on(int day) const {
+  const double d0 = static_cast<double>(day_start(day)) / 1e6;
+  return sna::detect_meetings(tracks(), d0 + 8 * 3600.0, d0 + 22 * 3600.0);
+}
+
+sna::MeetingDynamics AnalysisPipeline::meeting_dynamics(const sna::Meeting& meeting) const {
+  std::vector<std::vector<dsp::SpeechInterval>> speech;
+  speech.reserve(crew::kCrewSize);
+  for (const auto& p : persons_) speech.push_back(p.speech);
+  return sna::analyze_meeting(meeting, speech);
+}
+
+}  // namespace hs::core

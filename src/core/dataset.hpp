@@ -1,0 +1,54 @@
+// The mission dataset: everything the researchers carried out of the
+// habitat — SD cards, the beacon survey, and the reconstructed badge
+// ownership schedule. The analysis pipeline consumes only this; it never
+// touches simulator ground truth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "badge/sdcard.hpp"
+#include "beacon/beacon.hpp"
+#include "crew/crew_sim.hpp"
+#include "crew/script.hpp"
+#include "crew/survey.hpp"
+#include "habitat/habitat.hpp"
+
+namespace hs::core {
+
+struct BadgeLog {
+  io::BadgeId id = 0;
+  badge::SdCard card;
+};
+
+struct Dataset {
+  habitat::Habitat habitat;
+  std::vector<beacon::Beacon> beacons;
+  std::vector<BadgeLog> logs;
+  /// Corrected badge->astronaut mapping per day (post-mission fix for the
+  /// day-9 swap and F's reuse of C's badge).
+  crew::OwnershipSchedule ownership;
+  /// The naive one-owner-per-badge mapping (for the ablation that shows
+  /// why the correction matters).
+  crew::OwnershipSchedule naive_ownership;
+  /// The public mission plan (timetable, scripted-day numbers) the paper's
+  /// analyses cross-check against. Contains no behavioural ground truth.
+  crew::MissionScript script;
+  /// The evening self-report surveys ("satisfaction, well-being, comfort,
+  /// productivity, and distraction") used to verify sensor findings.
+  std::vector<crew::SurveyResponse> surveys;
+
+  std::int64_t total_bytes = 0;
+
+  [[nodiscard]] int first_day() const { return script.badge_start_day; }
+  [[nodiscard]] int last_day() const { return script.mission_days; }
+
+  [[nodiscard]] const BadgeLog* log(io::BadgeId id) const {
+    for (const auto& l : logs) {
+      if (l.id == id) return &l;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace hs::core

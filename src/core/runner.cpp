@@ -1,0 +1,91 @@
+#include "core/runner.hpp"
+
+#include <utility>
+
+namespace hs::core {
+namespace {
+
+Vec2 charging_station_position(const habitat::Habitat& habitat) {
+  // The charging station sits in a bedroom corner: badges are docked
+  // overnight and picked up after waking.
+  const auto& bedroom = habitat.room(habitat::RoomId::kBedroom).bounds;
+  return bedroom.clamp(Vec2{bedroom.lo.x + 0.6, bedroom.lo.y + 0.6}, 0.3);
+}
+
+}  // namespace
+
+MissionRunner::MissionRunner(MissionConfig config)
+    : config_(std::move(config)),
+      habitat_(habitat::Habitat::lunares()),
+      rng_(config_.seed),
+      network_(habitat_, beacon::deploy_lunares_beacons(habitat_, config_.beacon_count),
+               charging_station_position(habitat_), config_.ble_channel,
+               config_.subghz_channel),
+      crew_(habitat_, network_, config_.script, config_.seed) {
+  network_.set_environment(crew_.environment());
+
+  // Crew badges 0..5: imperfect oscillators, stale counters at boot.
+  Rng clock_rng = rng_.fork(0xc10c);
+  for (io::BadgeId id = 0; id < 6; ++id) {
+    const double drift = clock_rng.normal(0.0, config_.clock_drift_sigma_ppm);
+    const auto offset = static_cast<std::uint32_t>(clock_rng.uniform_int(0, 600'000));
+    network_.add_badge(id, timesync::DriftingClock(0, drift, offset), config_.badge_params);
+  }
+  // The reference badge defines the reference timeline (zero drift, zero
+  // offset): rectified milliseconds == mission milliseconds.
+  network_.add_reference_badge(timesync::DriftingClock(0, 0.0, 0), config_.badge_params);
+  // Backup badges: docked spares.
+  for (int i = 0; i < config_.backup_badges; ++i) {
+    const auto id = static_cast<io::BadgeId>(io::kReferenceBadge + 1 + i);
+    const double drift = clock_rng.normal(0.0, config_.clock_drift_sigma_ppm);
+    network_.add_badge(id, timesync::DriftingClock(0, drift, 0), config_.badge_params);
+  }
+}
+
+MissionRunner::~MissionRunner() = default;
+
+void MissionRunner::add_observer(std::function<void(const MissionView&)> observer) {
+  observers_.push_back(std::move(observer));
+}
+
+Dataset MissionRunner::run() { return run_days(config_.script.mission_days); }
+
+Dataset MissionRunner::run_days(int last_day) {
+  Rng tick_rng = rng_.fork(0x71c4);
+  const SimTime end = day_start(last_day + 1);
+  MissionView view{0, &crew_, &network_};
+  for (SimTime t = 0; t < end; t += kSecond) {
+    crew_.tick(t);
+    network_.tick(t, tick_rng);
+    if (!observers_.empty()) {
+      view.now = t;
+      for (auto& obs : observers_) obs(view);
+    }
+  }
+
+  Dataset ds;
+  ds.habitat = habitat_;
+  ds.beacons = network_.beacons();
+  ds.total_bytes = network_.total_bytes();
+  for (const auto& b : network_.badges()) {
+    BadgeLog log;
+    log.id = b->id();
+    log.card = network_.badge(b->id())->take_sd();
+    ds.logs.push_back(std::move(log));
+  }
+  ds.ownership = crew_.corrected_ownership();
+  ds.naive_ownership = crew_.naive_ownership();
+  ds.script = config_.script;
+  if (last_day < ds.script.mission_days) ds.script.mission_days = last_day;
+  ds.surveys = crew::generate_mission_surveys(ds.script, rng_.fork(0x50b7));
+  return ds;
+}
+
+Dataset run_icares_mission(std::uint64_t seed) {
+  MissionConfig config;
+  config.seed = seed;
+  MissionRunner runner(config);
+  return runner.run();
+}
+
+}  // namespace hs::core

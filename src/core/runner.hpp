@@ -1,0 +1,70 @@
+// MissionRunner: wires habitat + beacons + badges + crew into the
+// simulation kernel and runs the full ICAres-1 mission, producing the
+// Dataset the offline pipeline analyses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "badge/network.hpp"
+#include "core/dataset.hpp"
+#include "crew/crew_sim.hpp"
+#include "sim/simulation.hpp"
+
+namespace hs::core {
+
+struct MissionConfig {
+  std::uint64_t seed = 42;
+  crew::MissionScript script{};
+  int beacon_count = 27;
+  int backup_badges = 6;      ///< spares; stay docked unless needed
+  badge::BadgeParams badge_params{};
+  /// Crew badge oscillator error std-dev (ppm). Tens of ppm accumulate to
+  /// tens of seconds over two weeks; the reference badge defines t=0.
+  double clock_drift_sigma_ppm = 28.0;
+  /// Radio channel models (overridable for ablations, e.g. removing the
+  /// metal-wall shielding that makes room classification near-perfect).
+  habitat::ChannelParams ble_channel = habitat::kBleChannel;
+  habitat::ChannelParams subghz_channel = habitat::kSubGhzChannel;
+};
+
+/// Live view handed to per-tick observers (support system, examples).
+struct MissionView {
+  SimTime now = 0;
+  const crew::CrewSimulator* crew = nullptr;
+  const badge::BadgeNetwork* network = nullptr;
+};
+
+class MissionRunner {
+ public:
+  explicit MissionRunner(MissionConfig config = {});
+  ~MissionRunner();
+  MissionRunner(const MissionRunner&) = delete;
+  MissionRunner& operator=(const MissionRunner&) = delete;
+
+  /// Observe every simulated second (real-time consumers like the mission
+  /// support system). Register before run().
+  void add_observer(std::function<void(const MissionView&)> observer);
+
+  /// Run the whole mission and collect the dataset.
+  [[nodiscard]] Dataset run();
+
+  /// Run only through the end of `last_day` (tests, partial replays).
+  [[nodiscard]] Dataset run_days(int last_day);
+
+  [[nodiscard]] const MissionConfig& config() const { return config_; }
+  [[nodiscard]] const habitat::Habitat& habitat() const { return habitat_; }
+
+ private:
+  MissionConfig config_;
+  habitat::Habitat habitat_;
+  Rng rng_;
+  badge::BadgeNetwork network_;
+  crew::CrewSimulator crew_;
+  std::vector<std::function<void(const MissionView&)>> observers_;
+};
+
+/// Convenience: run the canonical ICAres-1 mission with the given seed.
+[[nodiscard]] Dataset run_icares_mission(std::uint64_t seed = 42);
+
+}  // namespace hs::core

@@ -1,0 +1,222 @@
+#include "crew/astronaut.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hs::crew {
+namespace {
+
+/// Anchor wander radius: the impaired astronaut A keeps to room centres
+/// and "did not approach corners" — small radius, big wall margin.
+double wander_radius(const AstronautProfile& p) { return p.impaired ? 0.7 : 1.6; }
+double wall_margin(const AstronautProfile& p) { return p.impaired ? 1.1 : 0.35; }
+
+}  // namespace
+
+Astronaut::Astronaut(AstronautProfile profile, const habitat::Habitat& habitat, Rng rng)
+    : profile_(std::move(profile)), habitat_(&habitat), rng_(rng) {
+  position_ = habitat_->room(habitat::RoomId::kBedroom).bounds.center();
+  anchor_ = position_;
+  walk_speed_ = profile_.walk_speed_mps;
+}
+
+void Astronaut::set_day_plan(DayPlan plan) {
+  plan_ = std::move(plan);
+  slot_ = nullptr;  // re-resolved on the next tick
+}
+
+habitat::RoomId Astronaut::current_room() const {
+  return aboard_ ? habitat_->room_at(position_) : habitat::RoomId::kNone;
+}
+
+bool Astronaut::available_for_conversation() const {
+  return aboard_ && activity_ != Activity::kSleep && activity_ != Activity::kEva;
+}
+
+void Astronaut::leave_habitat() { aboard_ = false; }
+
+void Astronaut::face_toward(Vec2 target) {
+  if (!walking_) facing_ = heading(position_, target);
+}
+
+badge::MotionSample Astronaut::motion() const {
+  badge::MotionSample m;
+  m.walking = walking_;
+  m.speed_mps = walking_ ? walk_speed_ : 0.0;
+  // Hands-on activities shake the badge more.
+  const bool hands_on = activity_ == Activity::kWork &&
+                        (current_room() == habitat::RoomId::kWorkshop ||
+                         current_room() == habitat::RoomId::kStorage);
+  m.activity = hands_on ? 0.5 : 0.2;
+  return m;
+}
+
+Vec2 Astronaut::pick_anchor(const Slot& slot, Rng& rng) const {
+  const auto& bounds = habitat_->room(slot.room).bounds;
+  const Vec2 center = bounds.center();
+  const double r = wander_radius(profile_);
+  const Vec2 raw{center.x + rng.normal(0.0, r), center.y + rng.normal(0.0, r)};
+  return bounds.clamp(raw, wall_margin(profile_));
+}
+
+void Astronaut::begin_walk(Vec2 target) {
+  path_ = habitat_->walk_path(position_, target);
+  path_leg_ = 1;
+  walking_ = path_.size() > 1 && distance(position_, target) > 0.4;
+  if (!walking_) {
+    position_ = target;
+    path_.clear();
+  }
+}
+
+void Astronaut::advance_walk(double dt_s) {
+  double budget = walk_speed_ * dt_s;
+  while (walking_ && budget > 0.0) {
+    if (path_leg_ >= path_.size()) {
+      walking_ = false;
+      break;
+    }
+    const Vec2 target = path_[path_leg_];
+    const double leg = distance(position_, target);
+    if (leg <= budget) {
+      position_ = target;
+      budget -= leg;
+      ++path_leg_;
+      if (path_leg_ >= path_.size()) walking_ = false;
+    } else {
+      const Vec2 dir = (target - position_).normalized();
+      position_ += dir * budget;
+      facing_ = std::atan2(dir.y, dir.x);
+      budget = 0.0;
+    }
+  }
+}
+
+void Astronaut::maybe_start_micro_event(SimTime now, const MissionScript& script, Rng& rng) {
+  if (walking_ || trip_.has_value()) return;
+  if (activity_ != Activity::kWork) {
+    // In-room wander only (meals and briefings keep people seated mostly).
+    const double wander_rate = activity_ == Activity::kBreak ? 0.006 : 0.0015;
+    if (rng.bernoulli(wander_rate * profile_.mobility * 10.0)) begin_walk(pick_anchor(*slot_, rng));
+    return;
+  }
+
+  const habitat::RoomId room = slot_->room;
+  const double mob = script.mobility_factor(mission_day(now));
+
+  // 1. In-room micro-walk (dominant walking source; rate from mobility).
+  if (rng.bernoulli(std::min(0.5, 0.052 * profile_.mobility * mob))) {
+    begin_walk(pick_anchor(*slot_, rng));
+    return;
+  }
+
+  // 2. Hydration run to the kitchen — strongest from the office, then the
+  //    workshop (paper Fig. 2 discussion).
+  double kitchen_rate_per_h = 0.0;
+  if (room == habitat::RoomId::kOffice) kitchen_rate_per_h = 0.65;
+  if (room == habitat::RoomId::kWorkshop) kitchen_rate_per_h = 0.12;
+  if (room == habitat::RoomId::kBiolab) kitchen_rate_per_h = 0.12;
+  if (room == habitat::RoomId::kStorage) kitchen_rate_per_h = 0.12;
+  if (kitchen_rate_per_h > 0.0 && rng.bernoulli(kitchen_rate_per_h / 3600.0)) {
+    const auto& kitchen = habitat_->room(habitat::RoomId::kKitchen).bounds;
+    trip_ = Trip{kitchen.clamp(kitchen.center() + Vec2{rng.normal(0.0, 0.8), rng.normal(0.0, 0.8)},
+                               0.4),
+                 rng.uniform(80.0, 160.0), false, anchor_};
+    begin_walk(trip_->target);
+    return;
+  }
+
+  // 3. Restroom visit (~1 per day during work; badge handling done by the
+  //    crew simulator, which watches current_room()).
+  if (now - last_restroom_trip_ > hours(6) && rng.bernoulli(0.12 / 3600.0)) {
+    last_restroom_trip_ = now;
+    const auto& wc = habitat_->room(habitat::RoomId::kRestroom).bounds;
+    trip_ = Trip{wc.center(), rng.uniform(180.0, 300.0), false, anchor_};
+    begin_walk(trip_->target);
+    return;
+  }
+
+  // 4. Commander supervision round: visit another occupied work room.
+  if (profile_.supervises && rng.bernoulli(1.8 / 3600.0)) {
+    static constexpr habitat::RoomId kRounds[] = {habitat::RoomId::kWorkshop,
+                                                  habitat::RoomId::kBiolab,
+                                                  habitat::RoomId::kStorage};
+    const auto target_room = kRounds[rng.uniform_int(0, 2)];
+    const auto& bounds = habitat_->room(target_room).bounds;
+    trip_ = Trip{bounds.clamp(bounds.center() + Vec2{rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)},
+                              0.4),
+                 rng.uniform(700.0, 1400.0), false, anchor_};
+    begin_walk(trip_->target);
+    return;
+  }
+}
+
+void Astronaut::start_visit(Vec2 target, double dwell_s) {
+  if (!aboard_ || walking_ || trip_.has_value() || activity_ != Activity::kWork) return;
+  trip_ = Trip{target, dwell_s, false, anchor_};
+  begin_walk(target);
+}
+
+void Astronaut::force_gather(Vec2 target, double dwell_s) {
+  if (!aboard_) return;
+  trip_ = Trip{target, dwell_s, false, anchor_};
+  trip_dwell_left_s_ = 0.0;
+  begin_walk(target);
+}
+
+void Astronaut::tick(SimTime now, const MissionScript& script, Rng& rng) {
+  if (!aboard_) {
+    walking_ = false;
+    return;
+  }
+
+  // Occasional bad badge positioning for the impaired astronaut: muffled
+  // microphone for stretches of the day.
+  if (profile_.impaired && (now % hours(1)) == 0) {
+    mic_attenuation_db_ = rng.bernoulli(0.25) ? 9.0 : 0.0;
+  }
+
+  // Resolve the active slot; on change, walk to the new room.
+  const Slot* slot = slot_at(plan_, time_of_day(now));
+  if (slot != slot_ && slot != nullptr) {
+    slot_ = slot;
+    activity_ = slot->activity;
+    trip_.reset();
+    trip_dwell_left_s_ = 0.0;
+    anchor_ = pick_anchor(*slot, rng);
+    slot_lag_s_ = rng.uniform(10.0, 80.0);  // finish up before moving
+  }
+  if (slot_ == nullptr) return;
+
+  if (slot_lag_s_ > 0.0) {
+    slot_lag_s_ -= 1.0;
+    if (slot_lag_s_ <= 0.0) begin_walk(anchor_);
+    return;
+  }
+
+  if (walking_) {
+    advance_walk(1.0);
+    if (!walking_ && trip_.has_value() && !trip_->returning) {
+      trip_dwell_left_s_ = trip_->dwell_s;
+    }
+    return;
+  }
+
+  // Dwelling at a trip destination?
+  if (trip_.has_value()) {
+    if (!trip_->returning) {
+      trip_dwell_left_s_ -= 1.0;
+      if (trip_dwell_left_s_ <= 0.0) {
+        trip_->returning = true;
+        begin_walk(trip_->return_to);
+      }
+      return;
+    }
+    // Arrived back.
+    trip_.reset();
+  }
+
+  maybe_start_micro_event(now, script, rng);
+}
+
+}  // namespace hs::crew

@@ -1,0 +1,109 @@
+// An astronaut agent: schedule-driven movement through the habitat.
+//
+// Implements badge::Wearer so the badge's inertial and microphone frontends
+// sense the agent exactly as they would a person. Movement combines slot
+// transitions (walk the door-waypoint path to the new room), in-room
+// micro-walks (fetching tools, pacing — rate set by the profile's
+// mobility), and hazard-driven micro-trips: hydration runs to the kitchen
+// from absorbing office/workshop work, restroom visits, the commander's
+// supervision rounds, and F's social visits to A.
+#pragma once
+
+#include <optional>
+
+#include "badge/wearer.hpp"
+#include "crew/profile.hpp"
+#include "crew/schedule.hpp"
+#include "crew/script.hpp"
+#include "habitat/habitat.hpp"
+#include "util/rng.hpp"
+
+namespace hs::crew {
+
+class Astronaut final : public badge::Wearer {
+ public:
+  Astronaut(AstronautProfile profile, const habitat::Habitat& habitat, Rng rng);
+
+  /// Install the plan for the new day; called at 00:00 (or at creation).
+  void set_day_plan(DayPlan plan);
+
+  /// Advance one second ending at `now`. `visit_target` lets the crew
+  /// simulator steer social visits (position of the visited astronaut;
+  /// nullopt when no visit urge).
+  void tick(SimTime now, const MissionScript& script, Rng& rng);
+
+  // --- badge::Wearer -------------------------------------------------------
+  [[nodiscard]] Vec2 position() const override { return position_; }
+  [[nodiscard]] double facing() const override { return facing_; }
+  [[nodiscard]] badge::MotionSample motion() const override;
+  [[nodiscard]] double mic_attenuation_db() const override { return mic_attenuation_db_; }
+
+  // --- state ----------------------------------------------------------------
+  [[nodiscard]] const AstronautProfile& profile() const { return profile_; }
+  [[nodiscard]] std::size_t index() const { return profile_.index; }
+  [[nodiscard]] habitat::RoomId current_room() const;
+  [[nodiscard]] Activity current_activity() const { return activity_; }
+  [[nodiscard]] bool aboard() const { return aboard_; }
+  [[nodiscard]] bool walking() const { return walking_; }
+  /// Effective room for conversation grouping (kNone when off-board).
+  [[nodiscard]] bool available_for_conversation() const;
+
+  /// Remove the astronaut from the habitat (C's emulated death).
+  void leave_habitat();
+
+  /// Conversation engine: turn the agent toward a point (the current
+  /// speaker / interlocutor).
+  void face_toward(Vec2 target);
+
+  /// Crew simulator: send the agent on a social visit to another room for
+  /// `dwell_s` seconds (no-op if already on a trip or walking).
+  void start_visit(Vec2 target, double dwell_s);
+
+  /// Crew simulator: unconditionally converge on a point (the consolation
+  /// gathering) — overrides any current walk or trip.
+  void force_gather(Vec2 target, double dwell_s);
+  [[nodiscard]] bool on_trip() const { return trip_.has_value(); }
+
+ private:
+  struct Trip {
+    Vec2 target;
+    double dwell_s = 0.0;
+    bool returning = false;
+    Vec2 return_to;
+  };
+
+  void begin_walk(Vec2 target);
+  void advance_walk(double dt_s);
+  [[nodiscard]] Vec2 pick_anchor(const Slot& slot, Rng& rng) const;
+  void maybe_start_micro_event(SimTime now, const MissionScript& script, Rng& rng);
+
+  AstronautProfile profile_;
+  const habitat::Habitat* habitat_;
+  Rng rng_;
+
+  DayPlan plan_;
+  const Slot* slot_ = nullptr;
+  Activity activity_ = Activity::kSleep;
+
+  Vec2 position_;
+  double facing_ = 0.0;
+  Vec2 anchor_;
+
+  std::vector<Vec2> path_;
+  std::size_t path_leg_ = 0;
+  bool walking_ = false;
+  double walk_speed_ = 1.0;
+
+  std::optional<Trip> trip_;
+  double trip_dwell_left_s_ = 0.0;
+
+  bool aboard_ = true;
+  double mic_attenuation_db_ = 0.0;
+  SimTime last_restroom_trip_ = -kDay;
+  /// Seconds of lingering before walking to a new slot's room (finishing
+  /// up, dressing in the morning — produces the short bedroom stays the
+  /// localization sees around 08:00).
+  double slot_lag_s_ = 0.0;
+};
+
+}  // namespace hs::crew

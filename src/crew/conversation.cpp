@@ -1,0 +1,241 @@
+#include "crew/conversation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hs::crew {
+
+ConversationEngine::ConversationEngine(std::array<AstronautProfile, kCrewSize> profiles,
+                                       const habitat::Habitat& habitat)
+    : profiles_(std::move(profiles)), habitat_(&habitat) {}
+
+ConversationEngine::Context ConversationEngine::context_for(Activity activity) {
+  switch (activity) {
+    case Activity::kBreakfast:
+    case Activity::kLunch:
+    case Activity::kDinner:
+      return {0.024, 240.0, 66.0};  // lively meals
+    case Activity::kBreak:
+      return {0.014, 180.0, 64.0};
+    case Activity::kBriefing:
+      return {0.040, 280.0, 65.0};
+    case Activity::kEvaPrep:
+    case Activity::kEvaPost:
+      return {0.010, 120.0, 64.0};  // procedure callouts
+    case Activity::kConsolation:
+      return {1.0, 3600.0, 54.0};   // forced, continuous, quiet
+    case Activity::kWork:
+      return {0.0058, 110.0, 62.0}; // sporadic chat over tasks
+    default:
+      return {0.0, 60.0, 60.0};
+  }
+}
+
+bool ConversationEngine::speaking(std::size_t idx) const {
+  for (const auto& s : speakers_) {
+    if (!s.synthetic && s.astronaut == idx) return true;
+  }
+  return false;
+}
+
+bool ConversationEngine::conversation_active(habitat::RoomId room) const {
+  return room != habitat::RoomId::kNone && conv_[habitat::room_index(room)].active;
+}
+
+void ConversationEngine::tick(SimTime now, std::vector<Astronaut*>& crew,
+                              const MissionScript& script, Rng& rng) {
+  speakers_.clear();
+  const int day = mission_day(now);
+  const double day_talk = script.talk_factor(day);
+
+  // Group available astronauts by room.
+  std::array<std::vector<Astronaut*>, habitat::kRoomCount> by_room;
+  for (Astronaut* a : crew) {
+    if (!a->available_for_conversation()) continue;
+    const auto room = a->current_room();
+    if (room == habitat::RoomId::kNone) continue;
+    by_room[habitat::room_index(room)].push_back(a);
+  }
+
+  for (const auto room : habitat::all_rooms()) {
+    auto& conv = conv_[habitat::room_index(room)];
+    auto& occupants = by_room[habitat::room_index(room)];
+    if (occupants.size() < 2) {
+      conv.active = false;
+      continue;
+    }
+
+    // Context: the consolation gathering overrides; otherwise use the
+    // majority activity (first occupant's — slots are crew-synchronized
+    // for meals/briefings, and work chat dominates elsewhere).
+    const bool consolation =
+        script.consolation_at(now) && room == habitat::RoomId::kKitchen;
+    const Context ctx =
+        consolation ? context_for(Activity::kConsolation) : context_for(occupants[0]->current_activity());
+
+    if (!conv.active) {
+      // Start probability scales with the day factor, how chatty the group
+      // is, and how much its members like each other.
+      double talk_sum = 0.0;
+      double affinity = 0.0;
+      int pairs = 0;
+      for (std::size_t i = 0; i < occupants.size(); ++i) {
+        talk_sum += profiles_[occupants[i]->index()].talkativeness;
+        for (std::size_t j = i + 1; j < occupants.size(); ++j) {
+          affinity += pair_affinity(occupants[i]->index(), occupants[j]->index());
+          ++pairs;
+        }
+      }
+      const double mean_talk = talk_sum / static_cast<double>(occupants.size());
+      const double mean_aff = pairs > 0 ? affinity / pairs : 1.0;
+      // Two people alone feel their mutual affinity sharply (D and E
+      // barely exchange a word; A and F never stop); groups average out.
+      const double aff_factor =
+          occupants.size() == 2 ? std::clamp(mean_aff * mean_aff, 0.15, 3.0)
+                                : std::sqrt(std::max(0.1, mean_aff));
+      const double p = std::min(1.0, ctx.start_rate_per_s * day_talk * mean_talk * aff_factor);
+      if (consolation || rng.bernoulli(p)) {
+        conv.active = true;
+        // Depressed days shorten conversations as well as making them rarer.
+        const double duration_scale = std::max(0.35, day_talk);
+        conv.ends = now + seconds(rng.exponential(ctx.mean_duration_s * duration_scale));
+        conv.next_turn = now;
+        conv.source_db = ctx.source_db;
+      }
+    }
+
+    if (!conv.active) continue;
+    if (!consolation && now >= conv.ends) {
+      conv.active = false;
+      continue;
+    }
+    conv.source_db = ctx.source_db;
+
+    // Rotate the speaking turn.
+    if (now >= conv.next_turn) {
+      std::vector<double> weights;
+      weights.reserve(occupants.size());
+      const bool briefing = occupants[0]->current_activity() == Activity::kBriefing;
+      for (Astronaut* a : occupants) {
+        // Squared talkativeness: dominant conversationalists (C) hold the
+        // floor disproportionately, as the paper's "C's voice dominated
+        // during meetings" reports.
+        const double t = profiles_[a->index()].talkativeness;
+        double w = t * t;
+        if (briefing && profiles_[a->index()].supervises) w *= 3.0;  // the commander leads
+        weights.push_back(w);
+      }
+      conv.speaker = rng.weighted_index(weights);
+      conv.next_turn = now + seconds(rng.uniform(3.0, 9.0));
+    }
+    if (conv.speaker >= occupants.size()) conv.speaker = 0;
+    Astronaut* speaker = occupants[conv.speaker];
+
+    // Participants turn toward the speaker (drives IR handshakes).
+    for (Astronaut* a : occupants) {
+      if (a != speaker) a->face_toward(speaker->position());
+    }
+    speaker->face_toward(occupants[conv.speaker == 0 && occupants.size() > 1 ? 1 : 0]->position());
+
+    // The speaker vocalizes ~72% of seconds (natural pauses).
+    if (rng.bernoulli(0.72)) {
+      const auto& prof = profiles_[speaker->index()];
+      speakers_.push_back(ActiveSpeaker{
+          speaker->index(), room, speaker->position(),
+          conv.source_db + rng.normal(0.0, 1.0), prof.voice_f0_hz + rng.normal(0.0, 4.0),
+          std::clamp(rng.normal(0.68, 0.12), 0.3, 0.95), false});
+    }
+  }
+
+  // Astronaut A's screen reader: solo office work, duty-cycled.
+  const Astronaut* a0 = nullptr;
+  for (const Astronaut* a : crew) {
+    if (a->index() == 0) a0 = a;
+  }
+  if (a0 != nullptr && a0->aboard() && profiles_[0].uses_tts &&
+      a0->current_activity() == Activity::kWork &&
+      a0->current_room() == habitat::RoomId::kOffice &&
+      by_room[habitat::room_index(habitat::RoomId::kOffice)].size() == 1) {
+    if (now >= tts_toggle_at_) {
+      tts_on_ = !tts_on_;
+      tts_toggle_at_ =
+          now + seconds(tts_on_ ? rng.uniform(90.0, 240.0) : rng.uniform(600.0, 1500.0));
+    }
+    if (tts_on_ && rng.bernoulli(0.85)) {
+      speakers_.push_back(ActiveSpeaker{kCrewSize, habitat::RoomId::kOffice,
+                                        a0->position() + Vec2{0.4, 0.0}, 61.0,
+                                        120.0,  // flat synthetic pitch
+                                        0.8, true});
+    }
+  } else {
+    tts_on_ = false;
+    tts_toggle_at_ = now;
+  }
+}
+
+CrewEnvironment::CrewEnvironment(const habitat::Habitat& habitat, const ConversationEngine& engine,
+                                 const MissionScript& script)
+    : habitat_(&habitat), engine_(&engine), script_(&script) {}
+
+badge::AmbientSample CrewEnvironment::ambient_at(Vec2 position, SimTime now) const {
+  using habitat::RoomId;
+  badge::AmbientSample out;
+  const RoomId room = habitat_->room_at(position);
+  const int day = mission_day(now);
+  const SimDuration tod = time_of_day(now);
+  const bool daytime = tod >= hours(8) && tod < hours(22);
+
+  // Climate per room: the paper singles out the kitchen as "the cosiest
+  // room with the highest temperatures".
+  switch (room) {
+    case RoomId::kKitchen:
+      out.temperature_c = 23.6;
+      break;
+    case RoomId::kWorkshop:
+      out.temperature_c = 19.8;
+      break;
+    case RoomId::kAirlock:
+      out.temperature_c = 18.0;
+      break;
+    case RoomId::kHangar:
+      out.temperature_c = 15.0;
+      break;
+    case RoomId::kAtrium:
+      out.temperature_c = 22.2;
+      break;
+    default:
+      out.temperature_c = 21.0;
+      break;
+  }
+  out.pressure_hpa = 1004.0 + 0.8 * std::sin(static_cast<double>(now) / static_cast<double>(hours(9)));
+  out.light_lux = daytime ? (room == RoomId::kHangar ? 80.0 : 380.0) : 3.0;
+
+  // Noise floor: HVAC everywhere, machinery in occupied work rooms, clatter
+  // in an occupied kitchen; globally reduced on the depressed days.
+  double noise = daytime ? 33.0 : 29.0;
+  const int occ = room == RoomId::kNone ? 0 : occupancy_[habitat::room_index(room)];
+  if (occ > 0 && daytime) {
+    if (room == RoomId::kWorkshop) noise = 44.0;
+    if (room == RoomId::kKitchen) noise = 40.0;
+    if (room == RoomId::kStorage) noise = 38.0;
+  }
+  out.noise_db = noise * script_->noise_factor(day);
+
+  // Speech: inverse-square falloff from same-room speakers; walls block
+  // voice as thoroughly as they block 2.4 GHz.
+  double best_db = 0.0;
+  for (const auto& s : engine_->speakers()) {
+    if (s.room != room) continue;
+    const double d = std::max(0.25, distance(s.position, position));
+    const double level = s.db_at_1m - 20.0 * std::log10(d);
+    if (level > best_db) {
+      best_db = level;
+      out.dominant_f0_hz = s.f0_hz;
+      out.voiced_fraction = s.voiced_fraction;
+    }
+  }
+  out.speech_db = best_db;
+  return out;
+}
+
+}  // namespace hs::crew

@@ -1,0 +1,103 @@
+// Room-level conversation dynamics and the habitat sound/climate field.
+//
+// Conversations start stochastically whenever >= 2 astronauts share a room
+// (much more readily over meals, breaks, and briefings than during focused
+// work), last minutes, and rotate speaking turns weighted by talkativeness.
+// The engine also models astronaut A's screen reader — a synthetic speaker
+// during A's solo office sessions, the paper's "computer program reading
+// out texts for A" that misled the original conversation analysis.
+//
+// CrewEnvironment turns the active-speaker set into the badge-visible
+// sound field (inverse-square falloff from each speaker, room noise floor,
+// per-room climate), implementing badge::EnvironmentModel.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "badge/wearer.hpp"
+#include "crew/astronaut.hpp"
+#include "crew/profile.hpp"
+#include "crew/script.hpp"
+#include "habitat/habitat.hpp"
+#include "util/rng.hpp"
+
+namespace hs::crew {
+
+/// A source vocalizing during the current second.
+struct ActiveSpeaker {
+  std::size_t astronaut = 0;  ///< kCrewSize for the synthetic TTS voice
+  habitat::RoomId room = habitat::RoomId::kNone;
+  Vec2 position;
+  double db_at_1m = 63.0;
+  double f0_hz = 120.0;
+  double voiced_fraction = 0.7;
+  bool synthetic = false;
+};
+
+class ConversationEngine {
+ public:
+  ConversationEngine(std::array<AstronautProfile, kCrewSize> profiles,
+                     const habitat::Habitat& habitat);
+
+  /// Advance one second: update per-room conversation state and the active
+  /// speaker set. Turns participants toward the current speaker (IR).
+  void tick(SimTime now, std::vector<Astronaut*>& crew, const MissionScript& script, Rng& rng);
+
+  [[nodiscard]] const std::vector<ActiveSpeaker>& speakers() const { return speakers_; }
+
+  /// Ground truth: is astronaut `idx` vocalizing this second?
+  [[nodiscard]] bool speaking(std::size_t idx) const;
+
+  /// Ground truth: a conversation is running in `room` this second.
+  [[nodiscard]] bool conversation_active(habitat::RoomId room) const;
+
+ private:
+  struct RoomConversation {
+    bool active = false;
+    SimTime ends = 0;
+    std::size_t speaker = 0;
+    SimTime next_turn = 0;
+    double source_db = 63.0;
+  };
+
+  struct Context {
+    double start_rate_per_s = 0.0;
+    double mean_duration_s = 120.0;
+    double source_db = 63.0;
+  };
+
+  [[nodiscard]] static Context context_for(Activity activity);
+
+  std::array<AstronautProfile, kCrewSize> profiles_;
+  const habitat::Habitat* habitat_;
+  std::array<RoomConversation, habitat::kRoomCount> conv_{};
+  std::vector<ActiveSpeaker> speakers_;
+
+  // Screen-reader state for astronaut A.
+  bool tts_on_ = false;
+  SimTime tts_toggle_at_ = 0;
+};
+
+/// badge::EnvironmentModel over the conversation engine plus per-room
+/// climate. Occupancy counts (for activity noise) are refreshed by the
+/// crew simulator each tick.
+class CrewEnvironment final : public badge::EnvironmentModel {
+ public:
+  CrewEnvironment(const habitat::Habitat& habitat, const ConversationEngine& engine,
+                  const MissionScript& script);
+
+  void set_room_occupancy(const std::array<int, habitat::kRoomCount>& counts) {
+    occupancy_ = counts;
+  }
+
+  [[nodiscard]] badge::AmbientSample ambient_at(Vec2 position, SimTime now) const override;
+
+ private:
+  const habitat::Habitat* habitat_;
+  const ConversationEngine* engine_;
+  const MissionScript* script_;
+  std::array<int, habitat::kRoomCount> occupancy_{};
+};
+
+}  // namespace hs::crew

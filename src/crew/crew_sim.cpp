@@ -1,0 +1,261 @@
+#include "crew/crew_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hs::crew {
+
+void OwnershipSchedule::assign(io::BadgeId badge, int day, std::size_t astronaut) {
+  entries_.push_back(Entry{badge, day, astronaut});
+}
+
+std::optional<std::size_t> OwnershipSchedule::owner(io::BadgeId badge, int day) const {
+  for (const auto& e : entries_) {
+    if (e.badge == badge && e.day == day) return e.astronaut;
+  }
+  return std::nullopt;
+}
+
+std::optional<io::BadgeId> OwnershipSchedule::badge_of(std::size_t astronaut, int day) const {
+  for (const auto& e : entries_) {
+    if (e.astronaut == astronaut && e.day == day) return e.badge;
+  }
+  return std::nullopt;
+}
+
+CrewSimulator::CrewSimulator(const habitat::Habitat& habitat, badge::BadgeNetwork& network,
+                             MissionScript script, std::uint64_t seed)
+    : habitat_(&habitat),
+      network_(&network),
+      script_(script),
+      rng_(Rng(seed).fork(0x5eed)),
+      profiles_(icares_crew()),
+      engine_(profiles_, habitat),
+      environment_(habitat, engine_, script_) {
+  for (std::size_t i = 0; i < kCrewSize; ++i) {
+    astronauts_.push_back(std::make_unique<Astronaut>(profiles_[i], habitat, rng_.fork(100 + i)));
+  }
+  // Build the ownership schedules once: they are deployment facts.
+  for (int day = script_.badge_start_day; day <= script_.mission_days; ++day) {
+    for (std::size_t i = 0; i < kCrewSize; ++i) {
+      if (script_.c_death_enabled && i == 2 && day > script_.c_death_day) continue;
+      corrected_.assign(badge_for(i, day), day, i);
+    }
+  }
+  for (int day = script_.badge_start_day; day <= script_.mission_days; ++day) {
+    for (std::size_t i = 0; i < kCrewSize; ++i) {
+      // The naive assumption: badge i belongs to astronaut i, forever.
+      naive_.assign(static_cast<io::BadgeId>(i), day, i);
+    }
+  }
+}
+
+io::BadgeId CrewSimulator::badge_for(std::size_t astronaut, int day) const {
+  // Day-9 mix-up: A wears B's badge and vice versa.
+  if (script_.badge_swap_day > 0 && day == script_.badge_swap_day) {
+    if (astronaut == 0) return 1;
+    if (astronaut == 1) return 0;
+  }
+  // From day 6, F (index 5) reuses dead C's badge (id 2).
+  if (script_.c_death_enabled && script_.badge_reuse_day > 0 && astronaut == 5 &&
+      day >= script_.badge_reuse_day) {
+    return 2;
+  }
+  return static_cast<io::BadgeId>(astronaut);
+}
+
+Vec2 CrewSimulator::restroom_door_rest_position() const {
+  // Badges are left on the shelf just inside the restroom door (so the
+  // localization data shows short restroom stays, as Fig. 2's restroom
+  // rows do).
+  const Vec2 door = habitat_->door_between(habitat::RoomId::kAtrium, habitat::RoomId::kRestroom);
+  return door + Vec2{-0.45, 0.0};
+}
+
+void CrewSimulator::begin_day(int day) {
+  current_day_ = day;
+  for (std::size_t i = 0; i < kCrewSize; ++i) {
+    Rng day_rng = rng_.fork(static_cast<std::uint64_t>(day) * 64 + i);
+    astronauts_[i]->set_day_plan(
+        schedule_gen_.day_plan(profiles_[i], day, script_.eva_for(day, i), day_rng));
+    wear_[i].last_activity = Activity::kSleep;
+    wear_[i].wants_wear = false;
+  }
+}
+
+void CrewSimulator::trigger_visits(SimTime now) {
+  // Social visits: astronaut i walks to j's room for a few minutes. Rate
+  // rises steeply with affinity (A<->F), vanishes for strangers (D<->E).
+  for (std::size_t i = 0; i < kCrewSize; ++i) {
+    Astronaut& visitor = *astronauts_[i];
+    if (!visitor.aboard() || visitor.on_trip() || visitor.walking()) continue;
+    if (visitor.current_activity() != Activity::kWork) continue;
+    for (std::size_t j = 0; j < kCrewSize; ++j) {
+      if (i == j) continue;
+      const Astronaut& host = *astronauts_[j];
+      if (!host.aboard() || host.current_activity() != Activity::kWork) continue;
+      if (host.current_room() == visitor.current_room()) continue;
+      const double aff = pair_affinity(i, j);
+      if (aff <= 0.4) continue;
+      // Visit rates: everyone reports to the commander at their desk ("B
+      // cooperated, supervised, and kept company with the crew"); social
+      // visits grow with the visitor's talkativeness (C roams and chats)
+      // and with pair affinity, and ramp up as the crew bonds after the
+      // first days.
+      const int day = mission_day(now);
+      const double bonding = std::min(1.0, 0.25 + 0.10 * (day - 2));
+      double rate_per_h = 0.0;
+      if (profiles_[j].supervises) {
+        rate_per_h = 0.55;
+      } else {
+        rate_per_h = 0.07 * profiles_[i].talkativeness * (aff - 0.4) * (aff - 0.4) * bonding;
+      }
+      if (aff >= 2.0) rate_per_h = 0.18 * (aff - 0.4) * (aff - 0.4) * bonding;
+      if (rng_.bernoulli(rate_per_h / 3600.0)) {
+        // Close friends (A and F) slip away for a chat in the atrium — the
+        // central rest area — rather than talking over the host's bench.
+        const double dwell =
+            aff >= 2.0 ? rng_.uniform(700.0, 1100.0) : rng_.uniform(480.0, 700.0);
+        if (aff >= 2.0) {
+          const Vec2 spot = habitat_->room(habitat::RoomId::kAtrium).bounds.center() +
+                            Vec2{rng_.normal(0.0, 0.8), rng_.normal(0.0, 0.8)};
+          visitor.start_visit(spot, dwell);
+          astronauts_[j]->start_visit(spot + Vec2{0.7, 0.2}, dwell);
+        } else {
+          visitor.start_visit(host.position() + Vec2{0.8, 0.3}, dwell);
+        }
+        break;
+      }
+    }
+  }
+}
+
+void CrewSimulator::manage_badges(SimTime now) {
+  using OffReason = WearCtl::OffReason;
+  const int day = mission_day(now);
+  const Vec2 station = network_->charging_station();
+
+  for (std::size_t i = 0; i < kCrewSize; ++i) {
+    badge::Badge* badge = network_->badge(badge_for(i, day));
+    if (badge == nullptr) continue;
+    Astronaut& person = *astronauts_[i];
+    WearCtl& ctl = wear_[i];
+
+    // Badges not yet in use, or the bearer has left the mission: keep the
+    // crew badge on the charger (the crew retrieved C's badge).
+    if (!script_.instrumented(day) || !person.aboard()) {
+      if (badge->wear_state() != io::WearState::kOff) badge->dock(station, now);
+      ctl.off_reason = OffReason::kDocked;
+      continue;
+    }
+    // F's original badge is retired once F switches to C's.
+    if (i == 5 && script_.c_death_enabled && script_.badge_reuse_day > 0 &&
+        day >= script_.badge_reuse_day) {
+      badge::Badge* retired = network_->badge(5);
+      if (retired != nullptr && retired->wear_state() != io::WearState::kOff) {
+        retired->dock(station, now);
+      }
+    }
+
+    const Activity act = person.current_activity();
+    if (act != ctl.last_activity || now >= ctl.next_resample) {
+      ctl.last_activity = act;
+      ctl.next_resample = now + minutes(110) + seconds(rng_.uniform_int(0, 1800));
+      // Wear decision: compliance declines over the mission.
+      ctl.wants_wear = !badge_prohibited(act) && rng_.bernoulli(script_.wear_probability(day));
+      if (!ctl.wants_wear && badge->worn()) {
+        // Left on a table (keeps sampling) or back on the charger.
+        if (rng_.bernoulli(0.78)) {
+          badge->take_off(person.position(), now);
+          ctl.off_reason = OffReason::kCompliance;
+        } else {
+          badge->dock(station, now);
+          ctl.off_reason = OffReason::kDocked;
+        }
+      }
+    }
+
+    const habitat::RoomId room = person.current_room();
+
+    if (act == Activity::kSleep) {
+      // The badge goes on the charger when its bearer reaches the bedroom
+      // (the station is there); it stays worn on the walk over.
+      if (badge->worn() && room != habitat::RoomId::kBedroom) continue;
+      if (badge->wear_state() != io::WearState::kOff) badge->dock(station, now);
+      ctl.off_reason = OffReason::kDocked;
+      continue;
+    }
+    if (act == Activity::kEva) {
+      if (badge->worn()) {
+        // The badge stays behind in the airlock while the suit is outside.
+        badge->take_off(habitat_->room(habitat::RoomId::kAirlock).bounds.center(), now);
+        ctl.off_reason = OffReason::kEva;
+      }
+      continue;
+    }
+    if (room == habitat::RoomId::kRestroom || act == Activity::kHygiene) {
+      if (badge->worn()) {
+        badge->take_off(restroom_door_rest_position(), now);
+        ctl.off_reason = OffReason::kRestroom;
+      }
+      continue;
+    }
+
+    // Out of the prohibited zones: pick the badge back up if it was only
+    // parked for a restroom break or an EVA, or wear it per the slot
+    // decision.
+    if (!badge->worn() && ctl.wants_wear) {
+      const bool parked = ctl.off_reason == OffReason::kRestroom || ctl.off_reason == OffReason::kEva;
+      const bool fresh_slot = ctl.off_reason == OffReason::kDocked && badge->docked();
+      if (parked || fresh_slot || badge->docked() ||
+          badge->wear_state() == io::WearState::kActiveIdle) {
+        if (badge->docked()) badge->undock(now);
+        badge->put_on(&person, now);
+        ctl.off_reason = OffReason::kNone;
+      }
+    }
+  }
+}
+
+void CrewSimulator::tick(SimTime now) {
+  const int day = mission_day(now);
+  if (day != current_day_) begin_day(day);
+
+  // Scripted departure of astronaut C.
+  if (script_.c_death_enabled && !c_departed_ &&
+      now >= day_start(script_.c_death_day) + script_.c_death_time) {
+    astronauts_[2]->leave_habitat();
+    c_departed_ = true;
+  }
+
+  std::vector<Astronaut*> raw;
+  raw.reserve(astronauts_.size());
+  for (auto& a : astronauts_) raw.push_back(a.get());
+
+  for (Astronaut* a : raw) a->tick(now, script_, rng_);
+
+  // The consolation gathering: everyone converges on the kitchen.
+  if (script_.consolation_at(now)) {
+    const Vec2 kitchen = habitat_->room(habitat::RoomId::kKitchen).bounds.center();
+    for (Astronaut* a : raw) {
+      if (a->aboard() && a->current_room() != habitat::RoomId::kKitchen && !a->walking()) {
+        a->force_gather(kitchen + Vec2{rng_.normal(0.0, 0.7), rng_.normal(0.0, 0.7)},
+                        to_seconds(script_.consolation_end - time_of_day(now)));
+      }
+    }
+  }
+
+  trigger_visits(now);
+  engine_.tick(now, raw, script_, rng_);
+
+  std::array<int, habitat::kRoomCount> occupancy{};
+  for (const Astronaut* a : raw) {
+    const auto room = a->current_room();
+    if (room != habitat::RoomId::kNone) ++occupancy[habitat::room_index(room)];
+  }
+  environment_.set_room_occupancy(occupancy);
+
+  manage_badges(now);
+}
+
+}  // namespace hs::crew

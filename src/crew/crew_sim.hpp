@@ -1,0 +1,105 @@
+// CrewSimulator: the six astronauts, their schedules, conversations, badge
+// handling, and every scripted mission event, advanced at 1 Hz.
+//
+// Badge handling is where deployment reality bites (Section VI of the
+// paper): wear compliance declines across the mission, badges come off for
+// EVAs / restrooms / exercise, A and B accidentally swap badges on one
+// day, and F reuses dead C's badge. The simulator also exports the
+// *corrected* ownership schedule the researchers reconstructed after the
+// mission, plus the naive one-owner-per-badge assumption for ablations.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "badge/network.hpp"
+#include "crew/astronaut.hpp"
+#include "crew/conversation.hpp"
+#include "crew/profile.hpp"
+#include "crew/schedule.hpp"
+#include "crew/script.hpp"
+#include "util/rng.hpp"
+
+namespace hs::crew {
+
+/// Which astronaut actually carried a badge on a given mission day.
+class OwnershipSchedule {
+ public:
+  void assign(io::BadgeId badge, int day, std::size_t astronaut);
+
+  /// Astronaut who carried `badge` on `day` (nullopt: nobody).
+  [[nodiscard]] std::optional<std::size_t> owner(io::BadgeId badge, int day) const;
+
+  /// Badge carried by `astronaut` on `day` (nullopt: none).
+  [[nodiscard]] std::optional<io::BadgeId> badge_of(std::size_t astronaut, int day) const;
+
+ private:
+  struct Entry {
+    io::BadgeId badge;
+    int day;
+    std::size_t astronaut;
+  };
+  std::vector<Entry> entries_;
+};
+
+class CrewSimulator {
+ public:
+  CrewSimulator(const habitat::Habitat& habitat, badge::BadgeNetwork& network,
+                MissionScript script, std::uint64_t seed);
+
+  /// Advance the crew layer one second ending at `now`. Call before
+  /// BadgeNetwork::tick for the same second.
+  void tick(SimTime now);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Astronaut>>& astronauts() const {
+    return astronauts_;
+  }
+  [[nodiscard]] const Astronaut& astronaut(std::size_t i) const { return *astronauts_[i]; }
+  [[nodiscard]] const ConversationEngine& conversations() const { return engine_; }
+  [[nodiscard]] CrewEnvironment& environment() { return environment_; }
+  [[nodiscard]] const MissionScript& script() const { return script_; }
+
+  /// Post-mission corrected badge->astronaut mapping (accounts for the
+  /// day-9 swap and F's reuse of C's badge).
+  [[nodiscard]] const OwnershipSchedule& corrected_ownership() const { return corrected_; }
+  /// The one-owner-per-badge assumption the original algorithms made.
+  [[nodiscard]] const OwnershipSchedule& naive_ownership() const { return naive_; }
+
+ private:
+  void begin_day(int day);
+  void manage_badges(SimTime now);
+  void trigger_visits(SimTime now);
+  [[nodiscard]] io::BadgeId badge_for(std::size_t astronaut, int day) const;
+  [[nodiscard]] Vec2 restroom_door_rest_position() const;
+
+  const habitat::Habitat* habitat_;
+  badge::BadgeNetwork* network_;
+  MissionScript script_;
+  Rng rng_;
+  std::array<AstronautProfile, kCrewSize> profiles_;
+  ScheduleGenerator schedule_gen_;
+  std::vector<std::unique_ptr<Astronaut>> astronauts_;
+  ConversationEngine engine_;
+  CrewEnvironment environment_;
+
+  int current_day_ = 0;
+  bool c_departed_ = false;
+
+  struct WearCtl {
+    Activity last_activity = Activity::kSleep;
+    bool wants_wear = false;
+    /// Wear is re-decided on activity changes and on a ~75 min cadence
+    /// inside long work blocks (people take the badge off and put it back
+    /// on within a block, not only at slot boundaries).
+    SimTime next_resample = 0;
+    enum class OffReason { kNone, kCompliance, kRestroom, kEva, kDocked } off_reason = OffReason::kDocked;
+  };
+  std::array<WearCtl, kCrewSize> wear_{};
+
+  OwnershipSchedule corrected_;
+  OwnershipSchedule naive_;
+};
+
+}  // namespace hs::crew

@@ -1,0 +1,43 @@
+#include "crew/profile.hpp"
+
+namespace hs::crew {
+
+std::array<AstronautProfile, kCrewSize> icares_crew() {
+  using habitat::RoomId;
+  std::array<AstronautProfile, kCrewSize> crew;
+
+  // A — impaired scientist; morning desk sessions with a screen reader
+  // alongside the commander, afternoon lab work; lowest mobility, keeps to
+  // room centres.
+  crew[0] = {0, "Analytical Scientist", 0.38, 1.25, 0.65, 205.0, true, true,
+             RoomId::kOffice, RoomId::kBiolab, false, false};
+  // B — Mission Commander: morning paperwork + rounds, afternoons embedded
+  // with a different team every day (see ScheduleGenerator).
+  crew[1] = {1, "Mission Commander", 0.40, 1.15, 1.15, 110.0, false, false,
+             RoomId::kOffice, RoomId::kOffice, true, false};
+  // C — energetic conversationalist, workshop engineer (leaves day 4).
+  crew[2] = {2, "Rover Engineer", 0.95, 2.60, 1.30, 125.0, false, false,
+             RoomId::kWorkshop, RoomId::kWorkshop, false, false};
+  // D — energetic, workshop all day, quiet in groups.
+  crew[3] = {3, "Structural Material Scientist", 0.60, 1.20, 1.25, 220.0, false, false,
+             RoomId::kWorkshop, RoomId::kWorkshop, false, false};
+  // E — reserved; solo biolab work (medical studies).
+  crew[4] = {4, "Chief Medical Officer", 0.40, 1.00, 1.10, 118.0, false, false,
+             RoomId::kBiolab, RoomId::kBiolab, false, false};
+  // F — energetic systems engineer; workshop plus storage inventory
+  // afternoons; close to A.
+  crew[5] = {5, "Systems Engineer", 0.70, 1.55, 1.25, 235.0, false, false,
+             RoomId::kWorkshop, RoomId::kWorkshop, false, false};
+  return crew;
+}
+
+double pair_affinity(std::size_t i, std::size_t j) {
+  if (i > j) std::swap(i, j);
+  if (i == 0 && j == 5) return 2.6;  // A and F are close friends
+  if (i == 3 && j == 4) return 0.55; // D and E barely socialize
+  if (i == 1) return 1.3;            // the commander keeps company with everyone
+  if (j == 1) return 1.3;
+  return 1.0;
+}
+
+}  // namespace hs::crew

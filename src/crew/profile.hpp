@@ -1,0 +1,56 @@
+// Astronaut profiles.
+//
+// Six crew members matching the paper's descriptions: the visually and
+// physically impaired astronaut A; Mission Commander B ("cooperated,
+// supervised, and kept company", most paperwork); C, "an energetic
+// conversationalist" who had already spent two weeks in Lunares and leaves
+// the mission (emulated death) on day 4; energetic D and F; reserved E.
+// Parameters are generative inputs; all published metrics are *recovered*
+// from badge data by the pipeline, never read from these numbers.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "habitat/room.hpp"
+
+namespace hs::crew {
+
+/// Crew indices: 0..5 are astronauts A..F (same as their badge ids).
+constexpr std::size_t kCrewSize = 6;
+
+constexpr char astronaut_letter(std::size_t index) { return static_cast<char>('A' + index); }
+
+struct AstronautProfile {
+  std::size_t index = 0;
+  std::string role;
+  /// Scales in-room micro-walk rate (fetching tools, pacing).
+  double mobility = 0.5;
+  /// Scales conversation initiation and talk share.
+  double talkativeness = 1.0;
+  double walk_speed_mps = 1.1;
+  /// Voice fundamental frequency (speaker/gender identification cue).
+  double voice_f0_hz = 120.0;
+  /// Physically/visually impaired (astronaut A): keeps to room centres,
+  /// avoids corners, walks slower, and sometimes wears the badge badly
+  /// (muffled microphone).
+  bool impaired = false;
+  /// Uses a screen-reader (text-to-speech) during solo office work.
+  bool uses_tts = false;
+  habitat::RoomId primary_room = habitat::RoomId::kOffice;
+  habitat::RoomId secondary_room = habitat::RoomId::kBiolab;
+  /// Commander makes supervision rounds through the work rooms.
+  bool supervises = false;
+  /// Spends alternate afternoons on equipment inventory in storage
+  /// (F, the systems engineer).
+  bool storage_errands = false;
+};
+
+/// The ICAres-1 crew (see file header).
+std::array<AstronautProfile, kCrewSize> icares_crew();
+
+/// Pairwise social affinity (symmetric, 1.0 = neutral). A and F are close;
+/// D and E barely socialize; the commander is warm with everyone.
+double pair_affinity(std::size_t i, std::size_t j);
+
+}  // namespace hs::crew

@@ -1,0 +1,59 @@
+#include "crew/script.hpp"
+
+#include <algorithm>
+
+namespace hs::crew {
+
+double MissionScript::talk_factor(int day) const {
+  if (day == food_shortage_day) return 0.33;
+  if (day == reprimand_day) return 0.40;
+  // Linear decline from 1.0 (day 2) to 0.55 (final day).
+  const double t = std::clamp(
+      static_cast<double>(day - badge_start_day) /
+          static_cast<double>(std::max(1, mission_days - badge_start_day)),
+      0.0, 1.0);
+  return 1.0 - 0.45 * t;
+}
+
+double MissionScript::mobility_factor(int day) const {
+  if (day == 3) return 0.82;  // the calm day before C's death
+  if (c_death_enabled && day > c_death_day) return 1.07;  // absorbing C's tasks
+  if (day == food_shortage_day) return 0.85;  // meagre rations
+  return 1.0;
+}
+
+double MissionScript::noise_factor(int day) const {
+  if (day == food_shortage_day || day == reprimand_day) return 0.82;
+  return 1.0;
+}
+
+double MissionScript::wear_probability(int day) const {
+  const double t = std::clamp(
+      static_cast<double>(day - badge_start_day) /
+          static_cast<double>(std::max(1, mission_days - badge_start_day)),
+      0.0, 1.0);
+  // Convex decline: compliance held up during the first week (the novelty
+  // effect) and fell off toward the end.
+  return wear_prob_start + (wear_prob_end - wear_prob_start) * t * t;
+}
+
+bool MissionScript::aboard(std::size_t who, SimTime t) const {
+  if (!c_death_enabled || who != 2) return true;
+  return t < day_start(c_death_day) + c_death_time;
+}
+
+bool MissionScript::eva_for(int day, std::size_t who) const {
+  for (const auto& e : eva_days) {
+    if (e.day == day && (e.member_a == who || e.member_b == who)) return true;
+  }
+  return false;
+}
+
+bool MissionScript::consolation_at(SimTime t) const {
+  if (!c_death_enabled) return false;
+  if (mission_day(t) != c_death_day) return false;
+  const SimDuration tod = time_of_day(t);
+  return tod >= consolation_start && tod < consolation_end;
+}
+
+}  // namespace hs::crew

@@ -1,0 +1,80 @@
+// The ICAres-1 mission script: the scripted events and day-level modifiers
+// the paper reports.
+//
+//  - Day 1: crew acclimatizes, badges not yet worn (data covers days 2-14).
+//  - Day 3: "relatively calm" (lower mobility).
+//  - Day 4, ~13:00: astronaut C leaves "as virtually dead"; unplanned,
+//    quiet consolation gathering in the kitchen at ~15:20.
+//  - Day 6: F starts reusing C's badge (one-owner assumption breaks).
+//  - Day 9: A and B accidentally swap badges for the day (e-ink labels
+//    unreadable to the visually impaired A).
+//  - Day 11: extreme food shortage (<500 kcal/day) — crew barely talks.
+//  - Day 12: delayed mission-control instructions contradict the crew's
+//    action; reprimand — talking and ambient activity stay depressed.
+//  - Whole mission: talkativeness declines toward the end; badge wear
+//    compliance drops from ~80% to ~50%.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace hs::crew {
+
+struct MissionScript {
+  int mission_days = 14;
+  int badge_start_day = 2;
+
+  bool c_death_enabled = true;
+  int c_death_day = 4;
+  SimDuration c_death_time = hours(13);
+  SimDuration consolation_start = hours(15) + minutes(20);
+  SimDuration consolation_end = hours(16);
+
+  int badge_reuse_day = 6;   ///< F wears C's badge from this day (0 = off)
+  int badge_swap_day = 9;    ///< A<->B badge mix-up on this day (0 = off)
+  int food_shortage_day = 11;
+  int reprimand_day = 12;
+
+  /// Wear-compliance decline endpoints (probability an astronaut wears the
+  /// badge in a given duty slot).
+  double wear_prob_start = 0.79;
+  double wear_prob_end = 0.56;
+
+  /// EVA days and crews (C never EVAs: the death precedes the first one).
+  struct EvaDay {
+    int day;
+    std::size_t member_a;
+    std::size_t member_b;
+  };
+  std::vector<EvaDay> eva_days = {{5, 3, 5}, {7, 1, 4}, {9, 0, 3}, {13, 4, 5}};
+
+  // --- derived modifiers --------------------------------------------------
+  /// Global conversation-rate multiplier for a day ("they talked less the
+  /// closer the mission end was"; sharp dips on days 11-12).
+  [[nodiscard]] double talk_factor(int day) const;
+
+  /// Mobility multiplier (day 3 calm; slight increase after C's death as
+  /// the crew absorbs C's tasks).
+  [[nodiscard]] double mobility_factor(int day) const;
+
+  /// Ambient (non-speech) noise multiplier — days 11-12 were quieter
+  /// "apart from speech, there was much less other noise recorded".
+  [[nodiscard]] double noise_factor(int day) const;
+
+  [[nodiscard]] double wear_probability(int day) const;
+
+  [[nodiscard]] bool instrumented(int day) const { return day >= badge_start_day; }
+
+  /// True if astronaut `who` is still aboard at time `t`.
+  [[nodiscard]] bool aboard(std::size_t who, SimTime t) const;
+
+  /// Whether `who` has an EVA scheduled on `day`.
+  [[nodiscard]] bool eva_for(int day, std::size_t who) const;
+
+  /// Consolation gathering active at `t`?
+  [[nodiscard]] bool consolation_at(SimTime t) const;
+};
+
+}  // namespace hs::crew

@@ -1,0 +1,58 @@
+#include "crew/survey.hpp"
+
+#include <algorithm>
+
+namespace hs::crew {
+namespace {
+
+double clamp_scale(double v) { return std::clamp(v, 1.0, 7.0); }
+
+}  // namespace
+
+SurveyResponse generate_survey(const AstronautProfile& who, int day, const MissionScript& script,
+                               Rng& rng) {
+  SurveyResponse r;
+  r.day = day;
+  r.astronaut = who.index;
+
+  // Latent mood follows the mission arc: high early, eroding with the
+  // talk-factor decline, cratering on the scripted bad days, with a dip
+  // right after C's death.
+  const double arc = script.talk_factor(day);  // 1.0 early -> ~0.55 late, dips on 11/12
+  double mood = 2.0 + 4.5 * arc;
+  if (script.c_death_enabled && day >= script.c_death_day && day <= script.c_death_day + 1) {
+    mood -= 1.2;
+  }
+  if (day == script.food_shortage_day) mood -= 1.0;
+  if (day == script.reprimand_day) mood -= 0.8;
+
+  // Self-report bias: respondents shade toward the middle/high end
+  // (the response-bias literature the paper cites), plus noise.
+  auto report = [&](double latent, double bias) {
+    const double biased = latent * 0.75 + 4.2 * 0.25 + bias;
+    return clamp_scale(biased + rng.normal(0.0, 0.5));
+  };
+
+  r.satisfaction = report(mood, 0.3);
+  r.wellbeing = report(mood, 0.0);
+  // The badge on the neck got less comfortable as the mission dragged on
+  // (the wear-compliance decline's subjective side).
+  r.comfort = report(7.2 - 0.25 * day - (who.impaired ? 0.6 : 0.0), 0.0);
+  r.productivity = report(mood + 0.5 * who.mobility, 0.2);
+  r.distraction = clamp_scale(8.0 - report(mood, 0.0) + rng.normal(0.0, 0.4));
+  return r;
+}
+
+std::vector<SurveyResponse> generate_mission_surveys(const MissionScript& script, Rng rng) {
+  std::vector<SurveyResponse> out;
+  const auto crew = icares_crew();
+  for (int day = 1; day <= script.mission_days; ++day) {
+    for (const auto& who : crew) {
+      if (!script.aboard(who.index, day_start(day) + hours(21) + minutes(30))) continue;
+      out.push_back(generate_survey(who, day, script, rng));
+    }
+  }
+  return out;
+}
+
+}  // namespace hs::crew

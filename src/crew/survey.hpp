@@ -1,0 +1,44 @@
+// Evening self-report surveys.
+//
+// "To complement our technical solutions, we also made use of classic
+// surveys ... filled in by each astronaut every evening and questioned
+// their levels of satisfaction, well-being, comfort, productivity, and
+// distraction. Among others, the answers allowed us to interpret and
+// verify the findings obtained through multi-modal sensing."
+//
+// Responses are generated from the same latent mission state that drives
+// behaviour (day factors, scripted events, personalities) plus reporting
+// noise and the self-report bias the paper's related work warns about —
+// so the pipeline can reproduce the paper's methodology of cross-checking
+// sensor-derived findings against the surveys.
+#pragma once
+
+#include <vector>
+
+#include "crew/profile.hpp"
+#include "crew/script.hpp"
+#include "util/rng.hpp"
+
+namespace hs::crew {
+
+/// One astronaut's answers for one evening, on the usual 1..7 scale.
+struct SurveyResponse {
+  int day = 0;
+  std::size_t astronaut = 0;
+  double satisfaction = 4.0;
+  double wellbeing = 4.0;
+  double comfort = 4.0;
+  double productivity = 4.0;
+  double distraction = 4.0;
+};
+
+/// Generate the evening survey for `who` on `day` (only astronauts still
+/// aboard at 21:30 file one).
+[[nodiscard]] SurveyResponse generate_survey(const AstronautProfile& who, int day,
+                                             const MissionScript& script, Rng& rng);
+
+/// Whole-mission survey set for the ICAres-1 crew.
+[[nodiscard]] std::vector<SurveyResponse> generate_mission_surveys(const MissionScript& script,
+                                                                   Rng rng);
+
+}  // namespace hs::crew

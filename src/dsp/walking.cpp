@@ -1,0 +1,30 @@
+#include "dsp/walking.hpp"
+
+namespace hs::dsp {
+
+bool WalkingDetector::is_walking(const io::MotionFrame& frame) const {
+  return frame.step_freq_hz >= params_.min_step_hz && frame.step_freq_hz <= params_.max_step_hz &&
+         frame.accel_var >= params_.min_accel_var;
+}
+
+std::size_t WalkingDetector::count_walking(const std::vector<io::MotionFrame>& frames) const {
+  std::size_t n = 0;
+  for (const auto& f : frames) {
+    if (is_walking(f)) ++n;
+  }
+  return n;
+}
+
+double WalkingDetector::walking_fraction(const std::vector<io::MotionFrame>& frames) const {
+  if (frames.empty()) return 0.0;
+  return static_cast<double>(count_walking(frames)) / static_cast<double>(frames.size());
+}
+
+double WalkingDetector::mean_accel_var(const std::vector<io::MotionFrame>& frames) {
+  if (frames.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& f : frames) sum += f.accel_var;
+  return sum / static_cast<double>(frames.size());
+}
+
+}  // namespace hs::dsp

@@ -1,0 +1,44 @@
+// Walking classification from accelerometer feature frames (Fig. 4,
+// Table I column c).
+//
+// A one-second frame counts as walking when the on-device feature
+// extraction found gait-band periodicity (step frequency in the human
+// locomotion range) with enough magnitude variance to rule out gesturing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "io/records.hpp"
+
+namespace hs::dsp {
+
+struct WalkingParams {
+  double min_step_hz = 0.9;
+  double max_step_hz = 3.2;
+  double min_accel_var = 1.2;  ///< (m/s^2)^2; below this it's fidgeting
+};
+
+class WalkingDetector {
+ public:
+  explicit WalkingDetector(WalkingParams params = {}) : params_(params) {}
+
+  [[nodiscard]] bool is_walking(const io::MotionFrame& frame) const;
+
+  /// Count walking frames in a stream.
+  [[nodiscard]] std::size_t count_walking(const std::vector<io::MotionFrame>& frames) const;
+
+  /// Fraction of frames classified as walking (0 when empty).
+  [[nodiscard]] double walking_fraction(const std::vector<io::MotionFrame>& frames) const;
+
+  /// Mean acceleration-magnitude variance across frames (the paper's
+  /// "average daily acceleration" proxy).
+  [[nodiscard]] static double mean_accel_var(const std::vector<io::MotionFrame>& frames);
+
+  [[nodiscard]] const WalkingParams& params() const { return params_; }
+
+ private:
+  WalkingParams params_;
+};
+
+}  // namespace hs::dsp

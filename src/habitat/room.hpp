@@ -1,0 +1,71 @@
+// Room identities of the Lunares habitat, matching the room set of the
+// paper's Fig. 2 plus the central rest area ("main room", here kAtrium)
+// and the EVA hangar behind the airlock.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace hs::habitat {
+
+enum class RoomId : std::uint8_t {
+  kAtrium = 0,   ///< central rest area; adjacent to every module (Fig. 2 excludes it)
+  kBedroom = 1,
+  kRestroom = 2, ///< restroom/bathroom/gym module
+  kBiolab = 3,
+  kKitchen = 4,
+  kOffice = 5,
+  kWorkshop = 6,
+  kStorage = 7,
+  kAirlock = 8,
+  kHangar = 9,   ///< emulated Martian surface; badges are not worn here
+  kNone = 255,   ///< outside any room (invalid position)
+};
+
+constexpr int kRoomCount = 10;
+
+constexpr const char* room_name(RoomId id) {
+  switch (id) {
+    case RoomId::kAtrium:
+      return "atrium";
+    case RoomId::kBedroom:
+      return "bedroom";
+    case RoomId::kRestroom:
+      return "restroom";
+    case RoomId::kBiolab:
+      return "biolab";
+    case RoomId::kKitchen:
+      return "kitchen";
+    case RoomId::kOffice:
+      return "office";
+    case RoomId::kWorkshop:
+      return "workshop";
+    case RoomId::kStorage:
+      return "storage";
+    case RoomId::kAirlock:
+      return "airlock";
+    case RoomId::kHangar:
+      return "hangar";
+    case RoomId::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+/// All real rooms, iteration order == numeric order.
+constexpr std::array<RoomId, kRoomCount> all_rooms() {
+  return {RoomId::kAtrium,  RoomId::kBedroom, RoomId::kRestroom, RoomId::kBiolab,
+          RoomId::kKitchen, RoomId::kOffice,  RoomId::kWorkshop, RoomId::kStorage,
+          RoomId::kAirlock, RoomId::kHangar};
+}
+
+/// The eight rooms the paper's Fig. 2 reports (main room / atrium excluded;
+/// hangar has no badge coverage).
+constexpr std::array<RoomId, 8> fig2_rooms() {
+  return {RoomId::kAirlock, RoomId::kBedroom, RoomId::kBiolab,  RoomId::kKitchen,
+          RoomId::kOffice,  RoomId::kRestroom, RoomId::kStorage, RoomId::kWorkshop};
+}
+
+constexpr std::size_t room_index(RoomId id) { return static_cast<std::size_t>(id); }
+
+}  // namespace hs::habitat

@@ -1,0 +1,238 @@
+#include "io/binlog.hpp"
+
+#include <cstring>
+
+namespace hs::io {
+namespace {
+
+// Little-endian primitive writers. We serialize field by field (never
+// memcpy whole structs) so the format is independent of padding/ABI.
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_i8(std::vector<std::uint8_t>& out, std::int8_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_f32(std::vector<std::uint8_t>& out, float v) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u32(out, bits);
+}
+
+class Cursor {
+ public:
+  Cursor(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}  // NOLINT
+
+  [[nodiscard]] bool done() const { return pos_ >= bytes_.size(); }
+  [[nodiscard]] bool has(std::size_t n) const { return pos_ + n <= bytes_.size(); }
+
+  std::uint8_t u8() { return bytes_[pos_++]; }
+  std::int8_t i8() { return static_cast<std::int8_t>(bytes_[pos_++]); }
+  std::uint32_t u32() {
+    std::uint32_t v = static_cast<std::uint32_t>(bytes_[pos_]) |
+                      static_cast<std::uint32_t>(bytes_[pos_ + 1]) << 8 |
+                      static_cast<std::uint32_t>(bytes_[pos_ + 2]) << 16 |
+                      static_cast<std::uint32_t>(bytes_[pos_ + 3]) << 24;
+    pos_ += 4;
+    return v;
+  }
+  float f32() {
+    const std::uint32_t bits = u32();
+    float v = 0.0F;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+// Fixed payload sizes (bytes, excluding the type tag).
+constexpr std::size_t payload_size(RecordType type) {
+  switch (type) {
+    case RecordType::kBeaconObs:
+      return 4 + 1 + 1 + 1;
+    case RecordType::kProximityPing:
+      return 4 + 1 + 1 + 1 + 1;
+    case RecordType::kIrContact:
+      return 4 + 1 + 1;
+    case RecordType::kMotionFrame:
+      return 4 + 1 + 4 + 4;
+    case RecordType::kAudioFrame:
+      return 4 + 1 + 4 + 4 + 4;
+    case RecordType::kEnvFrame:
+      return 4 + 1 + 4 + 4 + 4;
+    case RecordType::kWearEvent:
+      return 4 + 1 + 1;
+    case RecordType::kSyncSample:
+      return 4 + 4 + 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void BinLogWriter::append(const BeaconObs& r) {
+  put_u8(buffer_, static_cast<std::uint8_t>(RecordType::kBeaconObs));
+  put_u32(buffer_, r.t);
+  put_u8(buffer_, r.badge);
+  put_u8(buffer_, r.beacon);
+  put_i8(buffer_, r.rssi_dbm);
+}
+
+void BinLogWriter::append(const ProximityPing& r) {
+  put_u8(buffer_, static_cast<std::uint8_t>(RecordType::kProximityPing));
+  put_u32(buffer_, r.t);
+  put_u8(buffer_, r.receiver);
+  put_u8(buffer_, r.sender);
+  put_i8(buffer_, r.rssi_dbm);
+  put_u8(buffer_, static_cast<std::uint8_t>(r.band));
+}
+
+void BinLogWriter::append(const IrContact& r) {
+  put_u8(buffer_, static_cast<std::uint8_t>(RecordType::kIrContact));
+  put_u32(buffer_, r.t);
+  put_u8(buffer_, r.receiver);
+  put_u8(buffer_, r.sender);
+}
+
+void BinLogWriter::append(const MotionFrame& r) {
+  put_u8(buffer_, static_cast<std::uint8_t>(RecordType::kMotionFrame));
+  put_u32(buffer_, r.t);
+  put_u8(buffer_, r.badge);
+  put_f32(buffer_, r.accel_var);
+  put_f32(buffer_, r.step_freq_hz);
+}
+
+void BinLogWriter::append(const AudioFrame& r) {
+  put_u8(buffer_, static_cast<std::uint8_t>(RecordType::kAudioFrame));
+  put_u32(buffer_, r.t);
+  put_u8(buffer_, r.badge);
+  put_f32(buffer_, r.level_db);
+  put_f32(buffer_, r.voiced_fraction);
+  put_f32(buffer_, r.dominant_f0_hz);
+}
+
+void BinLogWriter::append(const EnvFrame& r) {
+  put_u8(buffer_, static_cast<std::uint8_t>(RecordType::kEnvFrame));
+  put_u32(buffer_, r.t);
+  put_u8(buffer_, r.badge);
+  put_f32(buffer_, r.temperature_c);
+  put_f32(buffer_, r.pressure_hpa);
+  put_f32(buffer_, r.light_lux);
+}
+
+void BinLogWriter::append(const WearEvent& r) {
+  put_u8(buffer_, static_cast<std::uint8_t>(RecordType::kWearEvent));
+  put_u32(buffer_, r.t);
+  put_u8(buffer_, r.badge);
+  put_u8(buffer_, static_cast<std::uint8_t>(r.state));
+}
+
+void BinLogWriter::append(const SyncSample& r) {
+  put_u8(buffer_, static_cast<std::uint8_t>(RecordType::kSyncSample));
+  put_u32(buffer_, r.local);
+  put_u32(buffer_, r.ref);
+  put_u8(buffer_, r.badge);
+}
+
+Expected<std::size_t> replay_binlog(const std::vector<std::uint8_t>& bytes, const BinLogVisitor& v) {
+  Cursor cur(bytes);
+  std::size_t decoded = 0;
+  while (!cur.done()) {
+    const auto raw_type = cur.u8();
+    if (raw_type < 1 || raw_type > 8) {
+      return Error{"binlog: unknown record type " + std::to_string(raw_type)};
+    }
+    const auto type = static_cast<RecordType>(raw_type);
+    if (!cur.has(payload_size(type))) {
+      return Error{"binlog: truncated record of type " + std::to_string(raw_type)};
+    }
+    switch (type) {
+      case RecordType::kBeaconObs: {
+        BeaconObs r;
+        r.t = cur.u32();
+        r.badge = cur.u8();
+        r.beacon = cur.u8();
+        r.rssi_dbm = cur.i8();
+        if (v.on_beacon_obs) v.on_beacon_obs(r);
+        break;
+      }
+      case RecordType::kProximityPing: {
+        ProximityPing r;
+        r.t = cur.u32();
+        r.receiver = cur.u8();
+        r.sender = cur.u8();
+        r.rssi_dbm = cur.i8();
+        r.band = static_cast<Band>(cur.u8());
+        if (v.on_proximity_ping) v.on_proximity_ping(r);
+        break;
+      }
+      case RecordType::kIrContact: {
+        IrContact r;
+        r.t = cur.u32();
+        r.receiver = cur.u8();
+        r.sender = cur.u8();
+        if (v.on_ir_contact) v.on_ir_contact(r);
+        break;
+      }
+      case RecordType::kMotionFrame: {
+        MotionFrame r;
+        r.t = cur.u32();
+        r.badge = cur.u8();
+        r.accel_var = cur.f32();
+        r.step_freq_hz = cur.f32();
+        if (v.on_motion_frame) v.on_motion_frame(r);
+        break;
+      }
+      case RecordType::kAudioFrame: {
+        AudioFrame r;
+        r.t = cur.u32();
+        r.badge = cur.u8();
+        r.level_db = cur.f32();
+        r.voiced_fraction = cur.f32();
+        r.dominant_f0_hz = cur.f32();
+        if (v.on_audio_frame) v.on_audio_frame(r);
+        break;
+      }
+      case RecordType::kEnvFrame: {
+        EnvFrame r;
+        r.t = cur.u32();
+        r.badge = cur.u8();
+        r.temperature_c = cur.f32();
+        r.pressure_hpa = cur.f32();
+        r.light_lux = cur.f32();
+        if (v.on_env_frame) v.on_env_frame(r);
+        break;
+      }
+      case RecordType::kWearEvent: {
+        WearEvent r;
+        r.t = cur.u32();
+        r.badge = cur.u8();
+        r.state = static_cast<WearState>(cur.u8());
+        if (v.on_wear_event) v.on_wear_event(r);
+        break;
+      }
+      case RecordType::kSyncSample: {
+        SyncSample r;
+        r.local = cur.u32();
+        r.ref = cur.u32();
+        r.badge = cur.u8();
+        if (v.on_sync_sample) v.on_sync_sample(r);
+        break;
+      }
+    }
+    ++decoded;
+  }
+  return decoded;
+}
+
+}  // namespace hs::io

@@ -1,0 +1,55 @@
+// Binary log codec — the badge SD-card format.
+//
+// Records are framed as [type:u8][payload] with fixed-size little-endian
+// payloads per type. A BinLogWriter appends to an in-memory buffer (the
+// simulated SD card hands it to the offline pipeline after the mission);
+// BinLogReader replays a buffer, dispatching typed records to a visitor.
+// The encoding round-trips exactly and rejects truncated/garbage input.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "io/records.hpp"
+#include "util/expected.hpp"
+
+namespace hs::io {
+
+class BinLogWriter {
+ public:
+  void append(const BeaconObs& r);
+  void append(const ProximityPing& r);
+  void append(const IrContact& r);
+  void append(const MotionFrame& r);
+  void append(const AudioFrame& r);
+  void append(const EnvFrame& r);
+  void append(const WearEvent& r);
+  void append(const SyncSample& r);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buffer_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buffer_); }
+  [[nodiscard]] std::size_t size_bytes() const { return buffer_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Typed callbacks for replaying a log. Unset callbacks skip their records.
+struct BinLogVisitor {
+  std::function<void(const BeaconObs&)> on_beacon_obs;
+  std::function<void(const ProximityPing&)> on_proximity_ping;
+  std::function<void(const IrContact&)> on_ir_contact;
+  std::function<void(const MotionFrame&)> on_motion_frame;
+  std::function<void(const AudioFrame&)> on_audio_frame;
+  std::function<void(const EnvFrame&)> on_env_frame;
+  std::function<void(const WearEvent&)> on_wear_event;
+  std::function<void(const SyncSample&)> on_sync_sample;
+};
+
+/// Replay every record in `bytes`. Returns the number of records decoded,
+/// or an Error on malformed input (unknown type byte or truncated payload).
+Expected<std::size_t> replay_binlog(const std::vector<std::uint8_t>& bytes, const BinLogVisitor& visitor);
+
+}  // namespace hs::io

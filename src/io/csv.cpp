@@ -1,0 +1,34 @@
+#include "io/csv.hpp"
+
+#include "util/strings.hpp"
+
+namespace hs::io {
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quote = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row_numeric(const std::vector<double>& values, int decimals) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) fields.push_back(format_fixed(v, decimals));
+  write_row(fields);
+}
+
+}  // namespace hs::io

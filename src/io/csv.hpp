@@ -1,0 +1,25 @@
+// CSV emission for bench harness outputs (one file/stream per figure).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hs::io {
+
+/// Streams rows to an ostream, quoting fields that need it (RFC 4180).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: format doubles with the given precision.
+  void write_row_numeric(const std::vector<double>& values, int decimals = 4);
+
+ private:
+  static std::string escape(const std::string& field);
+  std::ostream& out_;
+};
+
+}  // namespace hs::io

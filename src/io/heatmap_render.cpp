@@ -1,0 +1,31 @@
+#include "io/heatmap_render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace hs::io {
+
+void render_heatmap(std::ostream& out, const std::vector<std::vector<double>>& grid, int cell_aspect) {
+  static const std::string ramp = " .:-=+*#%@";
+  double max_log = 0.0;
+  for (const auto& row : grid) {
+    for (double v : row) max_log = std::max(max_log, std::log1p(std::max(0.0, v)));
+  }
+  if (max_log <= 0.0) max_log = 1.0;
+  for (const auto& row : grid) {
+    std::string line;
+    line.reserve(row.size() * static_cast<std::size_t>(cell_aspect));
+    for (double v : row) {
+      const double norm = std::log1p(std::max(0.0, v)) / max_log;
+      const auto idx = static_cast<std::size_t>(std::min(
+          static_cast<double>(ramp.size() - 1), norm * static_cast<double>(ramp.size() - 1) + 1e-9));
+      // Nonzero cells never render as blank: clamp up to the first ramp step.
+      const char ch = (v > 0.0 && idx == 0) ? ramp[1] : ramp[idx];
+      line.append(static_cast<std::size_t>(cell_aspect), ch);
+    }
+    out << line << '\n';
+  }
+}
+
+}  // namespace hs::io

@@ -1,0 +1,17 @@
+// ASCII rendering of 2-D intensity grids (Fig. 3-style heatmaps).
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+namespace hs::io {
+
+/// Render a row-major grid (rows top to bottom) as ASCII art. Intensities
+/// are mapped through log1p onto a character ramp so short-but-nonzero
+/// dwell times stay visible, matching the paper's logarithmic color scale.
+/// `cell_aspect` repeats each cell horizontally to compensate for terminal
+/// glyph aspect ratio.
+void render_heatmap(std::ostream& out, const std::vector<std::vector<double>>& grid,
+                    int cell_aspect = 2);
+
+}  // namespace hs::io

@@ -1,0 +1,137 @@
+// On-badge record formats.
+//
+// These are the units a badge's firmware appends to its SD card and the
+// only thing the offline analysis pipeline is allowed to read (it never
+// touches simulator ground truth). Timestamps are *badge-local*
+// milliseconds since badge boot; local clocks drift, and the pipeline must
+// rectify them with the SyncSample stream (see hs::timesync).
+//
+// Layouts are kept compact on purpose: a 14-day mission produces tens of
+// millions of records per badge.
+#pragma once
+
+#include <cstdint>
+
+namespace hs::io {
+
+/// Badge identity. Crew badges are 0..5 (astronauts A..F), the reference
+/// badge is kReferenceBadge, backups follow.
+using BadgeId = std::uint8_t;
+constexpr BadgeId kReferenceBadge = 6;
+
+/// BLE beacon identity (the paper deployed 27 of them).
+using BeaconId = std::uint8_t;
+
+/// Badge-local timestamp, milliseconds since badge boot (wraps after
+/// ~49.7 days; missions are two weeks).
+using LocalMs = std::uint32_t;
+
+enum class RecordType : std::uint8_t {
+  kBeaconObs = 1,
+  kProximityPing = 2,
+  kIrContact = 3,
+  kMotionFrame = 4,
+  kAudioFrame = 5,
+  kEnvFrame = 6,
+  kWearEvent = 7,
+  kSyncSample = 8,
+};
+
+/// One BLE advertisement received during a scan window.
+struct BeaconObs {
+  LocalMs t = 0;
+  BadgeId badge = 0;
+  BeaconId beacon = 0;
+  std::int8_t rssi_dbm = 0;
+
+  friend bool operator==(const BeaconObs&, const BeaconObs&) = default;
+};
+
+/// A badge-to-badge proximity ping received on one of the two radios.
+enum class Band : std::uint8_t { kSubGhz868 = 0, kBle24 = 1 };
+
+struct ProximityPing {
+  LocalMs t = 0;
+  BadgeId receiver = 0;
+  BadgeId sender = 0;
+  std::int8_t rssi_dbm = 0;
+  Band band = Band::kSubGhz868;
+
+  friend bool operator==(const ProximityPing&, const ProximityPing&) = default;
+};
+
+/// A successful infrared handshake: sender's IR cone hit this badge while
+/// the two bearers were (approximately) facing each other.
+struct IrContact {
+  LocalMs t = 0;
+  BadgeId receiver = 0;
+  BadgeId sender = 0;
+
+  friend bool operator==(const IrContact&, const IrContact&) = default;
+};
+
+/// One second of accelerometer feature extraction (the firmware reduces
+/// 50 Hz raw samples to frame features on-device).
+struct MotionFrame {
+  LocalMs t = 0;
+  BadgeId badge = 0;
+  /// Variance of acceleration magnitude over the frame, in (m/s^2)^2.
+  float accel_var = 0.0F;
+  /// Dominant step frequency in Hz (0 when no periodicity detected).
+  float step_freq_hz = 0.0F;
+
+  friend bool operator==(const MotionFrame&, const MotionFrame&) = default;
+};
+
+/// One second of microphone feature extraction. The firmware never stores
+/// raw audio (prohibited in the habitat): only speech-band features.
+struct AudioFrame {
+  LocalMs t = 0;
+  BadgeId badge = 0;
+  /// Sound pressure level at the badge in dB SPL.
+  float level_db = 0.0F;
+  /// Fraction of the frame with voice-band energy present, in [0,1].
+  float voiced_fraction = 0.0F;
+  /// Dominant fundamental frequency of detected voice in Hz (0 if none).
+  float dominant_f0_hz = 0.0F;
+
+  friend bool operator==(const AudioFrame&, const AudioFrame&) = default;
+};
+
+/// Environmental sensor sample (temperature, pressure, light).
+struct EnvFrame {
+  LocalMs t = 0;
+  BadgeId badge = 0;
+  float temperature_c = 0.0F;
+  float pressure_hpa = 0.0F;
+  float light_lux = 0.0F;
+
+  friend bool operator==(const EnvFrame&, const EnvFrame&) = default;
+};
+
+/// Wear-state transition, from the badge's on-body detector.
+enum class WearState : std::uint8_t {
+  kOff = 0,        ///< powered down / on charger
+  kActiveIdle = 1, ///< powered and sampling, but not on a neck
+  kWorn = 2,       ///< on the bearer's neck
+};
+
+struct WearEvent {
+  LocalMs t = 0;
+  BadgeId badge = 0;
+  WearState state = WearState::kOff;
+
+  friend bool operator==(const WearEvent&, const WearEvent&) = default;
+};
+
+/// Opportunistic clock comparison against the reference badge: this badge's
+/// local clock read `local` at the instant the reference clock read `ref`.
+struct SyncSample {
+  LocalMs local = 0;
+  LocalMs ref = 0;
+  BadgeId badge = 0;
+
+  friend bool operator==(const SyncSample&, const SyncSample&) = default;
+};
+
+}  // namespace hs::io

@@ -1,0 +1,53 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace hs::io {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if ((c < '0' || c > '9') && c != '.' && c != '-' && c != '+' && c != '%' && c != 'e') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto print_row = [&](const std::vector<std::string>& cells, bool align_numeric) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out << "  ";
+      if (align_numeric && looks_numeric(cells[c])) {
+        out << pad_left(cells[c], widths[c]);
+      } else {
+        out << pad_right(cells[c], widths[c]);
+      }
+    }
+    out << '\n';
+  };
+
+  print_row(headers_, false);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w;
+  out << std::string(total + 2 * (widths.empty() ? 0 : widths.size() - 1), '-') << '\n';
+  for (const auto& row : rows_) print_row(row, true);
+}
+
+}  // namespace hs::io

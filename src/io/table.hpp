@@ -1,0 +1,27 @@
+// Aligned ASCII tables — the bench harnesses print the paper's tables and
+// figure series in this form.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hs::io {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment; numeric-looking cells right-align.
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hs::io

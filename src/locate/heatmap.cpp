@@ -1,0 +1,78 @@
+#include "locate/heatmap.hpp"
+
+#include <algorithm>
+
+namespace hs::locate {
+
+HeatmapAccumulator::HeatmapAccumulator(const habitat::Habitat& habitat)
+    : habitat_(&habitat),
+      cells_(static_cast<std::size_t>(habitat.grid_width()) * habitat.grid_height(), 0.0) {}
+
+void HeatmapAccumulator::add(Vec2 position, double dwell_s) {
+  const habitat::Cell c = habitat_->cell_of(position);
+  cells_[static_cast<std::size_t>(c.y) * habitat_->grid_width() + c.x] += dwell_s;
+  total_ += dwell_s;
+}
+
+void HeatmapAccumulator::add_fixes(const std::vector<PositionFix>& fixes) {
+  for (const auto& f : fixes) add(f.position, 1.0);
+}
+
+double HeatmapAccumulator::at(habitat::Cell c) const {
+  if (c.x < 0 || c.y < 0 || c.x >= habitat_->grid_width() || c.y >= habitat_->grid_height()) return 0.0;
+  return cells_[static_cast<std::size_t>(c.y) * habitat_->grid_width() + c.x];
+}
+
+double HeatmapAccumulator::max_value() const {
+  double m = 0.0;
+  for (double v : cells_) m = std::max(m, v);
+  return m;
+}
+
+double HeatmapAccumulator::room_total(habitat::RoomId room) const {
+  const auto& bounds = habitat_->room(room).bounds;
+  double total = 0.0;
+  for (int y = 0; y < habitat_->grid_height(); ++y) {
+    for (int x = 0; x < habitat_->grid_width(); ++x) {
+      if (bounds.contains(habitat_->cell_center({x, y}))) {
+        total += cells_[static_cast<std::size_t>(y) * habitat_->grid_width() + x];
+      }
+    }
+  }
+  return total;
+}
+
+std::vector<std::vector<double>> HeatmapAccumulator::grid_rows() const {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(static_cast<std::size_t>(habitat_->grid_height()));
+  for (int y = habitat_->grid_height() - 1; y >= 0; --y) {
+    std::vector<double> row(static_cast<std::size_t>(habitat_->grid_width()));
+    for (int x = 0; x < habitat_->grid_width(); ++x) {
+      row[static_cast<std::size_t>(x)] = cells_[static_cast<std::size_t>(y) * habitat_->grid_width() + x];
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<std::vector<double>> HeatmapAccumulator::grid_rows_downsampled(int factor) const {
+  const auto full = grid_rows();
+  if (factor <= 1) return full;
+  std::vector<std::vector<double>> out;
+  for (std::size_t y = 0; y < full.size(); y += static_cast<std::size_t>(factor)) {
+    std::vector<double> row;
+    for (std::size_t x = 0; x < full[y].size(); x += static_cast<std::size_t>(factor)) {
+      double sum = 0.0;
+      for (std::size_t dy = 0; dy < static_cast<std::size_t>(factor) && y + dy < full.size(); ++dy) {
+        for (std::size_t dx = 0; dx < static_cast<std::size_t>(factor) && x + dx < full[y].size(); ++dx) {
+          sum += full[y + dy][x + dx];
+        }
+      }
+      row.push_back(sum);
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace hs::locate

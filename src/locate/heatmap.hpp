@@ -1,0 +1,39 @@
+// Dwell-time heatmaps at the paper's 28 cm x 28 cm granularity (Fig. 3).
+#pragma once
+
+#include <vector>
+
+#include "habitat/habitat.hpp"
+#include "locate/triangulate.hpp"
+
+namespace hs::locate {
+
+class HeatmapAccumulator {
+ public:
+  explicit HeatmapAccumulator(const habitat::Habitat& habitat);
+
+  /// Add one position fix worth `dwell_s` seconds of presence.
+  void add(Vec2 position, double dwell_s = 1.0);
+
+  /// Add a whole fix stream (1 s per fix).
+  void add_fixes(const std::vector<PositionFix>& fixes);
+
+  [[nodiscard]] double total_seconds() const { return total_; }
+  [[nodiscard]] double at(habitat::Cell c) const;
+  [[nodiscard]] double max_value() const;
+  /// Seconds accumulated within one room's footprint.
+  [[nodiscard]] double room_total(habitat::RoomId room) const;
+
+  /// Row-major grid (row 0 = top / max y) for rendering.
+  [[nodiscard]] std::vector<std::vector<double>> grid_rows() const;
+
+  /// Downsample by an integer factor for terminal-sized rendering.
+  [[nodiscard]] std::vector<std::vector<double>> grid_rows_downsampled(int factor) const;
+
+ private:
+  const habitat::Habitat* habitat_;
+  std::vector<double> cells_;  // [y * width + x]
+  double total_ = 0.0;
+};
+
+}  // namespace hs::locate

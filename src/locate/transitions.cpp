@@ -1,0 +1,43 @@
+#include "locate/transitions.hpp"
+
+namespace hs::locate {
+
+void TransitionMatrix::add_track(const std::vector<RoomStay>& stays, double min_dwell_s,
+                                 habitat::RoomId exclude) {
+  const auto filtered = filter_short_stays(drop_room(stays, exclude), min_dwell_s);
+  for (std::size_t i = 1; i < filtered.size(); ++i) {
+    const auto from = filtered[i - 1].room;
+    const auto to = filtered[i].room;
+    if (from == to) continue;
+    // A long absence between stays (badge off overnight / EVA) is not a
+    // passage; require the stays to be within 30 min of each other.
+    if (filtered[i].start_s - filtered[i - 1].end_s > 1800.0) continue;
+    ++counts_[habitat::room_index(from)][habitat::room_index(to)];
+  }
+}
+
+int TransitionMatrix::count(habitat::RoomId from, habitat::RoomId to) const {
+  return counts_[habitat::room_index(from)][habitat::room_index(to)];
+}
+
+int TransitionMatrix::total() const {
+  int sum = 0;
+  for (const auto& row : counts_) {
+    for (int c : row) sum += c;
+  }
+  return sum;
+}
+
+int TransitionMatrix::outgoing(habitat::RoomId from) const {
+  int sum = 0;
+  for (int c : counts_[habitat::room_index(from)]) sum += c;
+  return sum;
+}
+
+int TransitionMatrix::incoming(habitat::RoomId to) const {
+  int sum = 0;
+  for (const auto& row : counts_) sum += row[habitat::room_index(to)];
+  return sum;
+}
+
+}  // namespace hs::locate

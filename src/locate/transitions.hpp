@@ -1,0 +1,40 @@
+// Room-to-room passage counting (Fig. 2).
+//
+// "For each pair of rooms (X, Y), we measured how many times an astronaut
+// moved from X to Y and spent in Y at least 10 s" — with the main room
+// (atrium) excluded because it is adjacent to all others. The input track
+// should already be dwell-filtered; this module drops the atrium and counts
+// consecutive-stay pairs.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "habitat/room.hpp"
+#include "locate/room_classifier.hpp"
+
+namespace hs::locate {
+
+class TransitionMatrix {
+ public:
+  /// counts()[from][to] — passages from `from` to `to`.
+  using Counts = std::array<std::array<int, habitat::kRoomCount>, habitat::kRoomCount>;
+
+  /// Count transitions in one astronaut's track. `min_dwell_s` is the
+  /// paper's 10 s filter; `exclude` (default atrium) is removed first.
+  void add_track(const std::vector<RoomStay>& stays, double min_dwell_s = 10.0,
+                 habitat::RoomId exclude = habitat::RoomId::kAtrium);
+
+  [[nodiscard]] int count(habitat::RoomId from, habitat::RoomId to) const;
+  [[nodiscard]] const Counts& counts() const { return counts_; }
+  [[nodiscard]] int total() const;
+
+  /// Row-sum (all passages leaving `from`) and column-sum (entering `to`).
+  [[nodiscard]] int outgoing(habitat::RoomId from) const;
+  [[nodiscard]] int incoming(habitat::RoomId to) const;
+
+ private:
+  Counts counts_{};
+};
+
+}  // namespace hs::locate

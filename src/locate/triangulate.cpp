@@ -1,0 +1,53 @@
+#include "locate/triangulate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hs::locate {
+
+Triangulator::Triangulator(const habitat::Habitat& habitat,
+                           const std::vector<beacon::Beacon>& beacons, double bin_s)
+    : habitat_(&habitat), beacons_(beacons), bin_s_(bin_s) {
+  io::BeaconId max_id = 0;
+  for (const auto& b : beacons_) max_id = std::max(max_id, b.id);
+  index_.assign(static_cast<std::size_t>(max_id) + 1, beacons_.size());
+  for (std::size_t i = 0; i < beacons_.size(); ++i) index_[beacons_[i].id] = i;
+}
+
+Vec2 Triangulator::estimate(const std::vector<TimedRssi>& bin_obs, habitat::RoomId room) const {
+  Vec2 acc{};
+  double total_w = 0.0;
+  for (const auto& o : bin_obs) {
+    if (o.beacon >= index_.size() || index_[o.beacon] >= beacons_.size()) continue;
+    const auto& b = beacons_[index_[o.beacon]];
+    if (b.room != room) continue;
+    // Linear received power as weight: w ~ 10^(rssi/10). With path-loss
+    // exponent ~2.2 this approximates inverse-square-distance weighting.
+    const double w = std::pow(10.0, static_cast<double>(o.rssi_dbm) / 10.0);
+    acc += b.position * w;
+    total_w += w;
+  }
+  const auto& bounds = habitat_->room(room).bounds;
+  if (total_w <= 0.0) return bounds.center();
+  return bounds.clamp(acc / total_w, 0.05);
+}
+
+std::vector<PositionFix> Triangulator::fixes(const std::vector<TimedRssi>& obs,
+                                             const std::vector<RoomStay>& track) const {
+  std::vector<PositionFix> out;
+  std::vector<TimedRssi> bin;
+  std::size_t i = 0;
+  while (i < obs.size()) {
+    const double bin_start = obs[i].t_s;
+    const double bin_end = bin_start + bin_s_;
+    bin.clear();
+    while (i < obs.size() && obs[i].t_s < bin_end) bin.push_back(obs[i++]);
+    const double t_mid = bin_start + bin_s_ / 2.0;
+    const habitat::RoomId room = room_at_time(track, t_mid);
+    if (room == habitat::RoomId::kNone) continue;
+    out.push_back(PositionFix{t_mid, estimate(bin, room), room});
+  }
+  return out;
+}
+
+}  // namespace hs::locate

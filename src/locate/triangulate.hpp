@@ -1,0 +1,48 @@
+// In-room position estimation ("triangulation" in the paper).
+//
+// Within the detected room, a power-weighted centroid of the audible
+// same-room beacons gives the dominant position for each one-second frame.
+// The paper notes accuracy was high "even without employing the inertial
+// sensors of a badge" because of dense beacon placement; a weighted
+// centroid reproduces that behaviour and degrades gracefully with noise.
+#pragma once
+
+#include <vector>
+
+#include "beacon/beacon.hpp"
+#include "habitat/habitat.hpp"
+#include "locate/room_classifier.hpp"
+#include "util/vec2.hpp"
+
+namespace hs::locate {
+
+/// One position estimate for a one-second frame.
+struct PositionFix {
+  double t_s = 0.0;
+  Vec2 position;
+  habitat::RoomId room = habitat::RoomId::kNone;
+};
+
+class Triangulator {
+ public:
+  Triangulator(const habitat::Habitat& habitat, const std::vector<beacon::Beacon>& beacons,
+               double bin_s = 1.0);
+
+  /// Estimate positions for each bin of the observation stream, using the
+  /// given room track to restrict to same-room beacons (cross-room leaks
+  /// would otherwise drag the centroid through walls).
+  [[nodiscard]] std::vector<PositionFix> fixes(const std::vector<TimedRssi>& obs,
+                                               const std::vector<RoomStay>& track) const;
+
+  /// Single-bin estimate from simultaneous observations restricted to
+  /// `room`; returns fix at the room centre when no same-room beacon heard.
+  [[nodiscard]] Vec2 estimate(const std::vector<TimedRssi>& bin_obs, habitat::RoomId room) const;
+
+ private:
+  const habitat::Habitat* habitat_;
+  std::vector<beacon::Beacon> beacons_;  // indexed lookup by id below
+  std::vector<std::size_t> index_;       // BeaconId -> index into beacons_
+  double bin_s_;
+};
+
+}  // namespace hs::locate

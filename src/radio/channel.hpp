@@ -1,0 +1,36 @@
+// Packet-reception model on top of the habitat propagation model.
+//
+// A Channel answers one question: given transmitter and receiver positions,
+// was this transmission decoded, and at what RSSI? Reception combines
+// log-normal shadowing with a sensitivity floor and a small residual frame
+// error rate near the floor (real BLE/sub-GHz links are not a hard cliff).
+#pragma once
+
+#include <optional>
+
+#include "habitat/propagation.hpp"
+#include "util/rng.hpp"
+#include "util/vec2.hpp"
+
+namespace hs::radio {
+
+class Channel {
+ public:
+  Channel(const habitat::Habitat& habitat, habitat::ChannelParams params)
+      : prop_(habitat, params) {}
+
+  /// Attempt to receive a single transmission. Returns the measured RSSI
+  /// (dBm, quantized to integer as real radios report) or nullopt if the
+  /// frame was not decodable.
+  std::optional<int> try_receive(Vec2 tx, Vec2 rx, Rng& rng) const;
+
+  /// Mean RSSI without fading (for tests and coverage analyses).
+  [[nodiscard]] double mean_rssi(Vec2 tx, Vec2 rx) const { return prop_.mean_rssi(tx, rx); }
+
+  [[nodiscard]] const habitat::ChannelParams& params() const { return prop_.params(); }
+
+ private:
+  habitat::Propagation prop_;
+};
+
+}  // namespace hs::radio

@@ -1,0 +1,20 @@
+#include "radio/ir.hpp"
+
+namespace hs::radio {
+
+bool IrLink::geometry_ok(Vec2 pos_a, double heading_a, Vec2 pos_b, double heading_b) const {
+  if (distance(pos_a, pos_b) > params_.max_range_m) return false;
+  const auto room_a = habitat_->room_at(pos_a);
+  if (room_a == habitat::RoomId::kNone || room_a != habitat_->room_at(pos_b)) return false;
+  const double bearing_ab = heading(pos_a, pos_b);
+  const double bearing_ba = heading(pos_b, pos_a);
+  return angle_between(heading_a, bearing_ab) <= params_.cone_half_angle_rad &&
+         angle_between(heading_b, bearing_ba) <= params_.cone_half_angle_rad;
+}
+
+bool IrLink::try_contact(Vec2 pos_a, double heading_a, Vec2 pos_b, double heading_b, Rng& rng) const {
+  if (!geometry_ok(pos_a, heading_a, pos_b, heading_b)) return false;
+  return rng.bernoulli(params_.detect_probability);
+}
+
+}  // namespace hs::radio

@@ -1,0 +1,40 @@
+// Infrared transceiver link model.
+//
+// The badge IR port has "a well-defined directional communication cone";
+// a handshake succeeds only when two badges are close, in the same room
+// (IR does not pass walls) and their bearers face each other, which is the
+// paper's proxy for "likely having a conversation".
+#pragma once
+
+#include "habitat/habitat.hpp"
+#include "util/rng.hpp"
+#include "util/vec2.hpp"
+
+namespace hs::radio {
+
+struct IrParams {
+  double max_range_m = 2.5;            ///< beyond this, no detection
+  double cone_half_angle_rad = 0.61;   ///< ~35 degrees
+  double detect_probability = 0.9;     ///< per attempt, within geometry
+};
+
+class IrLink {
+ public:
+  IrLink(const habitat::Habitat& habitat, IrParams params = {})
+      : habitat_(&habitat), params_(params) {}
+
+  /// Geometric precondition: same room, within range, both bearers facing
+  /// each other within the cone.
+  [[nodiscard]] bool geometry_ok(Vec2 pos_a, double heading_a, Vec2 pos_b, double heading_b) const;
+
+  /// One handshake attempt (geometry + detection probability).
+  bool try_contact(Vec2 pos_a, double heading_a, Vec2 pos_b, double heading_b, Rng& rng) const;
+
+  [[nodiscard]] const IrParams& params() const { return params_; }
+
+ private:
+  const habitat::Habitat* habitat_;
+  IrParams params_;
+};
+
+}  // namespace hs::radio

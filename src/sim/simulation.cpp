@@ -1,0 +1,80 @@
+#include "sim/simulation.hpp"
+
+#include <utility>
+
+namespace hs::sim {
+
+EventId Simulation::enqueue(SimTime t, Scheduled scheduled) {
+  const EventId id = next_id_++;
+  queue_.push(Entry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(scheduled));
+  return id;
+}
+
+EventId Simulation::schedule_at(SimTime t, Callback fn) {
+  if (t < now_) t = now_;
+  return enqueue(t, Scheduled{std::move(fn), 0});
+}
+
+EventId Simulation::schedule_after(SimDuration delay, Callback fn) {
+  if (delay < 0) delay = 0;
+  return enqueue(now_ + delay, Scheduled{std::move(fn), 0});
+}
+
+EventId Simulation::schedule_periodic(SimTime first, SimDuration period, Callback fn) {
+  if (first < now_) first = now_;
+  if (period < 1) period = 1;  // zero-period would livelock run_until
+  return enqueue(first, Scheduled{std::move(fn), period});
+}
+
+void Simulation::cancel(EventId id) { callbacks_.erase(id); }
+
+std::size_t Simulation::run_until(SimTime end) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().time <= end) {
+    const Entry entry = queue_.top();
+    queue_.pop();
+    auto it = callbacks_.find(entry.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    now_ = entry.time;
+    if (it->second.period > 0) {
+      // Re-arm before invoking so the callback may cancel its own id.
+      queue_.push(Entry{entry.time + it->second.period, next_seq_++, entry.id});
+      // The callback map entry stays; copy the fn so callbacks that cancel
+      // (erasing the map slot) don't pull the rug out from under the call.
+      auto fn = it->second.fn;
+      fn();
+    } else {
+      auto fn = std::move(it->second.fn);
+      callbacks_.erase(it);
+      fn();
+    }
+    ++executed;
+  }
+  if (now_ < end) now_ = end;
+  return executed;
+}
+
+std::size_t Simulation::run_all() {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    const Entry entry = queue_.top();
+    queue_.pop();
+    auto it = callbacks_.find(entry.id);
+    if (it == callbacks_.end()) continue;
+    now_ = entry.time;
+    if (it->second.period > 0) {
+      queue_.push(Entry{entry.time + it->second.period, next_seq_++, entry.id});
+      auto fn = it->second.fn;
+      fn();
+    } else {
+      auto fn = std::move(it->second.fn);
+      callbacks_.erase(it);
+      fn();
+    }
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace hs::sim

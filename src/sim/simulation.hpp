@@ -1,0 +1,83 @@
+// Discrete-event simulation kernel.
+//
+// A Simulation owns a priority queue of timestamped callbacks. Components
+// schedule one-shot or periodic events; run_until() drains the queue in
+// timestamp order (FIFO among equal timestamps, so same-instant ordering is
+// deterministic). Events can be cancelled through the handle returned at
+// scheduling time; cancellation is lazy (the queue entry is skipped when it
+// surfaces).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace hs::sim {
+
+/// Identifies a scheduled event for cancellation. 0 is never a valid id.
+using EventId = std::uint64_t;
+
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time. Only advances inside run_until()/run_all().
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (>= now, else clamped to now).
+  EventId schedule_at(SimTime t, Callback fn);
+
+  /// Schedule `fn` after `delay` (negative delays clamp to zero).
+  EventId schedule_after(SimDuration delay, Callback fn);
+
+  /// Schedule `fn` every `period` starting at `first`. The callback keeps
+  /// firing until the returned id is cancelled or the simulation ends.
+  EventId schedule_periodic(SimTime first, SimDuration period, Callback fn);
+
+  /// Cancel a pending (or periodic) event. Cancelling an already-fired
+  /// one-shot or unknown id is a harmless no-op.
+  void cancel(EventId id);
+
+  /// Run events with timestamp <= end, then set now() == end.
+  /// Returns the number of callbacks executed.
+  std::size_t run_until(SimTime end);
+
+  /// Run until the queue is empty (periodic events would never terminate;
+  /// intended for tests with finite schedules). Returns callbacks executed.
+  std::size_t run_all();
+
+  /// Number of events currently pending (including cancelled-but-queued).
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // tie-breaker: FIFO among equal timestamps
+    EventId id;
+    // Entries are ordered by (time, seq); callbacks live in a side map to
+    // keep heap moves cheap... see callbacks_ below.
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct Scheduled {
+    Callback fn;
+    SimDuration period = 0;  // 0 => one-shot
+  };
+
+  EventId enqueue(SimTime t, Scheduled scheduled);
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_map<EventId, Scheduled> callbacks_;
+};
+
+}  // namespace hs::sim

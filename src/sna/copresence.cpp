@@ -1,0 +1,74 @@
+#include "sna/copresence.hpp"
+
+#include <cassert>
+
+namespace hs::sna {
+
+CompanyAnalysis::CompanyAnalysis(std::size_t crew_size)
+    : n_(crew_size), pair_(crew_size * (crew_size + 1) / 2, 0.0), company_(crew_size, 0.0),
+      covered_(crew_size, 0.0) {}
+
+std::size_t CompanyAnalysis::pair_index(std::size_t i, std::size_t j) const {
+  if (i > j) std::swap(i, j);
+  // Packed upper triangle including diagonal (diagonal unused).
+  return i * n_ - i * (i + 1) / 2 + j;
+}
+
+void CompanyAnalysis::accumulate(const std::vector<std::vector<locate::RoomStay>>& tracks,
+                                 double t0_s, double t1_s) {
+  assert(tracks.size() == n_);
+  std::vector<habitat::RoomId> rooms(n_, habitat::RoomId::kNone);
+  // Per-track cursors avoid a binary search per (second, astronaut).
+  std::vector<std::size_t> cursor(n_, 0);
+  for (double t = t0_s; t < t1_s; t += 1.0) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      const auto& track = tracks[i];
+      auto& c = cursor[i];
+      while (c < track.size() && track[c].end_s <= t) ++c;
+      rooms[i] = (c < track.size() && track[c].start_s <= t) ? track[c].room
+                                                             : habitat::RoomId::kNone;
+      if (rooms[i] != habitat::RoomId::kNone) covered_[i] += 1.0;
+    }
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (rooms[i] == habitat::RoomId::kNone) continue;
+      bool accompanied = false;
+      for (std::size_t j = i + 1; j < n_; ++j) {
+        if (rooms[j] == rooms[i]) {
+          pair_[pair_index(i, j)] += 1.0;
+          accompanied = true;
+        }
+      }
+      // company: i is accompanied if anyone (before or after i) shares the room.
+      if (!accompanied) {
+        for (std::size_t j = 0; j < i; ++j) {
+          if (rooms[j] == rooms[i]) {
+            accompanied = true;
+            break;
+          }
+        }
+      }
+      if (accompanied) company_[i] += 1.0;
+    }
+  }
+}
+
+double CompanyAnalysis::pair_seconds(std::size_t i, std::size_t j) const {
+  if (i == j) return 0.0;
+  return pair_[pair_index(i, j)];
+}
+
+double CompanyAnalysis::company_seconds(std::size_t i) const { return company_[i]; }
+
+double CompanyAnalysis::covered_seconds(std::size_t i) const { return covered_[i]; }
+
+std::vector<std::vector<double>> CompanyAnalysis::pair_matrix() const {
+  std::vector<std::vector<double>> m(n_, std::vector<double>(n_, 0.0));
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (i != j) m[i][j] = pair_seconds(i, j);
+    }
+  }
+  return m;
+}
+
+}  // namespace hs::sna

@@ -1,0 +1,49 @@
+// Co-presence accounting: who spends time with whom (Table I column a).
+//
+// "Centrality measured as amount of time spent accompanied" — seconds in
+// the same room as at least one other crew member, plus the pairwise
+// company matrix that weighs the social graph fed to Kleinberg's HITS.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "habitat/room.hpp"
+#include "locate/room_classifier.hpp"
+
+namespace hs::sna {
+
+class CompanyAnalysis {
+ public:
+  explicit CompanyAnalysis(std::size_t crew_size);
+
+  /// Sweep [t0_s, t1_s) in 1 s steps over per-astronaut room tracks
+  /// (indexed consistently with crew ids). Can be called repeatedly to
+  /// accumulate disjoint windows (e.g. each mission day's daytime).
+  void accumulate(const std::vector<std::vector<locate::RoomStay>>& tracks, double t0_s,
+                  double t1_s);
+
+  /// Seconds astronauts i and j spent in the same room.
+  [[nodiscard]] double pair_seconds(std::size_t i, std::size_t j) const;
+
+  /// Seconds astronaut i spent with at least one other crew member.
+  [[nodiscard]] double company_seconds(std::size_t i) const;
+
+  /// Seconds astronaut i had any track coverage (denominator for rates).
+  [[nodiscard]] double covered_seconds(std::size_t i) const;
+
+  /// Symmetric pairwise matrix (seconds) — the weighted social graph.
+  [[nodiscard]] std::vector<std::vector<double>> pair_matrix() const;
+
+  [[nodiscard]] std::size_t crew_size() const { return n_; }
+
+ private:
+  std::size_t n_;
+  std::vector<double> pair_;     // upper-triangular packed [i < j]
+  std::vector<double> company_;
+  std::vector<double> covered_;
+
+  [[nodiscard]] std::size_t pair_index(std::size_t i, std::size_t j) const;
+};
+
+}  // namespace hs::sna

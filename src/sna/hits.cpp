@@ -1,0 +1,78 @@
+#include "sna/hits.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace hs::sna {
+
+HitsScores hits(const std::vector<std::vector<double>>& adj, int max_iterations, double tolerance) {
+  const std::size_t n = adj.size();
+  HitsScores result;
+  result.authority.assign(n, 0.0);
+  result.hub.assign(n, 0.0);
+  if (n == 0) return result;
+  for (const auto& row : adj) {
+    assert(row.size() == n);
+    (void)row;
+  }
+
+  std::vector<double> auth(n, 1.0);
+  std::vector<double> hub(n, 1.0);
+  std::vector<double> new_auth(n, 0.0);
+  std::vector<double> new_hub(n, 0.0);
+
+  auto l2_normalize = [](std::vector<double>& v) {
+    double norm = 0.0;
+    for (double x : v) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm <= 0.0) return;
+    for (double& x : v) x /= norm;
+  };
+
+  int iter = 0;
+  double residual = 0.0;
+  for (; iter < max_iterations; ++iter) {
+    // authority(j) = sum_i hub(i) * w(i -> j)
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < n; ++i) s += hub[i] * adj[i][j];
+      new_auth[j] = s;
+    }
+    // hub(i) = sum_j authority(j) * w(i -> j)
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (std::size_t j = 0; j < n; ++j) s += new_auth[j] * adj[i][j];
+      new_hub[i] = s;
+    }
+    l2_normalize(new_auth);
+    l2_normalize(new_hub);
+    residual = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      residual += std::fabs(new_auth[i] - auth[i]) + std::fabs(new_hub[i] - hub[i]);
+    }
+    auth = new_auth;
+    hub = new_hub;
+    if (residual < tolerance) {
+      ++iter;
+      break;
+    }
+  }
+
+  // Normalize to max == 1 as the paper's Table I reports.
+  auto max_normalize = [](std::vector<double>& v) {
+    double m = 0.0;
+    for (double x : v) m = std::max(m, x);
+    if (m <= 0.0) return;
+    for (double& x : v) x /= m;
+  };
+  max_normalize(auth);
+  max_normalize(hub);
+
+  result.authority = std::move(auth);
+  result.hub = std::move(hub);
+  result.iterations = iter;
+  result.residual = residual;
+  return result;
+}
+
+}  // namespace hs::sna

@@ -1,0 +1,25 @@
+// Kleinberg's HITS on the weighted company graph (Table I column
+// "authority"). The co-presence graph is symmetric, so authority and hub
+// scores coincide up to numerics, but we implement the full algorithm —
+// the support-system vision also scores directed interaction graphs
+// (who initiates conversations with whom).
+#pragma once
+
+#include <vector>
+
+namespace hs::sna {
+
+struct HitsScores {
+  std::vector<double> authority;  ///< normalized to max == 1
+  std::vector<double> hub;        ///< normalized to max == 1
+  int iterations = 0;
+  double residual = 0.0;          ///< L1 change of the last iteration
+};
+
+/// Run HITS on a non-negative weighted adjacency matrix (adj[i][j] is the
+/// weight of edge i -> j). Converges for any non-trivial graph; returns
+/// all-zero scores for an empty/zero matrix.
+HitsScores hits(const std::vector<std::vector<double>>& adjacency, int max_iterations = 200,
+                double tolerance = 1e-12);
+
+}  // namespace hs::sna

@@ -1,0 +1,158 @@
+#include "sna/meetings.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace hs::sna {
+
+bool Meeting::involves(std::size_t who) const {
+  return std::find(participants.begin(), participants.end(), who) != participants.end();
+}
+
+std::vector<Meeting> detect_meetings(const std::vector<std::vector<locate::RoomStay>>& tracks,
+                                     double t0_s, double t1_s, MeetingParams params) {
+  const std::size_t n = tracks.size();
+  const auto span = static_cast<std::size_t>(std::max(0.0, t1_s - t0_s));
+  if (span == 0 || n == 0) return {};
+
+  // Occupancy raster: rooms[t][i] = room of astronaut i at second t0+t.
+  // One pass with per-track cursors keeps this linear.
+  std::vector<std::size_t> cursor(n, 0);
+  std::vector<std::vector<habitat::RoomId>> rooms(span, std::vector<habitat::RoomId>(n));
+  for (std::size_t t = 0; t < span; ++t) {
+    const double now = t0_s + static_cast<double>(t);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& track = tracks[i];
+      auto& c = cursor[i];
+      while (c < track.size() && track[c].end_s <= now) ++c;
+      rooms[t][i] = (c < track.size() && track[c].start_s <= now) ? track[c].room
+                                                                  : habitat::RoomId::kNone;
+    }
+  }
+
+  std::vector<Meeting> meetings;
+  for (const auto room : habitat::all_rooms()) {
+    if (room == habitat::RoomId::kHangar) continue;  // no coverage there
+    // Runs of >= 2 occupants, bridging dips shorter than grace.
+    std::vector<std::pair<std::size_t, std::size_t>> runs;  // [begin, end)
+    std::size_t t = 0;
+    while (t < span) {
+      int occ = 0;
+      for (std::size_t i = 0; i < n; ++i) occ += rooms[t][i] == room ? 1 : 0;
+      if (occ >= 2) {
+        const std::size_t begin = t;
+        std::size_t last_good = t;
+        while (t < span) {
+          int o = 0;
+          for (std::size_t i = 0; i < n; ++i) o += rooms[t][i] == room ? 1 : 0;
+          if (o >= 2) {
+            last_good = t;
+            ++t;
+          } else if (static_cast<double>(t - last_good) < params.grace_s) {
+            ++t;  // bridge the dip
+          } else {
+            break;
+          }
+        }
+        runs.emplace_back(begin, last_good + 1);
+      } else {
+        ++t;
+      }
+    }
+    // Merge runs separated by less than grace.
+    std::vector<std::pair<std::size_t, std::size_t>> merged;
+    for (const auto& r : runs) {
+      if (!merged.empty() &&
+          static_cast<double>(r.first - merged.back().second) < params.grace_s) {
+        merged.back().second = r.second;
+      } else {
+        merged.push_back(r);
+      }
+    }
+    for (const auto& [begin, end] : merged) {
+      const double duration = static_cast<double>(end - begin);
+      if (duration < params.min_duration_s) continue;
+      Meeting m;
+      m.room = room;
+      m.start_s = t0_s + static_cast<double>(begin);
+      m.end_s = t0_s + static_cast<double>(end);
+      // Participants: present for at least 30% of the meeting.
+      for (std::size_t i = 0; i < n; ++i) {
+        std::size_t present = 0;
+        for (std::size_t tt = begin; tt < end; ++tt) present += rooms[tt][i] == room ? 1 : 0;
+        if (static_cast<double>(present) >= 0.3 * duration) m.participants.push_back(i);
+      }
+      if (m.participants.size() >= 2) meetings.push_back(std::move(m));
+    }
+  }
+  std::sort(meetings.begin(), meetings.end(),
+            [](const Meeting& a, const Meeting& b) { return a.start_s < b.start_s; });
+  return meetings;
+}
+
+MeetingDynamics analyze_meeting(const Meeting& meeting,
+                                const std::vector<std::vector<dsp::SpeechInterval>>& speech) {
+  MeetingDynamics dyn;
+  dyn.talk_share.assign(meeting.participants.size(), 0.0);
+
+  // Collect each participant's 15 s intervals overlapping the meeting,
+  // keyed by interval start (intervals are globally aligned).
+  std::map<double, std::vector<std::pair<std::size_t, const dsp::SpeechInterval*>>> slots;
+  for (std::size_t pi = 0; pi < meeting.participants.size(); ++pi) {
+    const std::size_t who = meeting.participants[pi];
+    if (who >= speech.size()) continue;
+    for (const auto& iv : speech[who]) {
+      if (iv.start_s + 15.0 <= meeting.start_s) continue;
+      if (iv.start_s >= meeting.end_s) break;
+      slots[iv.start_s].emplace_back(pi, &iv);
+    }
+  }
+  if (slots.empty()) return dyn;
+
+  std::size_t speech_slots = 0;
+  std::size_t attributed = 0;
+  double loud_sum = 0.0;
+  for (const auto& [start, entries] : slots) {
+    bool any_speech = false;
+    double best_db = -1.0;
+    std::size_t best_pi = 0;
+    for (const auto& [pi, iv] : entries) {
+      if (!iv->speech) continue;
+      any_speech = true;
+      if (iv->mean_voiced_db > best_db) {
+        best_db = iv->mean_voiced_db;
+        best_pi = pi;
+      }
+    }
+    if (any_speech) {
+      ++speech_slots;
+      // Loudness: the per-slot maximum across badges — the badge nearest
+      // the current speaker, i.e. how loud the conversation actually is
+      // (a mean over distant badges would be dominated by propagation
+      // loss, not speech level).
+      loud_sum += best_db;
+      dyn.talk_share[best_pi] += 1.0;
+      ++attributed;
+    }
+  }
+  dyn.speech_fraction = static_cast<double>(speech_slots) / static_cast<double>(slots.size());
+  dyn.mean_loudness_db =
+      speech_slots > 0 ? loud_sum / static_cast<double>(speech_slots) : 0.0;
+  if (attributed > 0) {
+    for (double& share : dyn.talk_share) share /= static_cast<double>(attributed);
+  }
+  return dyn;
+}
+
+double pair_meeting_seconds(const std::vector<Meeting>& meetings, std::size_t i, std::size_t j,
+                            bool private_only) {
+  double total = 0.0;
+  for (const auto& m : meetings) {
+    if (private_only && !m.is_private()) continue;
+    if (m.involves(i) && m.involves(j)) total += m.duration_s();
+  }
+  return total;
+}
+
+}  // namespace hs::sna

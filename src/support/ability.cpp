@@ -1,0 +1,69 @@
+#include "support/ability.hpp"
+
+#include <algorithm>
+
+namespace hs::support {
+
+const char* modality_name(Modality m) {
+  switch (m) {
+    case Modality::kVisual:
+      return "visual";
+    case Modality::kAudio:
+      return "audio";
+    case Modality::kHaptic:
+      return "haptic";
+  }
+  return "?";
+}
+
+bool AbilityProfile::can_use(Modality m) const {
+  const bool usable_m = std::find(usable.begin(), usable.end(), m) != usable.end();
+  const bool suspended_m = std::find(suspended.begin(), suspended.end(), m) != suspended.end();
+  return usable_m && !suspended_m;
+}
+
+std::array<AbilityProfile, crew::kCrewSize> icares_ability_profiles() {
+  std::array<AbilityProfile, crew::kCrewSize> profiles;
+  for (auto& p : profiles) {
+    p.usable = {Modality::kVisual, Modality::kAudio, Modality::kHaptic};
+  }
+  // Astronaut A: visually impaired — audio first, haptic fallback, no
+  // visual channel at all.
+  profiles[0].usable = {Modality::kAudio, Modality::kHaptic};
+  return profiles;
+}
+
+Delivery InterfaceAdapter::deliver(const Alert& alert, std::size_t astronaut) const {
+  Delivery d;
+  d.astronaut = astronaut;
+  for (const Modality m : profiles_[astronaut].usable) {
+    if (!profiles_[astronaut].can_use(m)) continue;
+    d.modality = m;
+    d.rendered = std::string("[") + modality_name(m) + "] " + alert.message;
+    return d;
+  }
+  d.rendered = "UNDELIVERABLE: " + alert.message;
+  return d;
+}
+
+std::vector<Delivery> InterfaceAdapter::broadcast(const Alert& alert) const {
+  std::vector<Delivery> out;
+  if (alert.astronaut.has_value()) {
+    out.push_back(deliver(alert, *alert.astronaut));
+    return out;
+  }
+  for (std::size_t i = 0; i < crew::kCrewSize; ++i) out.push_back(deliver(alert, i));
+  return out;
+}
+
+void InterfaceAdapter::suspend(std::size_t astronaut, Modality m) {
+  auto& s = profiles_[astronaut].suspended;
+  if (std::find(s.begin(), s.end(), m) == s.end()) s.push_back(m);
+}
+
+void InterfaceAdapter::restore(std::size_t astronaut, Modality m) {
+  auto& s = profiles_[astronaut].suspended;
+  s.erase(std::remove(s.begin(), s.end(), m), s.end());
+}
+
+}  // namespace hs::support

@@ -1,0 +1,70 @@
+// Ability-based interface adaptation.
+//
+// Section VI-C4: the habitat technology must adapt to each crew member's
+// abilities — "informative light signals complemented by sounds, buttons
+// corresponding to voice commands". Astronaut A could not read the e-ink
+// badge labels, which caused the day-9 badge swap. An AbilityProfile
+// records which modalities reach a crew member; the InterfaceAdapter
+// routes every alert through the best available modality and reports when
+// no modality works (a hard deployment error rather than a silent drop).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crew/profile.hpp"
+#include "support/alert.hpp"
+
+namespace hs::support {
+
+enum class Modality { kVisual = 0, kAudio = 1, kHaptic = 2 };
+constexpr int kModalityCount = 3;
+
+const char* modality_name(Modality m);
+
+struct AbilityProfile {
+  /// Usable modalities, most preferred first.
+  std::vector<Modality> usable;
+  /// Temporarily unavailable (e.g. no visual signalling inside an EVA suit
+  /// without a helmet display).
+  std::vector<Modality> suspended;
+
+  [[nodiscard]] bool can_use(Modality m) const;
+};
+
+/// Profiles for the ICAres-1 crew: everyone visual+audio+haptic except A
+/// (visually impaired: audio first, no visual).
+std::array<AbilityProfile, crew::kCrewSize> icares_ability_profiles();
+
+struct Delivery {
+  std::size_t astronaut = 0;
+  std::optional<Modality> modality;  ///< nullopt: undeliverable
+  std::string rendered;
+};
+
+class InterfaceAdapter {
+ public:
+  explicit InterfaceAdapter(std::array<AbilityProfile, crew::kCrewSize> profiles)
+      : profiles_(std::move(profiles)) {}
+
+  /// Route one alert to one crew member through their best modality.
+  [[nodiscard]] Delivery deliver(const Alert& alert, std::size_t astronaut) const;
+
+  /// Route to the whole crew (or the alert's subject if it has one).
+  [[nodiscard]] std::vector<Delivery> broadcast(const Alert& alert) const;
+
+  /// Suspend / restore a modality for one crew member (EVA, injury).
+  void suspend(std::size_t astronaut, Modality m);
+  void restore(std::size_t astronaut, Modality m);
+
+  [[nodiscard]] const AbilityProfile& profile(std::size_t astronaut) const {
+    return profiles_[astronaut];
+  }
+
+ private:
+  std::array<AbilityProfile, crew::kCrewSize> profiles_;
+};
+
+}  // namespace hs::support

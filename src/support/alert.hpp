@@ -1,0 +1,38 @@
+// Alerts raised by the mission support system (Section VI of the paper:
+// "a distributed system that monitors the surroundings, immediately alerts
+// of any anomalies and instructs the crew if needed").
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace hs::support {
+
+enum class AlertKind {
+  kDehydrationRisk,     ///< long stretch of duty without a kitchen visit
+  kPassiveCrewMember,   ///< talk share persistently far below crew median
+  kGroupTension,        ///< crew-wide conversation decline
+  kUnplannedGathering,  ///< whole crew converging outside the timetable
+  kResourceShortage,    ///< a consumable will run out before resupply
+  kCommandConflict,     ///< delayed Earth command contradicts local action
+  kBatteryLow,          ///< a wearable needs charging
+};
+
+const char* alert_kind_name(AlertKind kind);
+
+enum class Severity { kInfo, kWarning, kCritical };
+
+struct Alert {
+  SimTime time = 0;
+  AlertKind kind = AlertKind::kDehydrationRisk;
+  Severity severity = Severity::kInfo;
+  /// Crew member the alert concerns (nullopt: whole habitat).
+  std::optional<std::size_t> astronaut;
+  std::string message;
+};
+
+}  // namespace hs::support

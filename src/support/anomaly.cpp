@@ -1,0 +1,203 @@
+#include "support/anomaly.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+namespace hs::support {
+
+const char* alert_kind_name(AlertKind kind) {
+  switch (kind) {
+    case AlertKind::kDehydrationRisk:
+      return "dehydration-risk";
+    case AlertKind::kPassiveCrewMember:
+      return "passive-crew-member";
+    case AlertKind::kGroupTension:
+      return "group-tension";
+    case AlertKind::kUnplannedGathering:
+      return "unplanned-gathering";
+    case AlertKind::kResourceShortage:
+      return "resource-shortage";
+    case AlertKind::kCommandConflict:
+      return "command-conflict";
+    case AlertKind::kBatteryLow:
+      return "battery-low";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------- dehydration
+
+DehydrationDetector::DehydrationDetector(SimDuration max_gap) : max_gap_(max_gap) {
+  last_kitchen_.fill(-1);
+  last_alert_.fill(-kDay);
+}
+
+void DehydrationDetector::ingest(const CrewFeature& f, std::vector<Alert>& out) {
+  auto& last = last_kitchen_[f.astronaut];
+  // Duty starts count from the first observation of the day.
+  const SimDuration tod = time_of_day(f.t);
+  if (tod < hours(8) || last < day_start(mission_day(f.t))) last = f.t;
+  if (f.room == habitat::RoomId::kKitchen) {
+    last = f.t;
+    return;
+  }
+  const bool working =
+      f.room == habitat::RoomId::kOffice || f.room == habitat::RoomId::kWorkshop ||
+      f.room == habitat::RoomId::kBiolab || f.room == habitat::RoomId::kStorage;
+  if (!working) return;
+  if (f.t - last > max_gap_ && f.t - last_alert_[f.astronaut] > hours(2)) {
+    last_alert_[f.astronaut] = f.t;
+    out.push_back(Alert{f.t, AlertKind::kDehydrationRisk, Severity::kWarning, f.astronaut,
+                        std::string("astronaut ") + crew::astronaut_letter(f.astronaut) +
+                            " has not visited the kitchen for over " +
+                            format_fixed(to_hours(max_gap_), 1) + " h of work"});
+  }
+}
+
+// ------------------------------------------------------------------ passivity
+
+PassivityDetector::PassivityDetector(double median_ratio, int consecutive_days)
+    : median_ratio_(median_ratio), required_days_(consecutive_days) {}
+
+void PassivityDetector::ingest(const CrewFeature& f, std::vector<Alert>& out) {
+  const int day = mission_day(f.t);
+  if (day != current_day_) close_day(f.t, out);
+  ++total_seconds_[f.astronaut];
+  if (f.speech_detected) ++speech_seconds_[f.astronaut];
+}
+
+void PassivityDetector::end_of_second(SimTime now, std::vector<Alert>& out) {
+  if (mission_day(now) != current_day_) close_day(now, out);
+}
+
+void PassivityDetector::close_day(SimTime now, std::vector<Alert>& out) {
+  std::vector<double> fractions;
+  std::array<double, crew::kCrewSize> frac{};
+  for (std::size_t i = 0; i < crew::kCrewSize; ++i) {
+    if (total_seconds_[i] < 3600) {
+      frac[i] = -1.0;
+      continue;
+    }
+    frac[i] = static_cast<double>(speech_seconds_[i]) / static_cast<double>(total_seconds_[i]);
+    fractions.push_back(frac[i]);
+  }
+  if (fractions.size() >= 3) {
+    const double median = percentile(fractions, 50.0);
+    for (std::size_t i = 0; i < crew::kCrewSize; ++i) {
+      if (frac[i] < 0.0) {
+        low_streak_[i] = 0;
+        continue;
+      }
+      if (frac[i] < median_ratio_ * median) {
+        if (++low_streak_[i] == required_days_) {
+          out.push_back(Alert{now, AlertKind::kPassiveCrewMember, Severity::kInfo, i,
+                              std::string("astronaut ") + crew::astronaut_letter(i) +
+                                  " has been unusually quiet for " +
+                                  std::to_string(required_days_) + " days"});
+          low_streak_[i] = 0;
+        }
+      } else {
+        low_streak_[i] = 0;
+      }
+    }
+  }
+  speech_seconds_.fill(0);
+  total_seconds_.fill(0);
+  current_day_ = mission_day(now);
+}
+
+// --------------------------------------------------------------- group tension
+
+GroupTensionDetector::GroupTensionDetector(double drop_ratio) : drop_ratio_(drop_ratio) {}
+
+void GroupTensionDetector::ingest(const CrewFeature& f, std::vector<Alert>& out) {
+  const int day = mission_day(f.t);
+  if (day != current_day_) close_day(f.t, out);
+  ++total_seconds_;
+  if (f.speech_detected) ++speech_seconds_;
+}
+
+void GroupTensionDetector::end_of_second(SimTime now, std::vector<Alert>& out) {
+  if (mission_day(now) != current_day_) close_day(now, out);
+}
+
+void GroupTensionDetector::close_day(SimTime now, std::vector<Alert>& out) {
+  if (total_seconds_ >= 3600) {
+    const double today = static_cast<double>(speech_seconds_) / static_cast<double>(total_seconds_);
+    if (history_.size() >= 3) {
+      const double baseline = mean(history_);
+      if (baseline > 0.0 && today < drop_ratio_ * baseline) {
+        out.push_back(Alert{now, AlertKind::kGroupTension, Severity::kWarning, std::nullopt,
+                            "crew conversation has dropped to " +
+                                format_fixed(100.0 * today / baseline, 0) +
+                                "% of the mission baseline"});
+      }
+    }
+    history_.push_back(today);
+  }
+  speech_seconds_ = 0;
+  total_seconds_ = 0;
+  current_day_ = mission_day(now);
+}
+
+// --------------------------------------------------------- unplanned gathering
+
+UnplannedGatheringDetector::UnplannedGatheringDetector(
+    std::vector<std::pair<SimDuration, SimDuration>> planned, int min_crew,
+    SimDuration min_duration)
+    : planned_(std::move(planned)), min_crew_(min_crew), min_duration_(min_duration) {
+  rooms_.fill(habitat::RoomId::kNone);
+}
+
+void UnplannedGatheringDetector::ingest(const CrewFeature& f, std::vector<Alert>& out) {
+  (void)out;
+  rooms_[f.astronaut] = f.room;
+}
+
+void UnplannedGatheringDetector::end_of_second(SimTime now, std::vector<Alert>& out) {
+  const SimDuration tod = time_of_day(now);
+  bool planned = false;
+  for (const auto& [start, end] : planned_) {
+    if (tod >= start && tod < end) planned = true;
+  }
+
+  // Largest group in a *social* room right now. Work rooms are excluded:
+  // several crew members at the workshop bench is a team doing its job,
+  // not a gathering; the consolation meeting happened in the kitchen.
+  std::array<int, habitat::kRoomCount> counts{};
+  for (const auto room : rooms_) {
+    if (room != habitat::RoomId::kNone) ++counts[habitat::room_index(room)];
+  }
+  int best = 0;
+  habitat::RoomId best_room = habitat::RoomId::kNone;
+  for (const auto room : {habitat::RoomId::kKitchen, habitat::RoomId::kAtrium}) {
+    const int c = counts[habitat::room_index(room)];
+    if (c > best) {
+      best = c;
+      best_room = room;
+    }
+  }
+
+  const bool gathered = !planned && best >= min_crew_;
+  if (gathered) {
+    if (gathering_since_ < 0 || best_room != gathering_room_) {
+      gathering_since_ = now;
+      gathering_room_ = best_room;
+      reported_ = false;
+    } else if (!reported_ && now - gathering_since_ >= min_duration_) {
+      reported_ = true;
+      out.push_back(Alert{now, AlertKind::kUnplannedGathering, Severity::kInfo, std::nullopt,
+                          std::string("unplanned crew gathering in the ") +
+                              habitat::room_name(best_room) + " since " +
+                              format_clock(gathering_since_)});
+    }
+  } else {
+    gathering_since_ = -1;
+    gathering_room_ = habitat::RoomId::kNone;
+    reported_ = false;
+  }
+}
+
+}  // namespace hs::support

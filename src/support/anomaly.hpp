@@ -1,0 +1,109 @@
+// Real-time behavioural anomaly detection over the badge feature stream.
+//
+// Detectors consume the same per-second features the sociometric pipeline
+// derives offline (room, speech, walking) and raise alerts while the
+// mission runs — the paper's step from post-mortem analysis to a live
+// mission support system.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "crew/profile.hpp"
+#include "habitat/room.hpp"
+#include "support/alert.hpp"
+
+namespace hs::support {
+
+/// One second of badge-derived features for one crew member.
+struct CrewFeature {
+  SimTime t = 0;
+  std::size_t astronaut = 0;
+  habitat::RoomId room = habitat::RoomId::kNone;
+  bool speech_detected = false;
+  bool walking = false;
+};
+
+class AnomalyDetector {
+ public:
+  virtual ~AnomalyDetector() = default;
+  /// Ingest one crew member's feature sample; append any alerts raised.
+  virtual void ingest(const CrewFeature& feature, std::vector<Alert>& out) = 0;
+  /// Called once per simulated second after all ingests for that second.
+  virtual void end_of_second(SimTime /*now*/, std::vector<Alert>& /*out*/) {}
+};
+
+/// Dehydration risk: a crew member deep in office/workshop work who has
+/// not visited the kitchen for hours (the paper's observation that people
+/// "forgot about breaks ... and had to quickly supplement water").
+class DehydrationDetector final : public AnomalyDetector {
+ public:
+  explicit DehydrationDetector(SimDuration max_gap = hours(4));
+  void ingest(const CrewFeature& feature, std::vector<Alert>& out) override;
+
+ private:
+  SimDuration max_gap_;
+  std::array<SimTime, crew::kCrewSize> last_kitchen_{};
+  std::array<SimTime, crew::kCrewSize> last_alert_{};
+};
+
+/// Persistently passive crew member: daily speech fraction far below the
+/// crew median for consecutive days ("extra attention ... to the most
+/// passive astronaut").
+class PassivityDetector final : public AnomalyDetector {
+ public:
+  PassivityDetector(double median_ratio = 0.55, int consecutive_days = 2);
+  void ingest(const CrewFeature& feature, std::vector<Alert>& out) override;
+  void end_of_second(SimTime now, std::vector<Alert>& out) override;
+
+ private:
+  void close_day(SimTime now, std::vector<Alert>& out);
+
+  double median_ratio_;
+  int required_days_;
+  int current_day_ = 1;
+  std::array<std::size_t, crew::kCrewSize> speech_seconds_{};
+  std::array<std::size_t, crew::kCrewSize> total_seconds_{};
+  std::array<int, crew::kCrewSize> low_streak_{};
+};
+
+/// Crew-wide conversation decline: today's crew talk fraction has fallen
+/// well below the running mission baseline (days 11-12 in ICAres-1).
+class GroupTensionDetector final : public AnomalyDetector {
+ public:
+  explicit GroupTensionDetector(double drop_ratio = 0.5);
+  void ingest(const CrewFeature& feature, std::vector<Alert>& out) override;
+  void end_of_second(SimTime now, std::vector<Alert>& out) override;
+
+ private:
+  void close_day(SimTime now, std::vector<Alert>& out);
+
+  double drop_ratio_;
+  int current_day_ = 1;
+  std::size_t speech_seconds_ = 0;
+  std::size_t total_seconds_ = 0;
+  std::vector<double> history_;
+};
+
+/// The whole crew gathering in one room outside the planned communal slots
+/// (the unplanned consolation meeting after C's death).
+class UnplannedGatheringDetector final : public AnomalyDetector {
+ public:
+  /// `planned` are times-of-day [start, end) when gatherings are expected.
+  explicit UnplannedGatheringDetector(std::vector<std::pair<SimDuration, SimDuration>> planned,
+                                      int min_crew = 4, SimDuration min_duration = minutes(5));
+  void ingest(const CrewFeature& feature, std::vector<Alert>& out) override;
+  void end_of_second(SimTime now, std::vector<Alert>& out) override;
+
+ private:
+  std::vector<std::pair<SimDuration, SimDuration>> planned_;
+  int min_crew_;
+  SimDuration min_duration_;
+  std::array<habitat::RoomId, crew::kCrewSize> rooms_{};
+  SimTime gathering_since_ = -1;
+  habitat::RoomId gathering_room_ = habitat::RoomId::kNone;
+  bool reported_ = false;
+};
+
+}  // namespace hs::support

@@ -1,0 +1,91 @@
+#include "support/consensus.hpp"
+
+#include <algorithm>
+
+namespace hs::support {
+
+const char* proposal_state_name(ProposalState s) {
+  switch (s) {
+    case ProposalState::kPending:
+      return "pending";
+    case ProposalState::kApproved:
+      return "approved";
+    case ProposalState::kRejected:
+      return "rejected";
+    case ProposalState::kExpired:
+      return "expired";
+  }
+  return "?";
+}
+
+ChangeProposal::ChangeProposal(std::uint64_t id, std::string description,
+                               std::vector<VoterId> voters, SimTime proposed_at, SimDuration ttl)
+    : id_(id), description_(std::move(description)), voters_(std::move(voters)),
+      deadline_(proposed_at + ttl) {}
+
+bool ChangeProposal::vote(SimTime now, VoterId voter, bool approve) {
+  if (state_ != ProposalState::kPending) return false;
+  if (now > deadline_) {
+    state_ = ProposalState::kExpired;
+    return false;
+  }
+  if (std::find(voters_.begin(), voters_.end(), voter) == voters_.end()) return false;
+  if (votes_.count(voter) > 0) return false;  // no vote changes
+  votes_[voter] = approve;
+  if (!approve) {
+    state_ = ProposalState::kRejected;
+  } else if (approvals() == voters_.size()) {
+    state_ = ProposalState::kApproved;
+  }
+  return true;
+}
+
+void ChangeProposal::tick(SimTime now) {
+  if (state_ == ProposalState::kPending && now > deadline_) state_ = ProposalState::kExpired;
+}
+
+std::size_t ChangeProposal::approvals() const {
+  std::size_t n = 0;
+  for (const auto& [voter, approve] : votes_) n += approve ? 1 : 0;
+  return n;
+}
+
+std::uint64_t ChangeAuthority::propose(SimTime now, std::string description, SimDuration ttl) {
+  const auto id = next_id_++;
+  proposals_.emplace_back(id, std::move(description), voters_, now, ttl);
+  return id;
+}
+
+bool ChangeAuthority::vote(SimTime now, std::uint64_t proposal, VoterId voter, bool approve) {
+  for (auto& p : proposals_) {
+    if (p.id() == proposal) return p.vote(now, voter, approve);
+  }
+  return false;
+}
+
+void ChangeAuthority::tick(SimTime now) {
+  for (auto& p : proposals_) p.tick(now);
+}
+
+const ChangeProposal* ChangeAuthority::get(std::uint64_t id) const {
+  for (const auto& p : proposals_) {
+    if (p.id() == id) return &p;
+  }
+  return nullptr;
+}
+
+std::vector<const ChangeProposal*> ChangeAuthority::applied() const {
+  std::vector<const ChangeProposal*> out;
+  for (const auto& p : proposals_) {
+    if (p.state() == ProposalState::kApproved) out.push_back(&p);
+  }
+  return out;
+}
+
+std::size_t ChangeAuthority::open_count() const {
+  std::size_t n = 0;
+  for (const auto& p : proposals_) n += p.state() == ProposalState::kPending ? 1 : 0;
+  return n;
+}
+
+}  // namespace hs::support

@@ -1,0 +1,81 @@
+// Consensus approval of system changes.
+//
+// Section VI-C3: "to protect the system from harmful changes introduced by
+// disobedient individuals, it might be worthwhile to require approvals
+// from all the teammates and the mission control before any significant
+// change to the system is applied." A ChangeProposal gathers votes from
+// every crew member plus mission control; unanimity applies the change,
+// any rejection kills it, and proposals expire if votes don't arrive in
+// time (mission control is 20 light-minutes away).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace hs::support {
+
+/// Voter identity: crew indices 0..N-1, mission control = kMissionControl.
+using VoterId = std::size_t;
+constexpr VoterId kMissionControl = 1000;
+
+enum class ProposalState { kPending, kApproved, kRejected, kExpired };
+
+const char* proposal_state_name(ProposalState s);
+
+class ChangeProposal {
+ public:
+  ChangeProposal(std::uint64_t id, std::string description, std::vector<VoterId> voters,
+                 SimTime proposed_at, SimDuration ttl);
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] const std::string& description() const { return description_; }
+  [[nodiscard]] ProposalState state() const { return state_; }
+  [[nodiscard]] SimTime deadline() const { return deadline_; }
+
+  /// Record a vote. Votes after resolution or from non-voters are ignored
+  /// (returns false). A single rejection resolves the proposal immediately.
+  bool vote(SimTime now, VoterId voter, bool approve);
+
+  /// Advance time: expire if the deadline passed without resolution.
+  void tick(SimTime now);
+
+  [[nodiscard]] std::size_t approvals() const;
+  [[nodiscard]] std::size_t votes_cast() const { return votes_.size(); }
+  [[nodiscard]] bool has_voted(VoterId voter) const { return votes_.count(voter) > 0; }
+
+ private:
+  std::uint64_t id_;
+  std::string description_;
+  std::vector<VoterId> voters_;
+  SimTime deadline_;
+  ProposalState state_ = ProposalState::kPending;
+  std::map<VoterId, bool> votes_;
+};
+
+/// Registry of proposals; the single writer of applied changes.
+class ChangeAuthority {
+ public:
+  explicit ChangeAuthority(std::vector<VoterId> voters) : voters_(std::move(voters)) {}
+
+  /// Open a proposal; returns its id.
+  std::uint64_t propose(SimTime now, std::string description, SimDuration ttl = hours(2));
+
+  bool vote(SimTime now, std::uint64_t proposal, VoterId voter, bool approve);
+  void tick(SimTime now);
+
+  [[nodiscard]] const ChangeProposal* get(std::uint64_t id) const;
+  [[nodiscard]] std::vector<const ChangeProposal*> applied() const;
+  [[nodiscard]] std::size_t open_count() const;
+
+ private:
+  std::vector<VoterId> voters_;
+  std::uint64_t next_id_ = 1;
+  std::vector<ChangeProposal> proposals_;
+};
+
+}  // namespace hs::support

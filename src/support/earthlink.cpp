@@ -1,0 +1,20 @@
+#include "support/earthlink.hpp"
+
+namespace hs::support {
+
+void ConflictMonitor::record_local_decision(SimTime /*now*/, const std::string& what) {
+  ++version_;
+  log_.push_back(what);
+}
+
+bool ConflictMonitor::process(SimTime now, const Command& command, std::vector<Alert>& out) {
+  if (command.based_on_version == version_) return true;
+  out.push_back(Alert{now, AlertKind::kCommandConflict, Severity::kCritical, std::nullopt,
+                      "command '" + command.action + "' was issued against habitat state v" +
+                          std::to_string(command.based_on_version) + " but local state is v" +
+                          std::to_string(version_) +
+                          " — crew action has superseded it; requesting re-confirmation"});
+  return false;
+}
+
+}  // namespace hs::support

@@ -1,0 +1,78 @@
+// The Earth-Mars communication link and the delayed-command conflict.
+//
+// ICAres-1 delayed all communication with mission control by 20 minutes
+// each way. On day 12, "delayed instructions from the mission control
+// contradicted the course of action already taken by the crew". EarthLink
+// models the delayed duplex channel; ConflictMonitor implements the
+// paper's suggested mitigation: commands carry the habitat-state version
+// they were issued against, and a command arriving after local state has
+// moved on is flagged instead of silently applied.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/alert.hpp"
+#include "util/units.hpp"
+
+namespace hs::support {
+
+struct Command {
+  std::uint64_t id = 0;
+  std::string action;
+  /// Habitat decision-state version the sender believed current.
+  std::uint64_t based_on_version = 0;
+  SimTime sent_at = 0;
+};
+
+/// One direction of the delayed link. Messages become receivable
+/// `delay` after being sent.
+template <typename T>
+class DelayedChannel {
+ public:
+  explicit DelayedChannel(SimDuration delay) : delay_(delay) {}
+
+  void send(SimTime now, T message) { queue_.push_back({now + delay_, std::move(message)}); }
+
+  /// Messages that have arrived by `now`, in order.
+  std::vector<T> receive(SimTime now) {
+    std::vector<T> out;
+    while (!queue_.empty() && queue_.front().first <= now) {
+      out.push_back(std::move(queue_.front().second));
+      queue_.pop_front();
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t in_flight() const { return queue_.size(); }
+  [[nodiscard]] SimDuration delay() const { return delay_; }
+
+ private:
+  SimDuration delay_;
+  std::deque<std::pair<SimTime, T>> queue_;
+};
+
+/// Habitat-side command intake with staleness detection.
+class ConflictMonitor {
+ public:
+  /// The crew (or the autonomous system) made a decision locally,
+  /// advancing the habitat decision state.
+  void record_local_decision(SimTime now, const std::string& what);
+
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
+  /// Process an arrived command: apply if its basis is current, flag a
+  /// conflict alert otherwise. Returns true when applied.
+  bool process(SimTime now, const Command& command, std::vector<Alert>& out);
+
+  [[nodiscard]] const std::vector<std::string>& decision_log() const { return log_; }
+
+ private:
+  std::uint64_t version_ = 0;
+  std::vector<std::string> log_;
+};
+
+}  // namespace hs::support

@@ -1,0 +1,78 @@
+#include "support/resources.hpp"
+
+#include <cassert>
+#include <limits>
+
+#include "util/strings.hpp"
+
+namespace hs::support {
+
+const char* resource_name(Resource r) {
+  switch (r) {
+    case Resource::kFoodKcal:
+      return "food";
+    case Resource::kWaterLiters:
+      return "water";
+    case Resource::kOxygenKg:
+      return "oxygen";
+    case Resource::kPowerKwh:
+      return "power";
+  }
+  return "?";
+}
+
+ResourceLedger ResourceLedger::icares_default(int crew_size) {
+  ResourceLedger ledger;
+  const double days = 14.0 * 1.2;  // 20% margin
+  ledger.set_state(Resource::kFoodKcal, {2500.0 * crew_size * days, 2500.0, 0.0});
+  ledger.set_state(Resource::kWaterLiters, {11.0 * crew_size * days + 40.0 * days, 11.0, 40.0});
+  ledger.set_state(Resource::kOxygenKg, {0.84 * crew_size * days, 0.84, 0.0});
+  ledger.set_state(Resource::kPowerKwh, {(1.5 * crew_size + 55.0) * days, 1.5, 55.0});
+  return ledger;
+}
+
+void ResourceLedger::set_state(Resource r, ResourceState state) {
+  states_[static_cast<int>(r)] = state;
+}
+
+const ResourceState& ResourceLedger::state(Resource r) const {
+  return states_[static_cast<int>(r)];
+}
+
+void ResourceLedger::set_ration(Resource r, double fraction_of_nominal) {
+  assert(fraction_of_nominal >= 0.0);
+  ration_[static_cast<int>(r)] = fraction_of_nominal;
+}
+
+void ResourceLedger::consume_day(int crew_size) {
+  for (int i = 0; i < kResourceCount; ++i) {
+    auto& s = states_[i];
+    const double use = s.daily_base_use + s.daily_use_per_person * crew_size * ration_[i];
+    s.stock = std::max(0.0, s.stock - use);
+  }
+}
+
+double ResourceLedger::days_remaining(Resource r, int crew_size) const {
+  const int i = static_cast<int>(r);
+  const auto& s = states_[i];
+  const double use = s.daily_base_use + s.daily_use_per_person * crew_size * ration_[i];
+  if (use <= 0.0) return std::numeric_limits<double>::infinity();
+  return s.stock / use;
+}
+
+void ResourceLedger::check(SimTime now, int crew_size, double warn_days,
+                           std::vector<Alert>& out) const {
+  for (int i = 0; i < kResourceCount; ++i) {
+    const auto r = static_cast<Resource>(i);
+    const double days = days_remaining(r, crew_size);
+    if (days < warn_days) {
+      out.push_back(Alert{now, AlertKind::kResourceShortage,
+                          days < warn_days / 2 ? Severity::kCritical : Severity::kWarning,
+                          std::nullopt,
+                          std::string(resource_name(r)) + " runs out in " +
+                              format_fixed(days, 1) + " days at current rates"});
+    }
+  }
+}
+
+}  // namespace hs::support

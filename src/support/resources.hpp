@@ -1,0 +1,59 @@
+// Scarce-resource accounting and shortage forecasting.
+//
+// Section VI: "optimizing utilization of scarce resources, such as power,
+// water, oxygen, food, especially during critical periods". The ledger
+// tracks stocks, per-astronaut consumption rates, and forecasts when each
+// resource runs out; crossing the warning horizon raises an alert (the
+// day-11 ration cut in ICAres-1 is the scripted stress case).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "support/alert.hpp"
+#include "util/units.hpp"
+
+namespace hs::support {
+
+enum class Resource { kFoodKcal = 0, kWaterLiters = 1, kOxygenKg = 2, kPowerKwh = 3 };
+constexpr int kResourceCount = 4;
+
+const char* resource_name(Resource r);
+
+struct ResourceState {
+  double stock = 0.0;
+  double daily_use_per_person = 0.0;  ///< nominal rate
+  double daily_base_use = 0.0;        ///< habitat overhead regardless of crew
+};
+
+class ResourceLedger {
+ public:
+  /// A plausible 6-person, 14-day stocking with ~20% margin.
+  static ResourceLedger icares_default(int crew_size = 6);
+
+  ResourceLedger() = default;
+
+  void set_state(Resource r, ResourceState state);
+  [[nodiscard]] const ResourceState& state(Resource r) const;
+
+  /// Scale one resource's per-person rate (the 500 kcal ration cut is
+  /// set_ration(kFoodKcal, 500.0 / 2500.0)).
+  void set_ration(Resource r, double fraction_of_nominal);
+
+  /// Advance one day of consumption for `crew_size` people.
+  void consume_day(int crew_size);
+
+  /// Days until the resource is exhausted at current rates (inf if no use).
+  [[nodiscard]] double days_remaining(Resource r, int crew_size) const;
+
+  /// Raise shortage alerts for resources whose horizon is below
+  /// `warn_days` (call after consume_day).
+  void check(SimTime now, int crew_size, double warn_days, std::vector<Alert>& out) const;
+
+ private:
+  std::array<ResourceState, kResourceCount> states_{};
+  std::array<double, kResourceCount> ration_{1.0, 1.0, 1.0, 1.0};
+};
+
+}  // namespace hs::support

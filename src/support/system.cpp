@@ -1,0 +1,76 @@
+#include "support/system.hpp"
+
+namespace hs::support {
+namespace {
+
+std::vector<VoterId> all_voters(int crew_size) {
+  std::vector<VoterId> voters;
+  for (int i = 0; i < crew_size; ++i) voters.push_back(static_cast<VoterId>(i));
+  voters.push_back(kMissionControl);
+  return voters;
+}
+
+}  // namespace
+
+SupportSystem::SupportSystem(SupportConfig config)
+    : config_(config),
+      resources_(ResourceLedger::icares_default(config.crew_size)),
+      uplink_(config.earth_delay),
+      downlink_(config.earth_delay),
+      changes_(all_voters(config.crew_size)),
+      adapter_(icares_ability_profiles()) {
+  detectors_.push_back(std::make_unique<DehydrationDetector>());
+  detectors_.push_back(std::make_unique<PassivityDetector>());
+  detectors_.push_back(std::make_unique<GroupTensionDetector>());
+  // Planned communal windows: meals and the evening briefing.
+  detectors_.push_back(std::make_unique<UnplannedGatheringDetector>(
+      std::vector<std::pair<SimDuration, SimDuration>>{
+          {hours(8), hours(8) + minutes(40)},
+          {hours(12) + minutes(30), hours(13) + minutes(10)},
+          {hours(19), hours(19) + minutes(40)},
+          {hours(21), hours(21) + minutes(40)},
+      }));
+}
+
+void SupportSystem::route_new_alerts(std::size_t from_index) {
+  for (std::size_t i = from_index; i < alerts_.size(); ++i) {
+    const auto routed = adapter_.broadcast(alerts_[i]);
+    deliveries_.insert(deliveries_.end(), routed.begin(), routed.end());
+  }
+}
+
+void SupportSystem::ingest(const CrewFeature& feature) {
+  const std::size_t before = alerts_.size();
+  for (auto& d : detectors_) d->ingest(feature, alerts_);
+  route_new_alerts(before);
+}
+
+void SupportSystem::end_of_second(SimTime now) {
+  const std::size_t before = alerts_.size();
+  for (auto& d : detectors_) d->end_of_second(now, alerts_);
+  changes_.tick(now);
+  route_new_alerts(before);
+}
+
+void SupportSystem::end_of_day(SimTime now) {
+  const std::size_t before = alerts_.size();
+  resources_.consume_day(config_.crew_size);
+  resources_.check(now, config_.crew_size, config_.resource_warn_days, alerts_);
+  route_new_alerts(before);
+}
+
+void SupportSystem::poll_uplink(SimTime now) {
+  const std::size_t before = alerts_.size();
+  for (const auto& command : uplink_.receive(now)) {
+    conflicts_.process(now, command, alerts_);
+  }
+  route_new_alerts(before);
+}
+
+std::size_t SupportSystem::alert_count(AlertKind kind) const {
+  std::size_t n = 0;
+  for (const auto& a : alerts_) n += a.kind == kind ? 1 : 0;
+  return n;
+}
+
+}  // namespace hs::support

@@ -1,0 +1,73 @@
+// The assembled mission support system.
+//
+// Wires the anomaly detectors, the resource ledger, the delayed Earth
+// link, the consensus authority and the ability-based interface into one
+// component that ingests the live badge feature stream and accumulates
+// alerts + deliveries. This is the Section VI system running *during* the
+// mission, as opposed to the offline AnalysisPipeline.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "support/ability.hpp"
+#include "support/anomaly.hpp"
+#include "support/consensus.hpp"
+#include "support/earthlink.hpp"
+#include "support/resources.hpp"
+
+namespace hs::support {
+
+struct SupportConfig {
+  SimDuration earth_delay = minutes(20);
+  double resource_warn_days = 4.0;
+  int crew_size = 6;
+};
+
+class SupportSystem {
+ public:
+  explicit SupportSystem(SupportConfig config = {});
+
+  /// Ingest one crew member's feature sample for the current second.
+  void ingest(const CrewFeature& feature);
+
+  /// Close the current second (run gathering/day-boundary logic).
+  void end_of_second(SimTime now);
+
+  /// Daily housekeeping: consume resources, forecast shortages.
+  void end_of_day(SimTime now);
+
+  // --- sub-systems ----------------------------------------------------------
+  [[nodiscard]] ResourceLedger& resources() { return resources_; }
+  [[nodiscard]] DelayedChannel<Command>& uplink() { return uplink_; }     // Earth -> habitat
+  [[nodiscard]] DelayedChannel<std::string>& downlink() { return downlink_; }  // habitat -> Earth
+  [[nodiscard]] ConflictMonitor& conflicts() { return conflicts_; }
+  [[nodiscard]] ChangeAuthority& changes() { return changes_; }
+  [[nodiscard]] InterfaceAdapter& interface_adapter() { return adapter_; }
+
+  /// Pump arrived uplink commands through the conflict monitor.
+  void poll_uplink(SimTime now);
+
+  /// All alerts raised so far, in order.
+  [[nodiscard]] const std::vector<Alert>& alerts() const { return alerts_; }
+  /// Interface deliveries corresponding to the alerts.
+  [[nodiscard]] const std::vector<Delivery>& deliveries() const { return deliveries_; }
+
+  [[nodiscard]] std::size_t alert_count(AlertKind kind) const;
+
+ private:
+  void route_new_alerts(std::size_t from_index);
+
+  SupportConfig config_;
+  std::vector<std::unique_ptr<AnomalyDetector>> detectors_;
+  ResourceLedger resources_;
+  DelayedChannel<Command> uplink_;
+  DelayedChannel<std::string> downlink_;
+  ConflictMonitor conflicts_;
+  ChangeAuthority changes_;
+  InterfaceAdapter adapter_;
+  std::vector<Alert> alerts_;
+  std::vector<Delivery> deliveries_;
+};
+
+}  // namespace hs::support

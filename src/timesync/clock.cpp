@@ -1,0 +1,19 @@
+#include "timesync/clock.hpp"
+
+#include <cmath>
+
+namespace hs::timesync {
+
+io::LocalMs DriftingClock::local_ms(SimTime t) const {
+  const double elapsed_ms = static_cast<double>(t - boot_) / static_cast<double>(kMillisecond);
+  const double local = elapsed_ms * (1.0 + drift_ppm_ * 1e-6) + static_cast<double>(initial_offset_ms_);
+  return static_cast<io::LocalMs>(std::llround(local));
+}
+
+SimTime DriftingClock::true_time(io::LocalMs local) const {
+  const double elapsed_ms =
+      (static_cast<double>(local) - static_cast<double>(initial_offset_ms_)) / (1.0 + drift_ppm_ * 1e-6);
+  return boot_ + static_cast<SimTime>(std::llround(elapsed_ms * static_cast<double>(kMillisecond)));
+}
+
+}  // namespace hs::timesync

@@ -1,0 +1,42 @@
+// Drifting badge clocks.
+//
+// Each badge stamps its records with a local millisecond counter driven by
+// a cheap crystal oscillator: a fixed frequency error (tens of ppm) plus a
+// boot-time offset. Over a two-week mission tens of ppm accumulate to tens
+// of seconds — enough to corrupt cross-badge meeting detection — which is
+// why the deployment used a permanently-charged reference badge as a time
+// source (paper, Section IV).
+#pragma once
+
+#include <cstdint>
+
+#include "io/records.hpp"
+#include "util/units.hpp"
+
+namespace hs::timesync {
+
+class DriftingClock {
+ public:
+  /// `boot` — true time at counter zero; `drift_ppm` — frequency error
+  /// (+20 means the local clock runs 20 ppm fast); `initial_offset_ms` —
+  /// counter value at boot (badges reboot with stale counters).
+  DriftingClock(SimTime boot, double drift_ppm, std::uint32_t initial_offset_ms = 0)
+      : boot_(boot), drift_ppm_(drift_ppm), initial_offset_ms_(initial_offset_ms) {}
+
+  /// Local milliseconds shown at true time `t` (t >= boot).
+  [[nodiscard]] io::LocalMs local_ms(SimTime t) const;
+
+  /// Inverse mapping: true time at which the clock shows `local`
+  /// (exact up to rounding; used by tests, not by the pipeline).
+  [[nodiscard]] SimTime true_time(io::LocalMs local) const;
+
+  [[nodiscard]] double drift_ppm() const { return drift_ppm_; }
+  [[nodiscard]] SimTime boot() const { return boot_; }
+
+ private:
+  SimTime boot_;
+  double drift_ppm_;
+  std::uint32_t initial_offset_ms_;
+};
+
+}  // namespace hs::timesync

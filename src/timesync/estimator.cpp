@@ -1,0 +1,60 @@
+#include "timesync/estimator.hpp"
+
+#include <cmath>
+
+namespace hs::timesync {
+
+void OffsetEstimator::add_samples(const std::vector<io::SyncSample>& ss) {
+  samples_.insert(samples_.end(), ss.begin(), ss.end());
+}
+
+std::size_t OffsetEstimator::sample_count(io::BadgeId badge) const {
+  std::size_t n = 0;
+  for (const auto& s : samples_) {
+    if (s.badge == badge) ++n;
+  }
+  return n;
+}
+
+Expected<ClockFit> OffsetEstimator::fit(io::BadgeId badge) const {
+  // Accumulate in double; timestamps are < 2^31 ms so products stay exact
+  // enough after centering.
+  std::vector<const io::SyncSample*> mine;
+  for (const auto& s : samples_) {
+    if (s.badge == badge) mine.push_back(&s);
+  }
+  if (mine.empty()) {
+    return Error{"timesync: no sync samples for badge " + std::to_string(int{badge})};
+  }
+
+  double mean_local = 0.0;
+  double mean_ref = 0.0;
+  for (const auto* s : mine) {
+    mean_local += static_cast<double>(s->local);
+    mean_ref += static_cast<double>(s->ref);
+  }
+  const auto n = static_cast<double>(mine.size());
+  mean_local /= n;
+  mean_ref /= n;
+
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (const auto* s : mine) {
+    const double dl = static_cast<double>(s->local) - mean_local;
+    const double dr = static_cast<double>(s->ref) - mean_ref;
+    sxx += dl * dl;
+    sxy += dl * dr;
+  }
+
+  ClockFit fit;
+  fit.samples = mine.size();
+  fit.rate = sxx > 0.0 ? sxy / sxx : 1.0;
+  fit.offset_ms = mean_ref - fit.rate * mean_local;
+  for (const auto* s : mine) {
+    const double resid = std::fabs(fit.rectify(s->local) - static_cast<double>(s->ref));
+    fit.max_residual_ms = std::max(fit.max_residual_ms, resid);
+  }
+  return fit;
+}
+
+}  // namespace hs::timesync

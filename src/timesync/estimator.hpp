@@ -1,0 +1,48 @@
+// Post-hoc clock rectification from opportunistic reference contacts.
+//
+// During the mission every badge opportunistically exchanged timestamps
+// with the permanently-charged reference badge; offline, we fit
+// ref = a + b * local by least squares per badge and rewrite every record
+// timestamp onto the reference timeline. This is the "compute clock shifts
+// between distinct devices" step the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "io/records.hpp"
+#include "util/expected.hpp"
+
+namespace hs::timesync {
+
+/// Fit for one badge's clock against the reference timeline.
+struct ClockFit {
+  double offset_ms = 0.0;  ///< a: ref at local == 0
+  double rate = 1.0;       ///< b: d(ref)/d(local)
+  std::size_t samples = 0;
+  double max_residual_ms = 0.0;
+
+  /// Rectify a local timestamp onto the reference timeline (ms).
+  [[nodiscard]] double rectify(io::LocalMs local) const {
+    return offset_ms + rate * static_cast<double>(local);
+  }
+};
+
+class OffsetEstimator {
+ public:
+  void add_sample(const io::SyncSample& s) { samples_.push_back(s); }
+  void add_samples(const std::vector<io::SyncSample>& ss);
+
+  /// Least-squares fit for one badge. Requires >= 2 samples with distinct
+  /// local timestamps; single-sample fits fall back to offset-only
+  /// (rate 1.0). No samples is an error.
+  [[nodiscard]] Expected<ClockFit> fit(io::BadgeId badge) const;
+
+  [[nodiscard]] std::size_t sample_count(io::BadgeId badge) const;
+
+ private:
+  std::vector<io::SyncSample> samples_;
+};
+
+}  // namespace hs::timesync

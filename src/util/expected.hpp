@@ -1,0 +1,83 @@
+// Minimal Expected<T> for recoverable errors across module boundaries.
+// C++20 predates std::expected; this is a value-semantic stand-in covering
+// the subset the library needs.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace hs {
+
+/// Error payload carried by Expected on the failure path.
+struct Error {
+  std::string message;
+
+  friend bool operator==(const Error&, const Error&) = default;
+};
+
+/// Either a value of type T or an Error. Queries must check has_value()
+/// before dereferencing; dereferencing an error is a programming bug and
+/// asserts in debug builds.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Expected(Error err) : state_(std::move(err)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool has_value() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return has_value(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(has_value());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(has_value());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(has_value());
+    return std::get<T>(std::move(state_));
+  }
+
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!has_value());
+    return std::get<Error>(state_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return has_value() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+/// Expected<void> analogue: success or an Error.
+class Status {
+ public:
+  Status() = default;
+  Status(Error err) : error_(std::move(err)), failed_(true) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] const Error& error() const {
+    assert(failed_);
+    return error_;
+  }
+
+  static Status success() { return {}; }
+
+ private:
+  Error error_;
+  bool failed_ = false;
+};
+
+}  // namespace hs

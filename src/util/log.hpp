@@ -1,0 +1,44 @@
+// Leveled logging to stderr. The simulator is deterministic and mostly
+// silent; logging exists for examples, benches and debugging.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped. Default: kWarn.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a single log line (no trailing newline needed).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define HS_LOG_DEBUG() ::hs::detail::LogLine(::hs::LogLevel::kDebug)
+#define HS_LOG_INFO() ::hs::detail::LogLine(::hs::LogLevel::kInfo)
+#define HS_LOG_WARN() ::hs::detail::LogLine(::hs::LogLevel::kWarn)
+#define HS_LOG_ERROR() ::hs::detail::LogLine(::hs::LogLevel::kError)
+
+}  // namespace hs

@@ -1,0 +1,60 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the simulator draw from an hs::Rng seeded
+// from the mission config, so every run is exactly reproducible. The
+// generator is xoshiro256** (Blackman & Vigna), which is fast, has a 256-bit
+// state and passes BigCrush; we implement it locally to avoid depending on
+// unspecified std::mt19937 streams across standard libraries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace hs {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Raw 64 uniformly random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box–Muller (cached pair).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Exponential with the given mean (mean > 0).
+  double exponential(double mean);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Index drawn proportionally to the given non-negative weights.
+  /// Returns 0 if all weights are zero or the vector is empty... empty
+  /// input is a bug and asserts.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Derive an independent generator for a subcomponent; `stream` values
+  /// must be distinct per component for independence.
+  [[nodiscard]] Rng fork(std::uint64_t stream) const;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace hs

@@ -1,0 +1,49 @@
+// Small statistics helpers shared by the analysis pipeline and tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hs {
+
+/// Single-pass accumulator for count/mean/variance/min/max (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return count_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+double mean(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile; p in [0, 100]. Empty input returns 0.
+double percentile(std::vector<double> xs, double p);
+
+/// Pearson correlation of two equally-sized series; 0 if degenerate.
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Ordinary least squares fit y = a + b*x. Returns {a, b}; {0,0} if
+/// fewer than two points or zero x-variance.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+LinearFit linear_fit(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace hs

@@ -1,0 +1,44 @@
+#include "util/strings.hpp"
+
+#include <cstdio>
+
+namespace hs {
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string format_clock(SimTime t) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d", hour_of_day(t), minute_of_hour(t));
+  return buf;
+}
+
+std::string format_mission_time(SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%dd %02d:%02d", mission_day(t), hour_of_day(t), minute_of_hour(t));
+  return buf;
+}
+
+std::string join(const std::vector<std::string>& items, const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s.substr(0, width);
+  return s + std::string(width - s.size(), ' ');
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s.substr(0, width);
+  return std::string(width - s.size(), ' ') + s;
+}
+
+}  // namespace hs

@@ -1,0 +1,27 @@
+// String formatting helpers for the ASCII reports the bench harnesses print.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace hs {
+
+/// Fixed-point decimal, e.g. format_fixed(0.6312, 2) == "0.63".
+std::string format_fixed(double value, int decimals);
+
+/// "HH:MM" for the time-of-day of a SimTime instant.
+std::string format_clock(SimTime t);
+
+/// "Xd HH:MM" mission timestamp (1-based day).
+std::string format_mission_time(SimTime t);
+
+/// Join items with a separator.
+std::string join(const std::vector<std::string>& items, const std::string& sep);
+
+/// Left/right padding to a given width (truncates if longer).
+std::string pad_right(const std::string& s, std::size_t width);
+std::string pad_left(const std::string& s, std::size_t width);
+
+}  // namespace hs

@@ -1,0 +1,61 @@
+// Simulation time and physical-unit helpers.
+//
+// Simulated time is an int64 count of microseconds since mission start
+// (t = 0 is 00:00 local habitat time of mission day 1). Microsecond
+// resolution keeps radio-level timing exact while int64 covers ~292k years.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+namespace hs {
+
+/// Simulated time in microseconds since mission start (day 1, 00:00 local).
+using SimTime = std::int64_t;
+/// Difference between two SimTime values, also in microseconds.
+using SimDuration = std::int64_t;
+
+constexpr SimDuration kMicrosecond = 1;
+constexpr SimDuration kMillisecond = 1000;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+constexpr SimDuration kMinute = 60 * kSecond;
+constexpr SimDuration kHour = 60 * kMinute;
+constexpr SimDuration kDay = 24 * kHour;
+
+constexpr SimDuration milliseconds(std::int64_t n) { return n * kMillisecond; }
+constexpr SimDuration seconds(std::int64_t n) { return n * kSecond; }
+/// Floating-point seconds (constrained so integer literals pick the exact
+/// int64 overload instead of being ambiguous).
+template <std::floating_point T>
+constexpr SimDuration seconds(T n) {
+  return static_cast<SimDuration>(n * static_cast<T>(kSecond));
+}
+constexpr SimDuration minutes(std::int64_t n) { return n * kMinute; }
+constexpr SimDuration hours(std::int64_t n) { return n * kHour; }
+constexpr SimDuration days(std::int64_t n) { return n * kDay; }
+
+constexpr double to_seconds(SimDuration d) { return static_cast<double>(d) / static_cast<double>(kSecond); }
+constexpr double to_minutes(SimDuration d) { return static_cast<double>(d) / static_cast<double>(kMinute); }
+constexpr double to_hours(SimDuration d) { return static_cast<double>(d) / static_cast<double>(kHour); }
+
+/// Mission day number (1-based) containing the given instant.
+constexpr int mission_day(SimTime t) { return static_cast<int>(t / kDay) + 1; }
+
+/// Time of day within the instant's mission day.
+constexpr SimDuration time_of_day(SimTime t) { return t % kDay; }
+
+/// Start instant of a (1-based) mission day.
+constexpr SimTime day_start(int day) { return static_cast<SimTime>(day - 1) * kDay; }
+
+/// Clock-style "HH:MM" components of a time of day.
+constexpr int hour_of_day(SimTime t) { return static_cast<int>(time_of_day(t) / kHour); }
+constexpr int minute_of_hour(SimTime t) { return static_cast<int>((time_of_day(t) % kHour) / kMinute); }
+
+/// Data sizes.
+constexpr std::int64_t kKiB = 1024;
+constexpr std::int64_t kMiB = 1024 * kKiB;
+constexpr std::int64_t kGiB = 1024 * kMiB;
+
+constexpr double to_gib(std::int64_t bytes) { return static_cast<double>(bytes) / static_cast<double>(kGiB); }
+
+}  // namespace hs

@@ -1,0 +1,46 @@
+// 2-D vector math used for habitat geometry and movement.
+#pragma once
+
+#include <cmath>
+
+namespace hs {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+
+  [[nodiscard]] double norm() const { return std::sqrt(x * x + y * y); }
+  [[nodiscard]] constexpr double norm_sq() const { return x * x + y * y; }
+  [[nodiscard]] constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+
+  /// Unit vector in the same direction; zero vector maps to zero.
+  [[nodiscard]] Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+
+  friend constexpr bool operator==(Vec2, Vec2) = default;
+};
+
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+/// Angle (radians) of the vector from a to b, in (-pi, pi].
+inline double heading(Vec2 from, Vec2 to) { return std::atan2(to.y - from.y, to.x - from.x); }
+
+/// Smallest absolute difference between two angles, in [0, pi].
+inline double angle_between(double a, double b) {
+  double d = std::fmod(std::fabs(a - b), 2.0 * M_PI);
+  return d > M_PI ? 2.0 * M_PI - d : d;
+}
+
+}  // namespace hs

@@ -1,0 +1,82 @@
+// Unit tests for beacon deployment.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "beacon/beacon.hpp"
+
+namespace hs::beacon {
+namespace {
+
+class BeaconTest : public ::testing::Test {
+ protected:
+  habitat::Habitat habitat_ = habitat::Habitat::lunares();
+};
+
+TEST_F(BeaconTest, DeploysExactly27ByDefault) {
+  const auto beacons = deploy_lunares_beacons(habitat_);
+  EXPECT_EQ(beacons.size(), 27u);
+}
+
+TEST_F(BeaconTest, IdsAreUniqueAndDense) {
+  const auto beacons = deploy_lunares_beacons(habitat_);
+  std::set<io::BeaconId> ids;
+  for (const auto& b : beacons) ids.insert(b.id);
+  EXPECT_EQ(ids.size(), beacons.size());
+  EXPECT_EQ(*ids.begin(), 0);
+  EXPECT_EQ(*ids.rbegin(), static_cast<io::BeaconId>(beacons.size() - 1));
+}
+
+TEST_F(BeaconTest, PositionsInsideDeclaredRooms) {
+  for (const auto& b : deploy_lunares_beacons(habitat_)) {
+    EXPECT_EQ(habitat_.room_at(b.position), b.room) << "beacon " << int{b.id};
+  }
+}
+
+TEST_F(BeaconTest, EveryRoomExceptHangarCovered) {
+  const auto beacons = deploy_lunares_beacons(habitat_);
+  std::set<habitat::RoomId> covered;
+  for (const auto& b : beacons) covered.insert(b.room);
+  for (const auto room : habitat::all_rooms()) {
+    if (room == habitat::RoomId::kHangar) {
+      EXPECT_EQ(covered.count(room), 0u);
+    } else {
+      EXPECT_EQ(covered.count(room), 1u) << habitat::room_name(room);
+    }
+  }
+}
+
+TEST_F(BeaconTest, AtLeastTwoBeaconsPerCoveredRoomAt27) {
+  const auto beacons = deploy_lunares_beacons(habitat_);
+  std::map<habitat::RoomId, int> counts;
+  for (const auto& b : beacons) ++counts[b.room];
+  for (const auto& [room, n] : counts) EXPECT_GE(n, 2) << habitat::room_name(room);
+}
+
+TEST_F(BeaconTest, ScalesToOtherCounts) {
+  for (int count : {9, 18, 27, 40, 54}) {
+    const auto beacons = deploy_lunares_beacons(habitat_, count);
+    EXPECT_EQ(beacons.size(), static_cast<std::size_t>(count)) << count;
+  }
+}
+
+TEST_F(BeaconTest, BeaconsSpatiallySpreadWithinRoom) {
+  const auto beacons = deploy_lunares_beacons(habitat_);
+  // Any two beacons in the same room must not coincide.
+  for (std::size_t i = 0; i < beacons.size(); ++i) {
+    for (std::size_t j = i + 1; j < beacons.size(); ++j) {
+      if (beacons[i].room != beacons[j].room) continue;
+      EXPECT_GT(distance(beacons[i].position, beacons[j].position), 0.4);
+    }
+  }
+}
+
+TEST_F(BeaconTest, AdvertisementRateIsThreeHz) {
+  for (const auto& b : deploy_lunares_beacons(habitat_)) {
+    EXPECT_DOUBLE_EQ(b.adv_rate_hz, 3.0);
+  }
+}
+
+}  // namespace
+}  // namespace hs::beacon

@@ -1,0 +1,287 @@
+// Integration tests: MissionRunner + AnalysisPipeline on short missions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analysis.hpp"
+#include "core/runner.hpp"
+
+namespace hs::core {
+namespace {
+
+using habitat::RoomId;
+
+/// One 4-day mission shared by every test in this suite (running the
+/// simulator once keeps the suite fast).
+class ShortMissionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    MissionConfig config;
+    config.seed = 2024;
+    MissionRunner runner(config);
+    dataset_ = new Dataset(runner.run_days(4));
+    pipeline_ = new AnalysisPipeline(*dataset_);
+  }
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    delete dataset_;
+    pipeline_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static Dataset* dataset_;
+  static AnalysisPipeline* pipeline_;
+};
+
+Dataset* ShortMissionTest::dataset_ = nullptr;
+AnalysisPipeline* ShortMissionTest::pipeline_ = nullptr;
+
+TEST_F(ShortMissionTest, DatasetHasAllBadges) {
+  // 6 crew + reference + 6 backups.
+  EXPECT_EQ(dataset_->logs.size(), 13u);
+  EXPECT_NE(dataset_->log(io::kReferenceBadge), nullptr);
+}
+
+TEST_F(ShortMissionTest, CrewBadgesCollectedData) {
+  for (io::BadgeId id = 0; id < 6; ++id) {
+    const auto* log = dataset_->log(id);
+    ASSERT_NE(log, nullptr);
+    EXPECT_GT(log->card.record_count(), 10'000u) << int{id};
+    EXPECT_GT(log->card.beacon_obs().size(), 1000u) << int{id};
+    EXPECT_FALSE(log->card.sync().empty()) << int{id};
+    EXPECT_FALSE(log->card.wear().empty()) << int{id};
+  }
+}
+
+TEST_F(ShortMissionTest, BackupBadgesStayedSilent) {
+  for (io::BadgeId id = io::kReferenceBadge + 1; id < 13; ++id) {
+    const auto* log = dataset_->log(id);
+    ASSERT_NE(log, nullptr);
+    EXPECT_EQ(log->card.beacon_obs().size(), 0u) << int{id};
+  }
+}
+
+TEST_F(ShortMissionTest, ReferenceBadgeSampledContinuously) {
+  const auto* ref = dataset_->log(io::kReferenceBadge);
+  // Active the whole 4 days at 1 Hz.
+  EXPECT_GT(ref->card.motion().size(), 4u * 24 * 3600 - 100);
+}
+
+TEST_F(ShortMissionTest, DataVolumePlausible) {
+  // ~11.5 GiB/instrumented-day at full deployment; 3 instrumented days here.
+  EXPECT_GT(to_gib(dataset_->total_bytes), 15.0);
+  EXPECT_LT(to_gib(dataset_->total_bytes), 60.0);
+}
+
+TEST_F(ShortMissionTest, ClockFitsRecoverDrift) {
+  for (io::BadgeId id = 0; id < 6; ++id) {
+    const auto* fit = pipeline_->clock_fit(id);
+    ASSERT_NE(fit, nullptr) << int{id};
+    EXPECT_GT(fit->samples, 10u);
+    // Drifts are tens of ppm: the fitted rate must be within 200 ppm of 1
+    // and the fit residual small.
+    EXPECT_NEAR(fit->rate, 1.0, 2e-4) << int{id};
+    EXPECT_LT(fit->max_residual_ms, 50.0) << int{id};
+  }
+}
+
+TEST_F(ShortMissionTest, TracksCoverDaytime) {
+  for (std::size_t i = 0; i < crew::kCrewSize; ++i) {
+    const auto& track = pipeline_->track(i);
+    ASSERT_FALSE(track.empty()) << i;
+    double covered = 0.0;
+    for (const auto& s : track) covered += s.duration_s();
+    // At least ~4 h/day of worn coverage across 3 instrumented days.
+    EXPECT_GT(covered, 3 * 4 * 3600.0) << i;
+  }
+}
+
+TEST_F(ShortMissionTest, EveryoneInKitchenAtLunch) {
+  // Day 3 lunch (12:30-13:00): most of the crew localized to the kitchen.
+  const double lunch = static_cast<double>(day_start(3)) / 1e6 + 12.75 * 3600.0;
+  int in_kitchen = 0;
+  for (std::size_t i = 0; i < crew::kCrewSize; ++i) {
+    if (locate::room_at_time(pipeline_->track(i), lunch) == RoomId::kKitchen) ++in_kitchen;
+  }
+  EXPECT_GE(in_kitchen, 4);
+}
+
+TEST_F(ShortMissionTest, NightHasNoTrackCoverage) {
+  const double night = static_cast<double>(day_start(3)) / 1e6 + 3.0 * 3600.0;
+  for (std::size_t i = 0; i < crew::kCrewSize; ++i) {
+    EXPECT_EQ(locate::room_at_time(pipeline_->track(i), night), RoomId::kNone) << i;
+  }
+}
+
+TEST_F(ShortMissionTest, TransitionsAreNonTrivial) {
+  const auto m = pipeline_->fig2_transitions();
+  EXPECT_GT(m.total(), 20);
+  EXPECT_EQ(m.outgoing(RoomId::kAtrium), 0);  // excluded by construction
+}
+
+TEST_F(ShortMissionTest, HeatmapMassMatchesTrackCoverage) {
+  const auto heat = pipeline_->fig3_heatmap(0);
+  EXPECT_GT(heat.total_seconds(), 3600.0);
+  // Most mass must lie inside real rooms the astronaut visited.
+  double in_rooms = 0.0;
+  for (const auto room : habitat::all_rooms()) in_rooms += heat.room_total(room);
+  EXPECT_GT(in_rooms, 0.95 * heat.total_seconds());
+}
+
+TEST_F(ShortMissionTest, DailySeriesValuesAreFractions) {
+  for (const auto& series : {pipeline_->fig4_walking(), pipeline_->fig6_speech()}) {
+    for (const auto& day_row : series.values) {
+      for (double v : day_row) {
+        if (v < 0) continue;  // no data marker
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+      }
+    }
+  }
+}
+
+TEST_F(ShortMissionTest, Table1NormalizedAndComplete) {
+  const auto rows = pipeline_->table1();
+  ASSERT_EQ(rows.size(), crew::kCrewSize);
+  double max_company = 0.0;
+  double max_talking = 0.0;
+  for (const auto& r : rows) {
+    EXPECT_GE(r.talking, 0.0);
+    EXPECT_LE(r.talking, 1.0);
+    EXPECT_LE(r.company, 1.0 + 1e-9);
+    max_talking = std::max(max_talking, r.talking);
+    if (r.has_social) max_company = std::max(max_company, r.company);
+  }
+  EXPECT_NEAR(max_company, 1.0, 1e-9);
+  EXPECT_NEAR(max_talking, 1.0, 1e-9);
+}
+
+TEST_F(ShortMissionTest, Fig5TimelineBinsWellFormed) {
+  const auto timeline = pipeline_->fig5_timeline(3, 10);
+  ASSERT_EQ(timeline.size(), crew::kCrewSize);
+  for (const auto& person : timeline) {
+    EXPECT_EQ(person.size(), 14u * 6);  // 14 h in 10-min bins
+    for (const auto& bin : person) {
+      EXPECT_GE(bin.speech_fraction, 0.0);
+      EXPECT_LE(bin.speech_fraction, 1.0);
+    }
+  }
+}
+
+TEST_F(ShortMissionTest, StatsWithinPhysicalBounds) {
+  const auto stats = pipeline_->dataset_stats();
+  EXPECT_GT(stats.worn_of_daytime, 0.3);
+  EXPECT_LT(stats.worn_of_daytime, 1.0);
+  EXPECT_GE(stats.active_of_daytime, stats.worn_of_daytime);
+  EXPECT_LE(stats.active_of_daytime, 1.0);
+  EXPECT_GT(stats.total_records, 100'000u);
+}
+
+TEST_F(ShortMissionTest, MeetingsDetectedOnDay3) {
+  const auto meetings = pipeline_->meetings_on(3);
+  EXPECT_GE(meetings.size(), 2u);  // at least the meals
+  bool kitchen_meeting = false;
+  for (const auto& m : meetings) {
+    kitchen_meeting |= m.room == RoomId::kKitchen && m.participants.size() >= 3;
+  }
+  EXPECT_TRUE(kitchen_meeting);
+}
+
+// --------------------------------------------------------------- determinism
+
+TEST(Determinism, SameSeedSameDataset) {
+  MissionConfig config;
+  config.seed = 99;
+  MissionRunner r1(config);
+  MissionRunner r2(config);
+  const Dataset d1 = r1.run_days(2);
+  const Dataset d2 = r2.run_days(2);
+  ASSERT_EQ(d1.logs.size(), d2.logs.size());
+  EXPECT_EQ(d1.total_bytes, d2.total_bytes);
+  for (std::size_t i = 0; i < d1.logs.size(); ++i) {
+    EXPECT_EQ(d1.logs[i].card.beacon_obs().size(), d2.logs[i].card.beacon_obs().size());
+    EXPECT_EQ(d1.logs[i].card.audio().size(), d2.logs[i].card.audio().size());
+    if (!d1.logs[i].card.beacon_obs().empty()) {
+      EXPECT_EQ(d1.logs[i].card.beacon_obs().back(), d2.logs[i].card.beacon_obs().back());
+    }
+  }
+}
+
+TEST(Determinism, DifferentSeedsDiffer) {
+  MissionConfig c1;
+  c1.seed = 1;
+  MissionConfig c2;
+  c2.seed = 2;
+  const Dataset d1 = MissionRunner(c1).run_days(2);
+  const Dataset d2 = MissionRunner(c2).run_days(2);
+  EXPECT_NE(d1.logs[0].card.beacon_obs().size(), d2.logs[0].card.beacon_obs().size());
+}
+
+// ----------------------------------------------------------------- observers
+
+TEST(Observer, SeesEverySecond) {
+  MissionConfig config;
+  config.seed = 5;
+  MissionRunner runner(config);
+  std::size_t ticks = 0;
+  SimTime last = -1;
+  runner.add_observer([&](const MissionView& view) {
+    ++ticks;
+    EXPECT_GT(view.now, last);
+    last = view.now;
+    ASSERT_NE(view.crew, nullptr);
+    ASSERT_NE(view.network, nullptr);
+  });
+  (void)runner.run_days(1);
+  EXPECT_EQ(ticks, static_cast<std::size_t>(kDay / kSecond));
+}
+
+// ----------------------------------------------------------------- ablations
+
+TEST(Ablation, NaiveOwnershipMisattributesAfterReuse) {
+  // With the naive one-owner-per-badge assumption, records from badge 2
+  // after day 6 are credited to dead C, inflating C's apparent coverage.
+  MissionConfig config;
+  config.seed = 11;
+  MissionRunner runner(config);
+  const Dataset data = runner.run_days(8);
+
+  AnalysisPipeline corrected(data);
+  PipelineOptions naive_opts;
+  naive_opts.corrected_ownership = false;
+  AnalysisPipeline naive(data, naive_opts);
+
+  double c_corrected = 0.0;
+  for (const auto& s : corrected.track(2)) c_corrected += s.duration_s();
+  double c_naive = 0.0;
+  for (const auto& s : naive.track(2)) c_naive += s.duration_s();
+  // C died on day 4; the naive pipeline keeps accumulating C-track from
+  // F's reuse (days 6-8).
+  EXPECT_GT(c_naive, c_corrected + 3600.0);
+}
+
+TEST(Ablation, SkippingRectificationShiftsTimestamps) {
+  MissionConfig config;
+  config.seed = 12;
+  config.clock_drift_sigma_ppm = 60.0;
+  MissionRunner runner(config);
+  const Dataset data = runner.run_days(3);
+
+  AnalysisPipeline rectified(data);
+  PipelineOptions raw_opts;
+  raw_opts.rectify_clocks = false;
+  AnalysisPipeline raw(data, raw_opts);
+
+  // Compare last track timestamps: raw clocks carry the boot offset
+  // (up to 10 min) plus accumulated drift.
+  double max_shift = 0.0;
+  for (std::size_t i = 0; i < crew::kCrewSize; ++i) {
+    if (rectified.track(i).empty() || raw.track(i).empty()) continue;
+    max_shift = std::max(max_shift, std::fabs(rectified.track(i).back().end_s -
+                                              raw.track(i).back().end_s));
+  }
+  EXPECT_GT(max_shift, 5.0);
+}
+
+}  // namespace
+}  // namespace hs::core

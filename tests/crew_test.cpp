@@ -1,0 +1,482 @@
+// Unit tests for crew profiles, schedules, the mission script, astronaut
+// agents, the conversation engine, and badge handling.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crew/astronaut.hpp"
+#include "crew/conversation.hpp"
+#include "crew/crew_sim.hpp"
+#include "crew/profile.hpp"
+#include "crew/schedule.hpp"
+#include "crew/script.hpp"
+#include "crew/survey.hpp"
+#include "util/strings.hpp"
+
+namespace hs::crew {
+namespace {
+
+using habitat::RoomId;
+
+// ------------------------------------------------------------------ profiles
+
+TEST(Profiles, MatchPaperDescriptions) {
+  const auto crew = icares_crew();
+  EXPECT_TRUE(crew[0].impaired);             // A
+  EXPECT_TRUE(crew[0].uses_tts);
+  EXPECT_TRUE(crew[1].supervises);           // B, the commander
+  // C is the most talkative and most mobile.
+  for (std::size_t i = 0; i < kCrewSize; ++i) {
+    if (i == 2) continue;
+    EXPECT_GT(crew[2].talkativeness, crew[i].talkativeness) << i;
+    EXPECT_GT(crew[2].mobility, crew[i].mobility) << i;
+  }
+  // A is the least mobile and slowest.
+  for (std::size_t i = 1; i < kCrewSize; ++i) {
+    EXPECT_LT(crew[0].mobility, crew[i].mobility);
+    EXPECT_LT(crew[0].walk_speed_mps, crew[i].walk_speed_mps);
+  }
+}
+
+TEST(Profiles, AffinitySymmetricAndSpecial) {
+  for (std::size_t i = 0; i < kCrewSize; ++i) {
+    for (std::size_t j = 0; j < kCrewSize; ++j) {
+      EXPECT_DOUBLE_EQ(pair_affinity(i, j), pair_affinity(j, i));
+    }
+  }
+  EXPECT_GT(pair_affinity(0, 5), 2.0);  // A and F are close
+  EXPECT_LT(pair_affinity(3, 4), 0.7);  // D and E barely socialize
+}
+
+TEST(Profiles, LettersAndVoices) {
+  EXPECT_EQ(astronaut_letter(0), 'A');
+  EXPECT_EQ(astronaut_letter(5), 'F');
+  const auto crew = icares_crew();
+  // 3 female (f0 > 165), 3 male voices, per the paper's crew.
+  int female = 0;
+  for (const auto& p : crew) female += p.voice_f0_hz > 165.0 ? 1 : 0;
+  EXPECT_EQ(female, 3);
+}
+
+// ----------------------------------------------------------------- schedules
+
+class ScheduleTest : public ::testing::Test {
+ protected:
+  ScheduleGenerator gen_;
+  Rng rng_{17};
+};
+
+TEST_F(ScheduleTest, CoversFullDayWithoutOverlap) {
+  for (std::size_t i = 0; i < kCrewSize; ++i) {
+    for (int day = 1; day <= 14; ++day) {
+      const auto plan = gen_.day_plan(icares_crew()[i], day, false, rng_);
+      ASSERT_FALSE(plan.empty());
+      EXPECT_EQ(plan.front().start, 0);
+      EXPECT_EQ(plan.back().end, kDay);
+      for (std::size_t s = 1; s < plan.size(); ++s) {
+        EXPECT_EQ(plan[s].start, plan[s - 1].end) << "gap/overlap day " << day;
+      }
+    }
+  }
+}
+
+TEST_F(ScheduleTest, MealsAtTimetableTimes) {
+  const auto plan = gen_.day_plan(icares_crew()[2], 3, false, rng_);
+  const Slot* lunch = slot_at(plan, hours(12) + minutes(45));
+  ASSERT_NE(lunch, nullptr);
+  EXPECT_EQ(lunch->activity, Activity::kLunch);
+  EXPECT_EQ(lunch->room, RoomId::kKitchen);
+  const Slot* breakfast = slot_at(plan, hours(8) + minutes(10));
+  ASSERT_NE(breakfast, nullptr);
+  EXPECT_EQ(breakfast->activity, Activity::kBreakfast);
+  const Slot* dinner = slot_at(plan, hours(19) + minutes(10));
+  ASSERT_NE(dinner, nullptr);
+  EXPECT_EQ(dinner->activity, Activity::kDinner);
+}
+
+TEST_F(ScheduleTest, MealsTotal90Minutes) {
+  const auto plan = gen_.day_plan(icares_crew()[0], 5, false, rng_);
+  SimDuration meals = 0;
+  for (const auto& slot : plan) {
+    if (slot.activity == Activity::kBreakfast || slot.activity == Activity::kLunch ||
+        slot.activity == Activity::kDinner) {
+      meals += slot.end - slot.start;
+    }
+  }
+  EXPECT_EQ(meals, minutes(90));
+}
+
+TEST_F(ScheduleTest, NightIsSleepInBedroom) {
+  const auto plan = gen_.day_plan(icares_crew()[3], 2, false, rng_);
+  const Slot* night = slot_at(plan, hours(3));
+  ASSERT_NE(night, nullptr);
+  EXPECT_EQ(night->activity, Activity::kSleep);
+  EXPECT_EQ(night->room, RoomId::kBedroom);
+  const Slot* late = slot_at(plan, hours(23));
+  ASSERT_NE(late, nullptr);
+  EXPECT_EQ(late->activity, Activity::kSleep);
+}
+
+TEST_F(ScheduleTest, EvaDayHasPrepEvaPost) {
+  const auto plan = gen_.day_plan(icares_crew()[3], 5, true, rng_);
+  const Slot* prep = slot_at(plan, hours(13) + minutes(15));
+  const Slot* eva = slot_at(plan, hours(14));
+  const Slot* post = slot_at(plan, hours(16) + minutes(10));
+  ASSERT_NE(prep, nullptr);
+  ASSERT_NE(eva, nullptr);
+  ASSERT_NE(post, nullptr);
+  EXPECT_EQ(prep->activity, Activity::kEvaPrep);
+  EXPECT_EQ(prep->room, RoomId::kAirlock);
+  EXPECT_EQ(eva->activity, Activity::kEva);
+  EXPECT_EQ(eva->room, RoomId::kHangar);
+  EXPECT_EQ(post->activity, Activity::kEvaPost);
+  // Prep and post are the paper's ~30 min procedures.
+  EXPECT_EQ(prep->end - prep->start, minutes(30));
+  EXPECT_EQ(post->end - post->start, minutes(30));
+}
+
+TEST_F(ScheduleTest, BadgeProhibitedActivities) {
+  EXPECT_TRUE(badge_prohibited(Activity::kEva));
+  EXPECT_TRUE(badge_prohibited(Activity::kHygiene));
+  EXPECT_TRUE(badge_prohibited(Activity::kSleep));
+  EXPECT_FALSE(badge_prohibited(Activity::kWork));
+  EXPECT_FALSE(badge_prohibited(Activity::kLunch));
+  EXPECT_FALSE(badge_prohibited(Activity::kEvaPrep));
+}
+
+TEST_F(ScheduleTest, SlotAtOutsidePlanIsNull) {
+  EXPECT_EQ(slot_at({}, hours(3)), nullptr);
+}
+
+// -------------------------------------------------------------------- script
+
+TEST(Script, TalkFactorDeclinesWithDips) {
+  const MissionScript script;
+  EXPECT_DOUBLE_EQ(script.talk_factor(2), 1.0);
+  EXPECT_GT(script.talk_factor(5), script.talk_factor(10));
+  EXPECT_LT(script.talk_factor(14), 0.6);
+  // Days 11 and 12 dip below the surrounding trend.
+  EXPECT_LT(script.talk_factor(11), script.talk_factor(10) * 0.6);
+  EXPECT_LT(script.talk_factor(12), script.talk_factor(13));
+}
+
+TEST(Script, MobilityCalmDay3) {
+  const MissionScript script;
+  EXPECT_LT(script.mobility_factor(3), script.mobility_factor(2));
+  EXPECT_GT(script.mobility_factor(6), 1.0);  // absorbing C's tasks
+}
+
+TEST(Script, WearProbabilityDeclines) {
+  const MissionScript script;
+  EXPECT_GT(script.wear_probability(2), 0.75);
+  EXPECT_LT(script.wear_probability(14), 0.60);
+  for (int day = 3; day <= 14; ++day) {
+    EXPECT_LE(script.wear_probability(day), script.wear_probability(day - 1));
+  }
+}
+
+TEST(Script, CAboardUntilDeath) {
+  const MissionScript script;
+  EXPECT_TRUE(script.aboard(2, day_start(4) + hours(12)));
+  EXPECT_FALSE(script.aboard(2, day_start(4) + hours(14)));
+  EXPECT_TRUE(script.aboard(3, day_start(14)));  // others stay
+}
+
+TEST(Script, ConsolationWindow) {
+  const MissionScript script;
+  EXPECT_TRUE(script.consolation_at(day_start(4) + hours(15) + minutes(30)));
+  EXPECT_FALSE(script.consolation_at(day_start(4) + hours(17)));
+  EXPECT_FALSE(script.consolation_at(day_start(5) + hours(15) + minutes(30)));
+}
+
+TEST(Script, EvaAssignments) {
+  const MissionScript script;
+  EXPECT_TRUE(script.eva_for(5, 3));
+  EXPECT_TRUE(script.eva_for(5, 5));
+  EXPECT_FALSE(script.eva_for(5, 0));
+  // C never EVAs (dies before the first one).
+  for (const auto& e : script.eva_days) {
+    EXPECT_NE(e.member_a, 2u);
+    EXPECT_NE(e.member_b, 2u);
+  }
+}
+
+TEST(Script, DisablingDeathKeepsCAboard) {
+  MissionScript script;
+  script.c_death_enabled = false;
+  EXPECT_TRUE(script.aboard(2, day_start(10)));
+  EXPECT_FALSE(script.consolation_at(day_start(4) + hours(15) + minutes(30)));
+}
+
+// ---------------------------------------------------------------- astronauts
+
+class AstronautTest : public ::testing::Test {
+ protected:
+  habitat::Habitat habitat_ = habitat::Habitat::lunares();
+  MissionScript script_;
+  ScheduleGenerator gen_;
+  Rng rng_{23};
+};
+
+TEST_F(AstronautTest, FollowsScheduleRooms) {
+  Astronaut a(icares_crew()[4], habitat_, rng_.fork(1));
+  a.set_day_plan(gen_.day_plan(icares_crew()[4], 3, false, rng_));
+  // Walk through the day at 1 Hz; by 30 min into lunch the agent must be
+  // in the kitchen.
+  for (SimTime t = day_start(3); t <= day_start(3) + hours(12) + minutes(50); t += kSecond) {
+    a.tick(t, script_, rng_);
+  }
+  EXPECT_EQ(a.current_room(), RoomId::kKitchen);
+  EXPECT_EQ(a.current_activity(), Activity::kLunch);
+}
+
+TEST_F(AstronautTest, StaysInsideHabitat) {
+  Astronaut a(icares_crew()[2], habitat_, rng_.fork(2));
+  a.set_day_plan(gen_.day_plan(icares_crew()[2], 2, false, rng_));
+  for (SimTime t = day_start(2); t < day_start(2) + hours(22); t += kSecond) {
+    a.tick(t, script_, rng_);
+    ASSERT_NE(habitat_.room_at(a.position()), RoomId::kNone)
+        << "escaped at " << format_mission_time(t);
+  }
+}
+
+TEST_F(AstronautTest, WalkingFlagImpliesMovement) {
+  Astronaut a(icares_crew()[3], habitat_, rng_.fork(3));
+  a.set_day_plan(gen_.day_plan(icares_crew()[3], 2, false, rng_));
+  Vec2 last = a.position();
+  int walk_ticks = 0;
+  double walked_distance = 0.0;
+  for (SimTime t = day_start(2) + hours(8); t < day_start(2) + hours(14); t += kSecond) {
+    a.tick(t, script_, rng_);
+    if (a.walking()) {
+      ++walk_ticks;
+      walked_distance += distance(a.position(), last);
+    }
+    last = a.position();
+  }
+  ASSERT_GT(walk_ticks, 0);
+  // While flagged walking, the agent covers a meaningful fraction of its
+  // nominal speed (arrival ticks consume partial budgets).
+  const double speed = icares_crew()[3].walk_speed_mps;
+  EXPECT_GT(walked_distance, 0.4 * speed * walk_ticks);
+}
+
+TEST_F(AstronautTest, MobilityOrderingHolds) {
+  // Property: more mobile profiles walk more (A < C), measured over a
+  // simulated working day.
+  const auto profiles = icares_crew();
+  auto walking_seconds = [&](std::size_t idx) {
+    Rng rng = rng_.fork(100 + idx);
+    Astronaut a(profiles[idx], habitat_, rng.fork(1));
+    a.set_day_plan(gen_.day_plan(profiles[idx], 2, false, rng));
+    int walking = 0;
+    for (SimTime t = day_start(2) + hours(8); t < day_start(2) + hours(20); t += kSecond) {
+      a.tick(t, script_, rng);
+      walking += a.walking() ? 1 : 0;
+    }
+    return walking;
+  };
+  const int a_walk = walking_seconds(0);
+  const int c_walk = walking_seconds(2);
+  EXPECT_LT(a_walk * 2, c_walk);
+}
+
+TEST_F(AstronautTest, LeaveHabitatStopsAgent) {
+  Astronaut a(icares_crew()[2], habitat_, rng_.fork(5));
+  a.set_day_plan(gen_.day_plan(icares_crew()[2], 4, false, rng_));
+  a.leave_habitat();
+  EXPECT_FALSE(a.aboard());
+  EXPECT_EQ(a.current_room(), RoomId::kNone);
+  EXPECT_FALSE(a.available_for_conversation());
+  a.tick(day_start(4) + hours(14), script_, rng_);  // must not crash
+}
+
+TEST_F(AstronautTest, ImpairedKeepsToRoomCentres) {
+  // A's positions stay farther from walls than D's (paper Fig. 3).
+  auto min_wall_distance = [&](std::size_t idx) {
+    Rng rng = rng_.fork(200 + idx);
+    Astronaut a(icares_crew()[idx], habitat_, rng.fork(1));
+    a.set_day_plan(gen_.day_plan(icares_crew()[idx], 2, false, rng));
+    double closest = 1e9;
+    for (SimTime t = day_start(2) + hours(9); t < day_start(2) + hours(12); t += kSecond) {
+      a.tick(t, script_, rng);
+      if (a.walking()) continue;  // door crossings go near walls
+      const auto room = a.current_room();
+      if (room == RoomId::kNone || room == RoomId::kAtrium) continue;
+      const auto& b = habitat_.room(room).bounds;
+      const double d = std::min(std::min(a.position().x - b.lo.x, b.hi.x - a.position().x),
+                                std::min(a.position().y - b.lo.y, b.hi.y - a.position().y));
+      closest = std::min(closest, d);
+    }
+    return closest;
+  };
+  EXPECT_GT(min_wall_distance(0), min_wall_distance(3));
+}
+
+// ------------------------------------------------------------- conversations
+
+TEST_F(AstronautTest, ConversationNeedsCompany) {
+  ConversationEngine engine(icares_crew(), habitat_);
+  Astronaut solo(icares_crew()[1], habitat_, rng_.fork(7));
+  solo.set_day_plan(gen_.day_plan(icares_crew()[1], 2, false, rng_));
+  std::vector<Astronaut*> crew{&solo};
+  int speaking = 0;
+  for (SimTime t = day_start(2) + hours(9); t < day_start(2) + hours(10); t += kSecond) {
+    solo.tick(t, script_, rng_);
+    engine.tick(t, crew, script_, rng_);
+    speaking += engine.speaking(1) ? 1 : 0;
+  }
+  EXPECT_EQ(speaking, 0);
+}
+
+TEST_F(AstronautTest, MealsBreedConversation) {
+  ConversationEngine engine(icares_crew(), habitat_);
+  std::vector<std::unique_ptr<Astronaut>> crew;
+  std::vector<Astronaut*> raw;
+  for (std::size_t i = 0; i < 3; ++i) {
+    crew.push_back(std::make_unique<Astronaut>(icares_crew()[i], habitat_, rng_.fork(30 + i)));
+    crew.back()->set_day_plan(gen_.day_plan(icares_crew()[i], 2, false, rng_));
+    raw.push_back(crew.back().get());
+  }
+  int active = 0;
+  int total = 0;
+  for (SimTime t = day_start(2) + hours(12); t < day_start(2) + hours(13); t += kSecond) {
+    for (auto* a : raw) a->tick(t, script_, rng_);
+    engine.tick(t, raw, script_, rng_);
+    if (time_of_day(t) >= hours(12) + minutes(35)) {
+      ++total;
+      active += engine.conversation_active(RoomId::kKitchen) ? 1 : 0;
+    }
+  }
+  EXPECT_GT(static_cast<double>(active) / total, 0.4);
+}
+
+// --------------------------------------------------------- ownership schedule
+
+TEST(Ownership, BaseAssignment) {
+  OwnershipSchedule s;
+  s.assign(3, 5, 3);
+  EXPECT_EQ(s.owner(3, 5), 3u);
+  EXPECT_EQ(s.badge_of(3, 5), 3);
+  EXPECT_FALSE(s.owner(3, 6).has_value());
+  EXPECT_FALSE(s.owner(4, 5).has_value());
+}
+
+// -------------------------------------------------------------------- surveys
+
+TEST(Surveys, EveryAboardAstronautFilesDaily) {
+  const MissionScript script;
+  const auto surveys = generate_mission_surveys(script, Rng(5));
+  // Days 1-3: 6 responses; day 4 on: C is gone (dies at 13:00 on day 4,
+  // before the 21:30 survey).
+  int day3 = 0;
+  int day5 = 0;
+  for (const auto& s : surveys) {
+    if (s.day == 3) ++day3;
+    if (s.day == 5) ++day5;
+    EXPECT_GE(s.satisfaction, 1.0);
+    EXPECT_LE(s.satisfaction, 7.0);
+    EXPECT_GE(s.distraction, 1.0);
+    EXPECT_LE(s.distraction, 7.0);
+  }
+  EXPECT_EQ(day3, 6);
+  EXPECT_EQ(day5, 5);
+}
+
+TEST(Surveys, ScriptedBadDaysDepressWellbeing) {
+  const MissionScript script;
+  Rng rng(6);
+  double good = 0.0;
+  double bad = 0.0;
+  const auto crew = icares_crew();
+  for (int trial = 0; trial < 30; ++trial) {
+    good += generate_survey(crew[3], 3, script, rng).wellbeing;
+    bad += generate_survey(crew[3], script.food_shortage_day, script, rng).wellbeing;
+  }
+  EXPECT_GT(good / 30.0, bad / 30.0 + 0.8);
+}
+
+TEST(Surveys, ComfortDeclinesAcrossMission) {
+  const MissionScript script;
+  Rng rng(7);
+  double early = 0.0;
+  double late = 0.0;
+  const auto crew = icares_crew();
+  for (int trial = 0; trial < 30; ++trial) {
+    early += generate_survey(crew[4], 2, script, rng).comfort;
+    late += generate_survey(crew[4], 14, script, rng).comfort;
+  }
+  EXPECT_GT(early / 30.0, late / 30.0 + 1.0);
+}
+
+class CrewSimTest : public ::testing::Test {
+ protected:
+  CrewSimTest()
+      : beacons_(beacon::deploy_lunares_beacons(habitat_)),
+        network_(habitat_, beacons_, habitat_.room(RoomId::kBedroom).bounds.center()) {}
+
+  habitat::Habitat habitat_ = habitat::Habitat::lunares();
+  std::vector<beacon::Beacon> beacons_;
+  badge::BadgeNetwork network_;
+};
+
+TEST_F(CrewSimTest, CorrectedOwnershipEncodesSwapAndReuse) {
+  CrewSimulator sim(habitat_, network_, MissionScript{}, 1);
+  const auto& ownership = sim.corrected_ownership();
+  // Day 9: A and B swapped badges.
+  EXPECT_EQ(ownership.owner(0, 9), 1u);
+  EXPECT_EQ(ownership.owner(1, 9), 0u);
+  EXPECT_EQ(ownership.owner(0, 8), 0u);
+  // From day 6, F carries C's badge (id 2); F's own badge is retired.
+  EXPECT_EQ(ownership.owner(2, 7), 5u);
+  EXPECT_FALSE(ownership.owner(5, 7).has_value());
+  EXPECT_EQ(ownership.owner(5, 5), 5u);
+  // C's badge has no owner on day 5 (C dead, F not yet switched).
+  EXPECT_FALSE(ownership.owner(2, 5).has_value());
+}
+
+TEST_F(CrewSimTest, NaiveOwnershipIsIdentity) {
+  CrewSimulator sim(habitat_, network_, MissionScript{}, 1);
+  const auto& naive = sim.naive_ownership();
+  for (int day = 2; day <= 14; ++day) {
+    for (io::BadgeId b = 0; b < 6; ++b) {
+      EXPECT_EQ(naive.owner(b, day), static_cast<std::size_t>(b));
+    }
+  }
+}
+
+TEST_F(CrewSimTest, BadgesDockedOnDayOne) {
+  CrewSimulator sim(habitat_, network_, MissionScript{}, 2);
+  network_.set_environment(sim.environment());
+  for (io::BadgeId id = 0; id < 6; ++id) {
+    network_.add_badge(id, timesync::DriftingClock(0, 0.0, 0));
+  }
+  Rng rng(3);
+  for (SimTime t = 0; t < hours(12); t += kSecond) {
+    sim.tick(t);
+    network_.tick(t, rng);
+  }
+  for (io::BadgeId id = 0; id < 6; ++id) {
+    EXPECT_FALSE(network_.badge(id)->worn()) << int{id};
+  }
+}
+
+TEST_F(CrewSimTest, BadgesWornOnDayTwo) {
+  CrewSimulator sim(habitat_, network_, MissionScript{}, 2);
+  network_.set_environment(sim.environment());
+  for (io::BadgeId id = 0; id < 6; ++id) {
+    network_.add_badge(id, timesync::DriftingClock(0, 0.0, 0));
+  }
+  Rng rng(3);
+  // Simulate up to mid-morning of day 2.
+  for (SimTime t = 0; t < day_start(2) + hours(10); t += kSecond) {
+    sim.tick(t);
+    network_.tick(t, rng);
+  }
+  int worn = 0;
+  for (io::BadgeId id = 0; id < 6; ++id) worn += network_.badge(id)->worn() ? 1 : 0;
+  EXPECT_GE(worn, 4);  // compliance is ~87% on day 2
+}
+
+}  // namespace
+}  // namespace hs::crew

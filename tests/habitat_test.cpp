@@ -1,0 +1,212 @@
+// Unit tests for habitat geometry, the room graph, paths and propagation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "habitat/habitat.hpp"
+#include "habitat/propagation.hpp"
+#include "habitat/room.hpp"
+
+namespace hs::habitat {
+namespace {
+
+class LunaresTest : public ::testing::Test {
+ protected:
+  Habitat habitat_ = Habitat::lunares();
+};
+
+TEST_F(LunaresTest, HasAllTenRooms) {
+  EXPECT_EQ(habitat_.rooms().size(), static_cast<std::size_t>(kRoomCount));
+  for (const auto id : all_rooms()) EXPECT_EQ(habitat_.room(id).id, id);
+}
+
+TEST_F(LunaresTest, RoomsDoNotOverlap) {
+  for (const auto& a : habitat_.rooms()) {
+    for (const auto& b : habitat_.rooms()) {
+      if (a.id == b.id) continue;
+      const Vec2 c = a.bounds.center();
+      EXPECT_FALSE(b.bounds.contains(c))
+          << room_name(a.id) << " center inside " << room_name(b.id);
+    }
+  }
+}
+
+TEST_F(LunaresTest, EveryModuleOpensOntoTheAtrium) {
+  // The Lunares topology: every living/working module is adjacent to the
+  // central rest area; the hangar hangs off the airlock.
+  for (const auto id : all_rooms()) {
+    if (id == RoomId::kAtrium || id == RoomId::kHangar) continue;
+    EXPECT_TRUE(habitat_.adjacent(RoomId::kAtrium, id)) << room_name(id);
+  }
+  EXPECT_TRUE(habitat_.adjacent(RoomId::kAirlock, RoomId::kHangar));
+  EXPECT_FALSE(habitat_.adjacent(RoomId::kAtrium, RoomId::kHangar));
+}
+
+TEST_F(LunaresTest, RoomAtFindsCorrectRoom) {
+  for (const auto& room : habitat_.rooms()) {
+    EXPECT_EQ(habitat_.room_at(room.bounds.center()), room.id);
+  }
+  EXPECT_EQ(habitat_.room_at({-100.0, -100.0}), RoomId::kNone);
+}
+
+TEST_F(LunaresTest, DoorsLieOnSharedWalls) {
+  const Vec2 door = habitat_.door_between(RoomId::kAtrium, RoomId::kKitchen);
+  // The kitchen sits on top of the atrium; the door must be on y = 8.
+  EXPECT_DOUBLE_EQ(door.y, 8.0);
+  EXPECT_GE(door.x, habitat_.room(RoomId::kKitchen).bounds.lo.x);
+  EXPECT_LE(door.x, habitat_.room(RoomId::kKitchen).bounds.hi.x);
+}
+
+TEST_F(LunaresTest, WallCountsMatchDoorGraph) {
+  EXPECT_EQ(habitat_.walls_between(RoomId::kKitchen, RoomId::kKitchen), 0);
+  EXPECT_EQ(habitat_.walls_between(RoomId::kAtrium, RoomId::kKitchen), 1);
+  EXPECT_EQ(habitat_.walls_between(RoomId::kKitchen, RoomId::kOffice), 2);
+  EXPECT_EQ(habitat_.walls_between(RoomId::kHangar, RoomId::kAtrium), 2);
+  EXPECT_EQ(habitat_.walls_between(RoomId::kHangar, RoomId::kKitchen), 3);
+}
+
+TEST_F(LunaresTest, WallCountsSymmetric) {
+  for (const auto a : all_rooms()) {
+    for (const auto b : all_rooms()) {
+      EXPECT_EQ(habitat_.walls_between(a, b), habitat_.walls_between(b, a));
+    }
+  }
+}
+
+TEST_F(LunaresTest, InvalidRoomIsOpaque) {
+  EXPECT_GE(habitat_.walls_between(RoomId::kNone, RoomId::kKitchen), kRoomCount);
+}
+
+TEST_F(LunaresTest, WalkPathSameRoomIsDirect) {
+  const auto& kitchen = habitat_.room(RoomId::kKitchen).bounds;
+  const auto path = habitat_.walk_path(kitchen.center(), kitchen.center() + Vec2{1.0, 0.5});
+  EXPECT_EQ(path.size(), 2u);
+}
+
+TEST_F(LunaresTest, WalkPathCrossesDoors) {
+  const Vec2 from = habitat_.room(RoomId::kKitchen).bounds.center();
+  const Vec2 to = habitat_.room(RoomId::kOffice).bounds.center();
+  const auto path = habitat_.walk_path(from, to);
+  // kitchen -> door -> atrium? kitchen and office both open onto atrium:
+  // kitchen -> kitchen/atrium door -> atrium/office door -> office.
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path[1], habitat_.door_between(RoomId::kKitchen, RoomId::kAtrium));
+  EXPECT_EQ(path[2], habitat_.door_between(RoomId::kAtrium, RoomId::kOffice));
+}
+
+TEST_F(LunaresTest, WalkDistanceAtLeastEuclidean) {
+  const Vec2 from = habitat_.room(RoomId::kBedroom).bounds.center();
+  const Vec2 to = habitat_.room(RoomId::kStorage).bounds.center();
+  EXPECT_GE(habitat_.walk_distance(from, to), distance(from, to));
+}
+
+TEST_F(LunaresTest, GridCoversBoundingBox) {
+  const auto bbox = habitat_.bounding_box();
+  EXPECT_GE(habitat_.grid_width() * Habitat::kCellSize, bbox.width() - 1e-9);
+  EXPECT_GE(habitat_.grid_height() * Habitat::kCellSize, bbox.height() - 1e-9);
+}
+
+TEST_F(LunaresTest, CellRoundTrip) {
+  const Vec2 p = habitat_.room(RoomId::kBiolab).bounds.center();
+  const Cell c = habitat_.cell_of(p);
+  const Vec2 back = habitat_.cell_center(c);
+  EXPECT_LT(distance(p, back), Habitat::kCellSize);
+}
+
+TEST_F(LunaresTest, CellsAre28cm) { EXPECT_DOUBLE_EQ(Habitat::kCellSize, 0.28); }
+
+TEST_F(LunaresTest, NearDoorDetection) {
+  const Vec2 door = habitat_.door_between(RoomId::kAtrium, RoomId::kKitchen);
+  EXPECT_TRUE(habitat_.near_door(RoomId::kAtrium, RoomId::kKitchen, door + Vec2{0.2, 0.0}, 1.0));
+  EXPECT_FALSE(habitat_.near_door(RoomId::kAtrium, RoomId::kKitchen, door + Vec2{3.0, 0.0}, 1.0));
+  // Non-adjacent rooms have no door.
+  EXPECT_FALSE(habitat_.near_door(RoomId::kKitchen, RoomId::kOffice, door, 1.0));
+}
+
+TEST(Rect, ClampStaysInside) {
+  const Rect r{{0, 0}, {4, 4}};
+  const Vec2 c = r.clamp({10, -5}, 0.5);
+  EXPECT_TRUE(r.contains(c));
+  EXPECT_GE(c.x, 0.5);
+  EXPECT_GE(c.y, 0.0);
+}
+
+TEST(Rect, ClampMarginLargerThanRoomDegradesGracefully) {
+  const Rect r{{0, 0}, {1, 1}};
+  const Vec2 c = r.clamp({0.0, 0.0}, 10.0);
+  EXPECT_TRUE(r.contains(c));
+}
+
+// -------------------------------------------------------------- propagation
+
+class PropagationTest : public ::testing::Test {
+ protected:
+  Habitat habitat_ = Habitat::lunares();
+  Propagation ble_{habitat_, kBleChannel};
+  Propagation subghz_{habitat_, kSubGhzChannel};
+};
+
+TEST_F(PropagationTest, RssiDecaysWithDistance) {
+  const Vec2 tx = habitat_.room(RoomId::kAtrium).bounds.center();
+  double last = 0.0;
+  bool first = true;
+  for (double d = 0.6; d < 4.0; d += 0.5) {
+    const double rssi = ble_.mean_rssi(tx, tx + Vec2{d, 0.0});
+    if (!first) EXPECT_LT(rssi, last);
+    last = rssi;
+    first = false;
+  }
+}
+
+TEST_F(PropagationTest, SameRoomIsReceivable) {
+  const auto& kitchen = habitat_.room(RoomId::kKitchen).bounds;
+  const double rssi = ble_.mean_rssi(kitchen.center(), kitchen.center() + Vec2{1.5, 1.0});
+  EXPECT_TRUE(ble_.receivable(rssi));
+}
+
+TEST_F(PropagationTest, MetalWallsShieldBle) {
+  // Away from doors, a beacon in the next room is below BLE sensitivity.
+  const Vec2 tx = habitat_.room(RoomId::kKitchen).bounds.clamp({12.5, 11.5}, 0.1);
+  const Vec2 rx = habitat_.room(RoomId::kBiolab).bounds.clamp({8.5, 11.5}, 0.1);
+  EXPECT_FALSE(ble_.receivable(ble_.mean_rssi(tx, rx)));
+}
+
+TEST_F(PropagationTest, DoorLeakageRaisesRssi) {
+  const Vec2 door = habitat_.door_between(RoomId::kAtrium, RoomId::kKitchen);
+  const Vec2 tx = habitat_.room(RoomId::kKitchen).bounds.center();
+  const double near_door_rssi = ble_.mean_rssi(tx, door + Vec2{0.0, -0.5});   // atrium side, at door
+  const double far_rssi = ble_.mean_rssi(tx, Vec2{9.0, 1.0});                 // atrium, far corner
+  EXPECT_GT(near_door_rssi, far_rssi + 10.0);
+}
+
+TEST_F(PropagationTest, SubGhzCrossesOneWall) {
+  // The 868 MHz proximity radio hears badges in adjacent modules.
+  const Vec2 tx = habitat_.room(RoomId::kKitchen).bounds.center();
+  const Vec2 rx = habitat_.room(RoomId::kAtrium).bounds.center();
+  EXPECT_TRUE(subghz_.receivable(subghz_.mean_rssi(tx, rx)));
+}
+
+TEST_F(PropagationTest, ShadowingHasConfiguredSpread) {
+  Rng rng(5);
+  const Vec2 tx = habitat_.room(RoomId::kAtrium).bounds.center();
+  const Vec2 rx = tx + Vec2{2.0, 0.0};
+  const double mean = ble_.mean_rssi(tx, rx);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const double s = ble_.sample_rssi(tx, rx, rng);
+    sum += s - mean;
+    sq += (s - mean) * (s - mean);
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.2);
+  EXPECT_NEAR(std::sqrt(sq / n), kBleChannel.shadow_sigma_db, 0.2);
+}
+
+TEST_F(PropagationTest, NearFieldClamped) {
+  const Vec2 tx = habitat_.room(RoomId::kAtrium).bounds.center();
+  EXPECT_EQ(ble_.mean_rssi(tx, tx), ble_.mean_rssi(tx, tx + Vec2{0.3, 0.0}));
+}
+
+}  // namespace
+}  // namespace hs::habitat

@@ -1,0 +1,180 @@
+// Unit tests for the binlog codec, CSV writer, table and heatmap renderers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/binlog.hpp"
+#include "io/csv.hpp"
+#include "io/heatmap_render.hpp"
+#include "io/records.hpp"
+#include "io/table.hpp"
+
+namespace hs::io {
+namespace {
+
+TEST(BinLog, BeaconObsRoundTrip) {
+  BinLogWriter w;
+  const BeaconObs rec{123456, 3, 17, -72};
+  w.append(rec);
+  BeaconObs got;
+  BinLogVisitor v;
+  v.on_beacon_obs = [&](const BeaconObs& r) { got = r; };
+  const auto n = replay_binlog(w.bytes(), v);
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(*n, 1u);
+  EXPECT_EQ(got, rec);
+}
+
+TEST(BinLog, AllRecordTypesRoundTrip) {
+  BinLogWriter w;
+  const ProximityPing ping{1, 2, 3, -80, Band::kBle24};
+  const IrContact ir{2, 4, 5};
+  const MotionFrame motion{3, 1, 2.5F, 1.8F};
+  const AudioFrame audio{4, 1, 63.5F, 0.7F, 210.0F};
+  const EnvFrame env{5, 6, 21.5F, 1004.5F, 380.0F};
+  const WearEvent wear{6, 1, WearState::kWorn};
+  const SyncSample sync{7, 8, 1};
+  w.append(ping);
+  w.append(ir);
+  w.append(motion);
+  w.append(audio);
+  w.append(env);
+  w.append(wear);
+  w.append(sync);
+
+  int seen = 0;
+  BinLogVisitor v;
+  v.on_proximity_ping = [&](const ProximityPing& r) { EXPECT_EQ(r, ping); ++seen; };
+  v.on_ir_contact = [&](const IrContact& r) { EXPECT_EQ(r, ir); ++seen; };
+  v.on_motion_frame = [&](const MotionFrame& r) { EXPECT_EQ(r, motion); ++seen; };
+  v.on_audio_frame = [&](const AudioFrame& r) { EXPECT_EQ(r, audio); ++seen; };
+  v.on_env_frame = [&](const EnvFrame& r) { EXPECT_EQ(r, env); ++seen; };
+  v.on_wear_event = [&](const WearEvent& r) { EXPECT_EQ(r, wear); ++seen; };
+  v.on_sync_sample = [&](const SyncSample& r) { EXPECT_EQ(r, sync); ++seen; };
+  const auto n = replay_binlog(w.bytes(), v);
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(*n, 7u);
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(BinLog, MixedStreamPreservesOrder) {
+  BinLogWriter w;
+  for (std::uint32_t t = 0; t < 10; ++t) w.append(BeaconObs{t, 0, 0, -50});
+  std::uint32_t expected = 0;
+  BinLogVisitor v;
+  v.on_beacon_obs = [&](const BeaconObs& r) { EXPECT_EQ(r.t, expected++); };
+  ASSERT_TRUE(replay_binlog(w.bytes(), v).has_value());
+  EXPECT_EQ(expected, 10u);
+}
+
+TEST(BinLog, UnsetCallbacksSkipRecords) {
+  BinLogWriter w;
+  w.append(BeaconObs{1, 0, 0, -50});
+  const auto n = replay_binlog(w.bytes(), BinLogVisitor{});
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(*n, 1u);
+}
+
+TEST(BinLog, RejectsUnknownType) {
+  std::vector<std::uint8_t> bytes{0xFF, 0x00};
+  const auto n = replay_binlog(bytes, BinLogVisitor{});
+  EXPECT_FALSE(n.has_value());
+}
+
+TEST(BinLog, RejectsTruncatedPayload) {
+  BinLogWriter w;
+  w.append(BeaconObs{1, 0, 0, -50});
+  auto bytes = w.bytes();
+  bytes.pop_back();
+  const auto n = replay_binlog(bytes, BinLogVisitor{});
+  EXPECT_FALSE(n.has_value());
+}
+
+TEST(BinLog, EmptyStreamDecodesZero) {
+  const auto n = replay_binlog({}, BinLogVisitor{});
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(*n, 0u);
+}
+
+TEST(BinLog, NegativeRssiSurvives) {
+  BinLogWriter w;
+  w.append(BeaconObs{0, 0, 0, -127});
+  BinLogVisitor v;
+  std::int8_t rssi = 0;
+  v.on_beacon_obs = [&](const BeaconObs& r) { rssi = r.rssi_dbm; };
+  ASSERT_TRUE(replay_binlog(w.bytes(), v).has_value());
+  EXPECT_EQ(rssi, -127);
+}
+
+// ---------------------------------------------------------------------- CSV
+
+TEST(Csv, PlainRow) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row({"a,b", "say \"hi\"", "line\nbreak"});
+  EXPECT_EQ(out.str(), "\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST(Csv, NumericRow) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row_numeric({1.0, 0.5}, 2);
+  EXPECT_EQ(out.str(), "1.00,0.50\n");
+}
+
+// -------------------------------------------------------------------- Table
+
+TEST(Table, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  // Numeric column right-aligned: " 1" at width 5 ("value").
+  EXPECT_NE(s.find("    1"), std::string::npos);
+}
+
+TEST(Table, PadsMissingCells) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+// ------------------------------------------------------------------ Heatmap
+
+TEST(Heatmap, ZeroGridRendersBlank) {
+  std::ostringstream out;
+  render_heatmap(out, {{0.0, 0.0}, {0.0, 0.0}}, 1);
+  EXPECT_EQ(out.str(), "  \n  \n");
+}
+
+TEST(Heatmap, NonzeroCellsVisible) {
+  std::ostringstream out;
+  render_heatmap(out, {{0.0, 1000.0}, {0.5, 0.0}}, 1);
+  const std::string s = out.str();
+  // The tiny 0.5 cell must not render as blank (log scale keeps it visible).
+  EXPECT_EQ(s[0], ' ');
+  EXPECT_NE(s[1], ' ');
+  EXPECT_NE(s[3], ' ');
+}
+
+TEST(Heatmap, AspectRepeatsCells) {
+  std::ostringstream out;
+  render_heatmap(out, {{1.0}}, 3);
+  EXPECT_EQ(out.str().size(), 4u);  // 3 chars + newline
+}
+
+}  // namespace
+}  // namespace hs::io

@@ -1,0 +1,283 @@
+// Unit + property tests for the localization stack: room classification,
+// dwell filtering, triangulation, heatmaps, transition counting.
+#include <gtest/gtest.h>
+
+#include "beacon/beacon.hpp"
+#include "habitat/propagation.hpp"
+#include "locate/heatmap.hpp"
+#include "locate/room_classifier.hpp"
+#include "locate/transitions.hpp"
+#include "locate/triangulate.hpp"
+#include "util/rng.hpp"
+
+namespace hs::locate {
+namespace {
+
+using habitat::RoomId;
+
+class LocateFixture : public ::testing::Test {
+ protected:
+  LocateFixture() : beacons_(beacon::deploy_lunares_beacons(habitat_)) {}
+
+  /// Synthesize observations for a badge at `pos` over [t0, t1), 1 Hz,
+  /// using the real propagation model.
+  std::vector<TimedRssi> obs_at(Vec2 pos, double t0, double t1, Rng& rng) const {
+    habitat::Propagation prop(habitat_, habitat::kBleChannel);
+    std::vector<TimedRssi> out;
+    for (double t = t0; t < t1; t += 1.0) {
+      for (const auto& b : beacons_) {
+        const double rssi = prop.sample_rssi(b.position, pos, rng);
+        if (rssi >= habitat::kBleChannel.sensitivity_dbm) {
+          out.push_back(TimedRssi{t, b.id, static_cast<int>(rssi)});
+        }
+      }
+    }
+    return out;
+  }
+
+  habitat::Habitat habitat_ = habitat::Habitat::lunares();
+  std::vector<beacon::Beacon> beacons_;
+};
+
+TEST_F(LocateFixture, ClassifiesStationaryBadgePerfectly) {
+  Rng rng(3);
+  const Vec2 pos = habitat_.room(RoomId::kBiolab).bounds.center();
+  const auto obs = obs_at(pos, 0.0, 120.0, rng);
+  RoomClassifier classifier(beacons_);
+  const auto stays = classifier.classify(obs);
+  ASSERT_EQ(stays.size(), 1u);
+  EXPECT_EQ(stays[0].room, RoomId::kBiolab);
+  EXPECT_NEAR(stays[0].duration_s(), 120.0, 2.0);
+}
+
+TEST_F(LocateFixture, TracksRoomChange) {
+  Rng rng(5);
+  auto obs = obs_at(habitat_.room(RoomId::kKitchen).bounds.center(), 0.0, 60.0, rng);
+  const auto second = obs_at(habitat_.room(RoomId::kOffice).bounds.center(), 60.0, 120.0, rng);
+  obs.insert(obs.end(), second.begin(), second.end());
+  RoomClassifier classifier(beacons_);
+  const auto stays = classifier.classify(obs);
+  ASSERT_GE(stays.size(), 2u);
+  EXPECT_EQ(stays.front().room, RoomId::kKitchen);
+  EXPECT_EQ(stays.back().room, RoomId::kOffice);
+}
+
+TEST_F(LocateFixture, GapClosesStay) {
+  Rng rng(7);
+  auto obs = obs_at(habitat_.room(RoomId::kKitchen).bounds.center(), 0.0, 30.0, rng);
+  const auto later = obs_at(habitat_.room(RoomId::kKitchen).bounds.center(), 300.0, 330.0, rng);
+  obs.insert(obs.end(), later.begin(), later.end());
+  RoomClassifier classifier(beacons_);
+  const auto stays = classifier.classify(obs);
+  ASSERT_EQ(stays.size(), 2u);  // the 270 s silence splits the stays
+  EXPECT_LT(stays[0].end_s, 40.0);
+}
+
+TEST(RoomClassifierUnit, EmptyInput) {
+  RoomClassifier classifier({});
+  EXPECT_TRUE(classifier.classify({}).empty());
+}
+
+TEST(FilterShortStays, DropsBleedThrough) {
+  std::vector<RoomStay> stays{
+      {RoomId::kOffice, 0.0, 300.0},
+      {RoomId::kAtrium, 300.0, 303.0},  // 3 s flicker through an open door
+      {RoomId::kOffice, 303.0, 600.0},
+  };
+  const auto filtered = filter_short_stays(stays, 10.0);
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_EQ(filtered[0].room, RoomId::kOffice);
+  EXPECT_DOUBLE_EQ(filtered[0].duration_s(), 600.0);
+}
+
+TEST(FilterShortStays, KeepsRealVisits) {
+  std::vector<RoomStay> stays{
+      {RoomId::kOffice, 0.0, 300.0},
+      {RoomId::kKitchen, 300.0, 420.0},  // a 2 min hydration run
+      {RoomId::kOffice, 420.0, 600.0},
+  };
+  EXPECT_EQ(filter_short_stays(stays, 10.0).size(), 3u);
+}
+
+TEST(DropRoom, RemovesAllStaysOfRoom) {
+  std::vector<RoomStay> stays{
+      {RoomId::kOffice, 0.0, 10.0}, {RoomId::kAtrium, 10.0, 20.0}, {RoomId::kKitchen, 20.0, 30.0}};
+  const auto out = drop_room(stays, RoomId::kAtrium);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].room, RoomId::kKitchen);
+}
+
+TEST(RoomAtTime, BinarySearchSemantics) {
+  std::vector<RoomStay> stays{{RoomId::kOffice, 10.0, 20.0}, {RoomId::kKitchen, 25.0, 30.0}};
+  EXPECT_EQ(room_at_time(stays, 5.0), RoomId::kNone);
+  EXPECT_EQ(room_at_time(stays, 10.0), RoomId::kOffice);
+  EXPECT_EQ(room_at_time(stays, 19.9), RoomId::kOffice);
+  EXPECT_EQ(room_at_time(stays, 22.0), RoomId::kNone);
+  EXPECT_EQ(room_at_time(stays, 27.0), RoomId::kKitchen);
+  EXPECT_EQ(room_at_time(stays, 30.0), RoomId::kNone);
+}
+
+TEST(TotalTimeIn, Sums) {
+  std::vector<RoomStay> stays{{RoomId::kOffice, 0.0, 10.0},
+                              {RoomId::kKitchen, 10.0, 15.0},
+                              {RoomId::kOffice, 15.0, 40.0}};
+  EXPECT_DOUBLE_EQ(total_time_in(stays, RoomId::kOffice), 35.0);
+}
+
+// -------------------------------------------------------------- triangulation
+
+/// Property: with the 27-beacon deployment, in-room triangulation lands
+/// within ~2 m of the true position anywhere in the covered rooms.
+class TriangulationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TriangulationSweep, PositionErrorBounded) {
+  habitat::Habitat habitat = habitat::Habitat::lunares();
+  const auto beacons = beacon::deploy_lunares_beacons(habitat);
+  habitat::Propagation prop(habitat, habitat::kBleChannel);
+  Triangulator tri(habitat, beacons);
+  Rng rng(1000 + GetParam());
+
+  const auto room = habitat::all_rooms()[static_cast<std::size_t>(GetParam())];
+  if (room == RoomId::kHangar) GTEST_SKIP() << "no coverage in the hangar";
+  const auto& bounds = habitat.room(room).bounds;
+
+  double total_error = 0.0;
+  int n = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const Vec2 truth = bounds.clamp(
+        {rng.uniform(bounds.lo.x, bounds.hi.x), rng.uniform(bounds.lo.y, bounds.hi.y)}, 0.2);
+    std::vector<TimedRssi> bin;
+    for (const auto& b : beacons) {
+      const double rssi = prop.sample_rssi(b.position, truth, rng);
+      if (rssi >= habitat::kBleChannel.sensitivity_dbm) {
+        bin.push_back(TimedRssi{0.0, b.id, static_cast<int>(rssi)});
+      }
+    }
+    const Vec2 estimate = tri.estimate(bin, room);
+    EXPECT_EQ(habitat.room_at(estimate), room);  // never escapes the room
+    total_error += distance(estimate, truth);
+    ++n;
+  }
+  EXPECT_LT(total_error / n, 2.2) << habitat::room_name(room);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rooms, TriangulationSweep, ::testing::Range(0, 9));
+
+TEST(Triangulator, NoBeaconsFallsBackToRoomCenter) {
+  habitat::Habitat habitat = habitat::Habitat::lunares();
+  const auto beacons = beacon::deploy_lunares_beacons(habitat);
+  Triangulator tri(habitat, beacons);
+  const Vec2 est = tri.estimate({}, RoomId::kKitchen);
+  EXPECT_EQ(est, habitat.room(RoomId::kKitchen).bounds.center());
+}
+
+// ------------------------------------------------------------------- heatmap
+
+TEST(Heatmap, AccumulatesDwellTime) {
+  habitat::Habitat habitat = habitat::Habitat::lunares();
+  HeatmapAccumulator heat(habitat);
+  const Vec2 p = habitat.room(RoomId::kKitchen).bounds.center();
+  heat.add(p, 5.0);
+  heat.add(p, 3.0);
+  EXPECT_DOUBLE_EQ(heat.total_seconds(), 8.0);
+  EXPECT_DOUBLE_EQ(heat.at(habitat.cell_of(p)), 8.0);
+  EXPECT_DOUBLE_EQ(heat.max_value(), 8.0);
+}
+
+TEST(Heatmap, RoomTotalsSeparate) {
+  habitat::Habitat habitat = habitat::Habitat::lunares();
+  HeatmapAccumulator heat(habitat);
+  heat.add(habitat.room(RoomId::kKitchen).bounds.center(), 10.0);
+  heat.add(habitat.room(RoomId::kOffice).bounds.center(), 4.0);
+  EXPECT_DOUBLE_EQ(heat.room_total(RoomId::kKitchen), 10.0);
+  EXPECT_DOUBLE_EQ(heat.room_total(RoomId::kOffice), 4.0);
+  EXPECT_DOUBLE_EQ(heat.room_total(RoomId::kBiolab), 0.0);
+}
+
+TEST(Heatmap, GridRowsMatchDimensions) {
+  habitat::Habitat habitat = habitat::Habitat::lunares();
+  HeatmapAccumulator heat(habitat);
+  const auto rows = heat.grid_rows();
+  EXPECT_EQ(rows.size(), static_cast<std::size_t>(habitat.grid_height()));
+  EXPECT_EQ(rows[0].size(), static_cast<std::size_t>(habitat.grid_width()));
+  const auto down = heat.grid_rows_downsampled(3);
+  EXPECT_LE(down.size() * 3, rows.size() + 3);
+}
+
+TEST(Heatmap, DownsamplingPreservesMass) {
+  habitat::Habitat habitat = habitat::Habitat::lunares();
+  HeatmapAccumulator heat(habitat);
+  heat.add(habitat.room(RoomId::kKitchen).bounds.center(), 7.0);
+  double full = 0.0;
+  for (const auto& row : heat.grid_rows()) {
+    for (double v : row) full += v;
+  }
+  double down = 0.0;
+  for (const auto& row : heat.grid_rows_downsampled(4)) {
+    for (double v : row) down += v;
+  }
+  EXPECT_DOUBLE_EQ(full, down);
+}
+
+// ---------------------------------------------------------------- transitions
+
+TEST(Transitions, CountsDirectPassages) {
+  TransitionMatrix m;
+  std::vector<RoomStay> track{
+      {RoomId::kOffice, 0.0, 100.0},
+      {RoomId::kKitchen, 110.0, 200.0},
+      {RoomId::kOffice, 210.0, 400.0},
+  };
+  m.add_track(track);
+  EXPECT_EQ(m.count(RoomId::kOffice, RoomId::kKitchen), 1);
+  EXPECT_EQ(m.count(RoomId::kKitchen, RoomId::kOffice), 1);
+  EXPECT_EQ(m.total(), 2);
+}
+
+TEST(Transitions, AtriumExcluded) {
+  TransitionMatrix m;
+  std::vector<RoomStay> track{
+      {RoomId::kOffice, 0.0, 100.0},
+      {RoomId::kAtrium, 100.0, 160.0},  // a whole minute resting in the middle
+      {RoomId::kKitchen, 160.0, 300.0},
+  };
+  m.add_track(track);
+  // Fig. 2 does not consider the main room: office -> kitchen counts.
+  EXPECT_EQ(m.count(RoomId::kOffice, RoomId::kKitchen), 1);
+  EXPECT_EQ(m.outgoing(RoomId::kAtrium), 0);
+  EXPECT_EQ(m.incoming(RoomId::kAtrium), 0);
+}
+
+TEST(Transitions, ShortDwellFiltered) {
+  TransitionMatrix m;
+  std::vector<RoomStay> track{
+      {RoomId::kOffice, 0.0, 100.0},
+      {RoomId::kKitchen, 100.0, 105.0},  // 5 s: beacon bleed, not a visit
+      {RoomId::kOffice, 105.0, 300.0},
+  };
+  m.add_track(track);
+  EXPECT_EQ(m.total(), 0);  // office->office after merging is not a passage
+}
+
+TEST(Transitions, LongAbsenceNotAPassage) {
+  TransitionMatrix m;
+  std::vector<RoomStay> track{
+      {RoomId::kOffice, 0.0, 100.0},
+      {RoomId::kKitchen, 100.0 + 2 * 3600.0, 100.0 + 2 * 3600.0 + 60.0},  // badge off 2 h
+  };
+  m.add_track(track);
+  EXPECT_EQ(m.total(), 0);
+}
+
+TEST(Transitions, AccumulatesAcrossTracks) {
+  TransitionMatrix m;
+  std::vector<RoomStay> track{{RoomId::kBiolab, 0.0, 60.0}, {RoomId::kKitchen, 70.0, 130.0}};
+  m.add_track(track);
+  m.add_track(track);
+  EXPECT_EQ(m.count(RoomId::kBiolab, RoomId::kKitchen), 2);
+  EXPECT_EQ(m.outgoing(RoomId::kBiolab), 2);
+  EXPECT_EQ(m.incoming(RoomId::kKitchen), 2);
+}
+
+}  // namespace
+}  // namespace hs::locate

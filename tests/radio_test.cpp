@@ -1,0 +1,132 @@
+// Unit tests for packet reception and the IR link model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "radio/channel.hpp"
+#include "radio/ir.hpp"
+
+namespace hs::radio {
+namespace {
+
+class ChannelTest : public ::testing::Test {
+ protected:
+  habitat::Habitat habitat_ = habitat::Habitat::lunares();
+  Channel ble_{habitat_, habitat::kBleChannel};
+};
+
+TEST_F(ChannelTest, StrongLinkAlwaysDecodes) {
+  Rng rng(1);
+  const Vec2 tx = habitat_.room(habitat::RoomId::kAtrium).bounds.center();
+  int received = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (ble_.try_receive(tx, tx + Vec2{1.0, 0.0}, rng)) ++received;
+  }
+  EXPECT_EQ(received, 200);
+}
+
+TEST_F(ChannelTest, ShieldedLinkAlmostNeverDecodes) {
+  Rng rng(2);
+  const Vec2 tx = habitat_.room(habitat::RoomId::kBedroom).bounds.center();
+  const Vec2 rx = habitat_.room(habitat::RoomId::kStorage).bounds.center();  // across the atrium
+  int received = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (ble_.try_receive(tx, rx, rng)) ++received;
+  }
+  EXPECT_EQ(received, 0);
+}
+
+TEST_F(ChannelTest, RssiQuantizedAndPlausible) {
+  Rng rng(3);
+  const Vec2 tx = habitat_.room(habitat::RoomId::kAtrium).bounds.center();
+  const auto rssi = ble_.try_receive(tx, tx + Vec2{2.0, 0.0}, rng);
+  ASSERT_TRUE(rssi.has_value());
+  EXPECT_LE(*rssi, 0);
+  EXPECT_GE(*rssi, -90);
+}
+
+// Reception probability must fall monotonically (within sampling noise)
+// as distance grows through the sensitivity region.
+class ChannelDistanceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ChannelDistanceSweep, ReceptionProbabilityWithinBounds) {
+  habitat::Habitat habitat = habitat::Habitat::lunares();
+  Channel ble(habitat, habitat::kBleChannel);
+  Rng rng(42);
+  const Vec2 tx = habitat.room(habitat::RoomId::kAtrium).bounds.clamp({8.5, 0.5}, 0.2);
+  const double d = GetParam();
+  int received = 0;
+  const int n = 300;
+  for (int i = 0; i < n; ++i) {
+    if (ble.try_receive(tx, tx + Vec2{d, 0.0}, rng)) ++received;
+  }
+  const double p = static_cast<double>(received) / n;
+  const double mean = ble.mean_rssi(tx, tx + Vec2{d, 0.0});
+  if (mean > ble.params().sensitivity_dbm + 10.0) {
+    EXPECT_GT(p, 0.95) << "d=" << d;
+  }
+  if (mean < ble.params().sensitivity_dbm - 10.0) {
+    EXPECT_LT(p, 0.05) << "d=" << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, ChannelDistanceSweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0, 6.0, 9.0));
+
+// ------------------------------------------------------------------------ IR
+
+class IrTest : public ::testing::Test {
+ protected:
+  habitat::Habitat habitat_ = habitat::Habitat::lunares();
+  IrLink ir_{habitat_};
+  Vec2 center_ = habitat_.room(habitat::RoomId::kKitchen).bounds.center();
+};
+
+TEST_F(IrTest, FacingPairWithinRangeConnects) {
+  const Vec2 a = center_;
+  const Vec2 b = center_ + Vec2{1.5, 0.0};
+  EXPECT_TRUE(ir_.geometry_ok(a, 0.0, b, M_PI));  // facing each other
+}
+
+TEST_F(IrTest, TooFarApartFails) {
+  const Vec2 a = center_;
+  const Vec2 b = center_ + Vec2{1.8, 0.0};
+  // 1.8 m < range, but push beyond max range:
+  EXPECT_FALSE(ir_.geometry_ok(a, 0.0, a + Vec2{3.0, 0.0}, M_PI));
+  EXPECT_TRUE(ir_.geometry_ok(a, 0.0, b, M_PI));
+}
+
+TEST_F(IrTest, FacingAwayFails) {
+  const Vec2 a = center_;
+  const Vec2 b = center_ + Vec2{1.5, 0.0};
+  EXPECT_FALSE(ir_.geometry_ok(a, M_PI, b, M_PI));   // a faces away
+  EXPECT_FALSE(ir_.geometry_ok(a, 0.0, b, 0.0));     // b faces away
+}
+
+TEST_F(IrTest, ConeEdgeBehaviour) {
+  const Vec2 a = center_;
+  const Vec2 b = center_ + Vec2{1.5, 0.0};
+  const double half = ir_.params().cone_half_angle_rad;
+  EXPECT_TRUE(ir_.geometry_ok(a, half - 0.05, b, M_PI));
+  EXPECT_FALSE(ir_.geometry_ok(a, half + 0.05, b, M_PI));
+}
+
+TEST_F(IrTest, WallsBlockIr) {
+  const Vec2 a = habitat_.room(habitat::RoomId::kKitchen).bounds.clamp({12.2, 9.0}, 0.05);
+  const Vec2 b = habitat_.room(habitat::RoomId::kBiolab).bounds.clamp({11.8, 9.0}, 0.05);
+  // 0.4 m apart but separated by a wall.
+  EXPECT_FALSE(ir_.geometry_ok(a, M_PI, b, 0.0));
+}
+
+TEST_F(IrTest, DetectionProbabilityApplies) {
+  Rng rng(7);
+  const Vec2 a = center_;
+  const Vec2 b = center_ + Vec2{1.0, 0.0};
+  int hits = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) hits += ir_.try_contact(a, 0.0, b, M_PI, rng) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, ir_.params().detect_probability, 0.03);
+}
+
+}  // namespace
+}  // namespace hs::radio

@@ -1,0 +1,151 @@
+// Unit tests for the discrete-event simulation kernel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace hs::sim {
+namespace {
+
+TEST(Simulation, RunsEventsInTimestampOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(seconds(3), [&] { order.push_back(3); });
+  sim.schedule_at(seconds(1), [&] { order.push_back(1); });
+  sim.schedule_at(seconds(2), [&] { order.push_back(2); });
+  sim.run_until(seconds(10));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, FifoAmongEqualTimestamps) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(seconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.run_until(seconds(2));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, NowAdvancesToEventTime) {
+  Simulation sim;
+  SimTime seen = -1;
+  sim.schedule_at(seconds(5), [&] { seen = sim.now(); });
+  sim.run_until(seconds(10));
+  EXPECT_EQ(seen, seconds(5));
+  EXPECT_EQ(sim.now(), seconds(10));  // clamps to end
+}
+
+TEST(Simulation, RunUntilExcludesLaterEvents) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(seconds(5), [&] { ++fired; });
+  sim.schedule_at(seconds(15), [&] { ++fired; });
+  sim.run_until(seconds(10));
+  EXPECT_EQ(fired, 1);
+  sim.run_until(seconds(20));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, ScheduleAfterRelative) {
+  Simulation sim;
+  sim.run_until(seconds(10));
+  SimTime seen = -1;
+  sim.schedule_after(seconds(5), [&] { seen = sim.now(); });
+  sim.run_until(seconds(20));
+  EXPECT_EQ(seen, seconds(15));
+}
+
+TEST(Simulation, PastScheduleClampsToNow) {
+  Simulation sim;
+  sim.run_until(seconds(10));
+  SimTime seen = -1;
+  sim.schedule_at(seconds(1), [&] { seen = sim.now(); });
+  sim.run_until(seconds(11));
+  EXPECT_EQ(seen, seconds(10));
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  int fired = 0;
+  const EventId id = sim.schedule_at(seconds(1), [&] { ++fired; });
+  sim.cancel(id);
+  sim.run_until(seconds(5));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulation, CancelUnknownIdIsNoop) {
+  Simulation sim;
+  sim.cancel(999);  // must not crash
+  EXPECT_EQ(sim.run_until(seconds(1)), 0u);
+}
+
+TEST(Simulation, PeriodicFiresRepeatedly) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_periodic(seconds(1), seconds(2), [&] { ++fired; });
+  sim.run_until(seconds(10));
+  EXPECT_EQ(fired, 5);  // t = 1, 3, 5, 7, 9
+}
+
+TEST(Simulation, PeriodicCancelStops) {
+  Simulation sim;
+  int fired = 0;
+  const EventId id = sim.schedule_periodic(seconds(1), seconds(1), [&] { ++fired; });
+  sim.run_until(seconds(3));
+  sim.cancel(id);
+  sim.run_until(seconds(10));
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulation, PeriodicCanCancelItself) {
+  Simulation sim;
+  int fired = 0;
+  EventId id = 0;
+  id = sim.schedule_periodic(seconds(1), seconds(1), [&] {
+    if (++fired == 3) sim.cancel(id);
+  });
+  sim.run_until(seconds(10));
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulation, EventsCanScheduleEvents) {
+  Simulation sim;
+  std::vector<SimTime> times;
+  sim.schedule_at(seconds(1), [&] {
+    times.push_back(sim.now());
+    sim.schedule_after(seconds(2), [&] { times.push_back(sim.now()); });
+  });
+  sim.run_until(seconds(10));
+  EXPECT_EQ(times, (std::vector<SimTime>{seconds(1), seconds(3)}));
+}
+
+TEST(Simulation, RunAllDrainsQueue) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(seconds(100), [&] { ++fired; });
+  sim.schedule_at(seconds(200), [&] { ++fired; });
+  EXPECT_EQ(sim.run_all(), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulation, ReturnsExecutedCount) {
+  Simulation sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(seconds(i), [] {});
+  EXPECT_EQ(sim.run_until(seconds(3)), 4u);  // t = 0,1,2,3
+}
+
+TEST(Simulation, ZeroPeriodCoercedToPositive) {
+  Simulation sim;
+  int fired = 0;
+  const EventId id = sim.schedule_periodic(0, 0, [&] { ++fired; });
+  sim.run_until(10);  // 10 microseconds => at most 11 firings with period 1
+  sim.cancel(id);
+  EXPECT_GT(fired, 0);
+  EXPECT_LE(fired, 11);
+}
+
+}  // namespace
+}  // namespace hs::sim

@@ -1,0 +1,404 @@
+// Unit tests for the mission support system: anomaly detectors, resource
+// ledger, Earth link + conflict detection, consensus, ability adaptation.
+#include <gtest/gtest.h>
+
+#include "support/ability.hpp"
+#include "support/anomaly.hpp"
+#include "support/consensus.hpp"
+#include "support/earthlink.hpp"
+#include "support/resources.hpp"
+#include "support/system.hpp"
+
+namespace hs::support {
+namespace {
+
+using habitat::RoomId;
+
+CrewFeature feature(SimTime t, std::size_t who, RoomId room, bool speech = false,
+                    bool walking = false) {
+  return CrewFeature{t, who, room, speech, walking};
+}
+
+// --------------------------------------------------------------- dehydration
+
+TEST(Dehydration, AlertsAfterLongDryStretch) {
+  DehydrationDetector d(hours(3));
+  std::vector<Alert> alerts;
+  const SimTime start = day_start(2) + hours(8);
+  for (SimTime t = start; t < start + hours(4); t += minutes(1)) {
+    d.ingest(feature(t, 0, RoomId::kOffice), alerts);
+  }
+  ASSERT_GE(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, AlertKind::kDehydrationRisk);
+  EXPECT_EQ(alerts[0].astronaut, 0u);
+}
+
+TEST(Dehydration, KitchenVisitResetsTimer) {
+  DehydrationDetector d(hours(3));
+  std::vector<Alert> alerts;
+  const SimTime start = day_start(2) + hours(8);
+  for (SimTime t = start; t < start + hours(6); t += minutes(1)) {
+    // A kitchen stop every 2 hours.
+    const bool in_kitchen = (t - start) % hours(2) < minutes(5);
+    d.ingest(feature(t, 0, in_kitchen ? RoomId::kKitchen : RoomId::kOffice), alerts);
+  }
+  EXPECT_TRUE(alerts.empty());
+}
+
+TEST(Dehydration, RestingRoomsDoNotCount) {
+  DehydrationDetector d(hours(3));
+  std::vector<Alert> alerts;
+  const SimTime start = day_start(2) + hours(8);
+  for (SimTime t = start; t < start + hours(5); t += minutes(1)) {
+    d.ingest(feature(t, 0, RoomId::kAtrium), alerts);  // resting, not working
+  }
+  EXPECT_TRUE(alerts.empty());
+}
+
+TEST(Dehydration, AlertsRateLimited) {
+  DehydrationDetector d(hours(2));
+  std::vector<Alert> alerts;
+  const SimTime start = day_start(2) + hours(8);
+  for (SimTime t = start; t < start + hours(8); t += minutes(1)) {
+    d.ingest(feature(t, 1, RoomId::kWorkshop), alerts);
+  }
+  EXPECT_LE(alerts.size(), 4u);  // one per ~2 h, not one per minute
+}
+
+// ---------------------------------------------------------------- passivity
+
+TEST(Passivity, FlagsPersistentlyQuietMember) {
+  PassivityDetector d(0.55, 2);
+  std::vector<Alert> alerts;
+  for (int day = 2; day <= 4; ++day) {
+    for (SimTime t = day_start(day) + hours(8); t < day_start(day) + hours(12); t += kSecond) {
+      for (std::size_t who = 0; who < 4; ++who) {
+        // Astronaut 3 speaks 5% of the time; others 40%.
+        const bool speech = (t / kSecond + who * 7) % 100 < (who == 3 ? 5u : 40u);
+        d.ingest(feature(t, who, RoomId::kKitchen, speech), alerts);
+      }
+    }
+  }
+  d.end_of_second(day_start(5), alerts);
+  ASSERT_GE(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, AlertKind::kPassiveCrewMember);
+  EXPECT_EQ(alerts[0].astronaut, 3u);
+}
+
+TEST(Passivity, NoAlertWhenBalanced) {
+  PassivityDetector d;
+  std::vector<Alert> alerts;
+  for (int day = 2; day <= 5; ++day) {
+    for (SimTime t = day_start(day) + hours(8); t < day_start(day) + hours(11); t += kSecond) {
+      for (std::size_t who = 0; who < 4; ++who) {
+        const bool speech = (t / kSecond + who) % 10 < 3;
+        d.ingest(feature(t, who, RoomId::kKitchen, speech), alerts);
+      }
+    }
+  }
+  d.end_of_second(day_start(6), alerts);
+  EXPECT_TRUE(alerts.empty());
+}
+
+// -------------------------------------------------------------- group tension
+
+TEST(GroupTension, DetectsCrewWideDecline) {
+  GroupTensionDetector d(0.5);
+  std::vector<Alert> alerts;
+  // Days 2-5: lively (30%); day 6: nearly silent (5%).
+  for (int day = 2; day <= 6; ++day) {
+    const unsigned talk_pct = day <= 5 ? 30 : 5;
+    for (SimTime t = day_start(day) + hours(8); t < day_start(day) + hours(12); t += kSecond) {
+      d.ingest(feature(t, 0, RoomId::kKitchen, (t / kSecond) % 100 < talk_pct), alerts);
+    }
+  }
+  d.end_of_second(day_start(7), alerts);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, AlertKind::kGroupTension);
+}
+
+TEST(GroupTension, StableCrewStaysQuietOnAlerts) {
+  GroupTensionDetector d(0.5);
+  std::vector<Alert> alerts;
+  for (int day = 2; day <= 8; ++day) {
+    for (SimTime t = day_start(day) + hours(8); t < day_start(day) + hours(12); t += kSecond) {
+      d.ingest(feature(t, 0, RoomId::kKitchen, (t / kSecond) % 10 < 3), alerts);
+    }
+  }
+  d.end_of_second(day_start(9), alerts);
+  EXPECT_TRUE(alerts.empty());
+}
+
+// --------------------------------------------------------- unplanned gathering
+
+class GatheringTest : public ::testing::Test {
+ protected:
+  UnplannedGatheringDetector detector_{
+      {{hours(12) + minutes(30), hours(13) + minutes(10)}}, 4, minutes(5)};
+  std::vector<Alert> alerts_;
+
+  void everyone_in(SimTime t, RoomId room) {
+    for (std::size_t who = 0; who < crew::kCrewSize; ++who) {
+      detector_.ingest(feature(t, who, room), alerts_);
+    }
+    detector_.end_of_second(t, alerts_);
+  }
+};
+
+TEST_F(GatheringTest, DetectsConsolationStyleGathering) {
+  const SimTime start = day_start(4) + hours(15) + minutes(20);
+  for (SimTime t = start; t < start + minutes(10); t += kSecond) {
+    everyone_in(t, RoomId::kKitchen);
+  }
+  ASSERT_EQ(alerts_.size(), 1u);  // reported once, not every second
+  EXPECT_EQ(alerts_[0].kind, AlertKind::kUnplannedGathering);
+  EXPECT_NE(alerts_[0].message.find("kitchen"), std::string::npos);
+}
+
+TEST_F(GatheringTest, PlannedLunchSuppressed) {
+  const SimTime start = day_start(4) + hours(12) + minutes(35);
+  for (SimTime t = start; t < start + minutes(20); t += kSecond) {
+    everyone_in(t, RoomId::kKitchen);
+  }
+  EXPECT_TRUE(alerts_.empty());
+}
+
+TEST_F(GatheringTest, SmallGroupsIgnored) {
+  const SimTime start = day_start(4) + hours(15);
+  for (SimTime t = start; t < start + minutes(10); t += kSecond) {
+    for (std::size_t who = 0; who < 3; ++who) {
+      detector_.ingest(feature(t, who, RoomId::kKitchen), alerts_);
+    }
+    detector_.end_of_second(t, alerts_);
+  }
+  EXPECT_TRUE(alerts_.empty());
+}
+
+// ----------------------------------------------------------------- resources
+
+TEST(Resources, ForecastMatchesStock) {
+  ResourceLedger ledger;
+  ledger.set_state(Resource::kFoodKcal, {15000.0 * 6, 2500.0, 0.0});
+  EXPECT_NEAR(ledger.days_remaining(Resource::kFoodKcal, 6), 6.0, 1e-9);
+  ledger.consume_day(6);
+  EXPECT_NEAR(ledger.days_remaining(Resource::kFoodKcal, 6), 5.0, 1e-9);
+}
+
+TEST(Resources, RationCutExtendsHorizon) {
+  ResourceLedger ledger;
+  ledger.set_state(Resource::kFoodKcal, {15000.0 * 6, 2500.0, 0.0});
+  ledger.set_ration(Resource::kFoodKcal, 500.0 / 2500.0);  // day-11 rations
+  EXPECT_NEAR(ledger.days_remaining(Resource::kFoodKcal, 6), 30.0, 1e-9);
+}
+
+TEST(Resources, ShortageAlerts) {
+  ResourceLedger ledger;
+  ledger.set_state(Resource::kWaterLiters, {100.0, 11.0, 40.0});  // < 1 day left
+  std::vector<Alert> alerts;
+  ledger.check(0, 6, 4.0, alerts);
+  ASSERT_GE(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, AlertKind::kResourceShortage);
+  EXPECT_EQ(alerts[0].severity, Severity::kCritical);
+}
+
+TEST(Resources, DefaultStockingCoversMissionWithMargin) {
+  ResourceLedger ledger = ResourceLedger::icares_default(6);
+  for (int r = 0; r < kResourceCount; ++r) {
+    const double days = ledger.days_remaining(static_cast<Resource>(r), 6);
+    EXPECT_GT(days, 14.0) << resource_name(static_cast<Resource>(r));
+    EXPECT_LT(days, 30.0);
+  }
+}
+
+TEST(Resources, StockNeverNegative) {
+  ResourceLedger ledger;
+  ledger.set_state(Resource::kOxygenKg, {1.0, 0.84, 0.0});
+  for (int i = 0; i < 10; ++i) ledger.consume_day(6);
+  EXPECT_GE(ledger.state(Resource::kOxygenKg).stock, 0.0);
+}
+
+// ---------------------------------------------------------------- Earth link
+
+TEST(EarthLink, TwentyMinuteDelay) {
+  DelayedChannel<std::string> link(minutes(20));
+  link.send(0, "hello Mars");
+  EXPECT_TRUE(link.receive(minutes(19)).empty());
+  const auto arrived = link.receive(minutes(20));
+  ASSERT_EQ(arrived.size(), 1u);
+  EXPECT_EQ(arrived[0], "hello Mars");
+}
+
+TEST(EarthLink, OrderPreserved) {
+  DelayedChannel<int> link(minutes(20));
+  link.send(0, 1);
+  link.send(minutes(1), 2);
+  link.send(minutes(2), 3);
+  const auto arrived = link.receive(hours(1));
+  EXPECT_EQ(arrived, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(link.in_flight(), 0u);
+}
+
+TEST(ConflictMonitor, CurrentCommandApplies) {
+  ConflictMonitor monitor;
+  std::vector<Alert> alerts;
+  EXPECT_TRUE(monitor.process(0, Command{1, "start EVA", 0, 0}, alerts));
+  EXPECT_TRUE(alerts.empty());
+}
+
+TEST(ConflictMonitor, StaleCommandFlagged) {
+  // The day-12 incident: by the time the command arrives, the crew has
+  // already decided differently.
+  ConflictMonitor monitor;
+  std::vector<Alert> alerts;
+  const Command command{1, "continue experiment X", monitor.version(), 0};
+  monitor.record_local_decision(minutes(5), "crew aborted experiment X");
+  EXPECT_FALSE(monitor.process(minutes(20), command, alerts));
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, AlertKind::kCommandConflict);
+  EXPECT_EQ(alerts[0].severity, Severity::kCritical);
+}
+
+TEST(ConflictMonitor, DecisionLogGrows) {
+  ConflictMonitor monitor;
+  monitor.record_local_decision(0, "a");
+  monitor.record_local_decision(1, "b");
+  EXPECT_EQ(monitor.version(), 2u);
+  EXPECT_EQ(monitor.decision_log().size(), 2u);
+}
+
+// ----------------------------------------------------------------- consensus
+
+class ConsensusTest : public ::testing::Test {
+ protected:
+  ChangeAuthority authority_{{0, 1, 2, kMissionControl}};
+};
+
+TEST_F(ConsensusTest, UnanimousApprovalApplies) {
+  const auto id = authority_.propose(0, "disable microphone in biolab");
+  authority_.vote(minutes(1), id, 0, true);
+  authority_.vote(minutes(2), id, 1, true);
+  authority_.vote(minutes(3), id, 2, true);
+  EXPECT_EQ(authority_.get(id)->state(), ProposalState::kPending);  // control pending
+  authority_.vote(minutes(25), id, kMissionControl, true);
+  EXPECT_EQ(authority_.get(id)->state(), ProposalState::kApproved);
+  EXPECT_EQ(authority_.applied().size(), 1u);
+}
+
+TEST_F(ConsensusTest, SingleRejectionKills) {
+  const auto id = authority_.propose(0, "disable all sensors");
+  authority_.vote(minutes(1), id, 0, true);
+  authority_.vote(minutes(2), id, 1, false);
+  EXPECT_EQ(authority_.get(id)->state(), ProposalState::kRejected);
+  // Further votes are ignored.
+  EXPECT_FALSE(authority_.vote(minutes(3), id, 2, true));
+}
+
+TEST_F(ConsensusTest, ExpiresWithoutQuorum) {
+  const auto id = authority_.propose(0, "reconfigure beacons", hours(1));
+  authority_.vote(minutes(10), id, 0, true);
+  authority_.tick(hours(2));
+  EXPECT_EQ(authority_.get(id)->state(), ProposalState::kExpired);
+}
+
+TEST_F(ConsensusTest, NonVoterAndDoubleVotesRejected) {
+  const auto id = authority_.propose(0, "x");
+  EXPECT_FALSE(authority_.vote(1, id, 99, true));   // not a voter
+  EXPECT_TRUE(authority_.vote(2, id, 0, true));
+  EXPECT_FALSE(authority_.vote(3, id, 0, true));    // no double voting
+  EXPECT_EQ(authority_.get(id)->approvals(), 1u);
+}
+
+TEST_F(ConsensusTest, OpenCountTracksLifecycle) {
+  const auto a = authority_.propose(0, "a");
+  const auto b = authority_.propose(0, "b");
+  EXPECT_EQ(authority_.open_count(), 2u);
+  authority_.vote(1, a, 0, false);
+  EXPECT_EQ(authority_.open_count(), 1u);
+  (void)b;
+}
+
+// ------------------------------------------------------------------- ability
+
+TEST(Ability, ImpairedGetsAudioFirst) {
+  InterfaceAdapter adapter(icares_ability_profiles());
+  const Alert alert{0, AlertKind::kDehydrationRisk, Severity::kWarning, 0, "drink water"};
+  const auto d = adapter.deliver(alert, 0);
+  ASSERT_TRUE(d.modality.has_value());
+  EXPECT_EQ(*d.modality, Modality::kAudio);
+  const auto d_b = adapter.deliver(alert, 1);
+  EXPECT_EQ(*d_b.modality, Modality::kVisual);
+}
+
+TEST(Ability, SuspensionFallsBack) {
+  InterfaceAdapter adapter(icares_ability_profiles());
+  const Alert alert{0, AlertKind::kBatteryLow, Severity::kInfo, 0, "charge badge"};
+  adapter.suspend(0, Modality::kAudio);  // e.g. noisy EVA prep
+  const auto d = adapter.deliver(alert, 0);
+  ASSERT_TRUE(d.modality.has_value());
+  EXPECT_EQ(*d.modality, Modality::kHaptic);
+  adapter.restore(0, Modality::kAudio);
+  EXPECT_EQ(*adapter.deliver(alert, 0).modality, Modality::kAudio);
+}
+
+TEST(Ability, AllSuspendedIsUndeliverable) {
+  InterfaceAdapter adapter(icares_ability_profiles());
+  adapter.suspend(0, Modality::kAudio);
+  adapter.suspend(0, Modality::kHaptic);
+  const Alert alert{0, AlertKind::kBatteryLow, Severity::kInfo, 0, "x"};
+  const auto d = adapter.deliver(alert, 0);
+  EXPECT_FALSE(d.modality.has_value());
+  EXPECT_NE(d.rendered.find("UNDELIVERABLE"), std::string::npos);
+}
+
+TEST(Ability, BroadcastTargetsSubjectOrEveryone) {
+  InterfaceAdapter adapter(icares_ability_profiles());
+  const Alert personal{0, AlertKind::kDehydrationRisk, Severity::kWarning, 2, "x"};
+  EXPECT_EQ(adapter.broadcast(personal).size(), 1u);
+  const Alert global{0, AlertKind::kResourceShortage, Severity::kCritical, std::nullopt, "x"};
+  EXPECT_EQ(adapter.broadcast(global).size(), crew::kCrewSize);
+}
+
+// -------------------------------------------------------------- whole system
+
+TEST(SupportSystem, EndToEndScenario) {
+  SupportSystem system;
+
+  // Scripted: astronaut 2 works all day without touching the kitchen.
+  const SimTime start = day_start(2) + hours(8);
+  for (SimTime t = start; t < start + hours(6); t += kSecond) {
+    system.ingest(feature(t, 2, RoomId::kWorkshop));
+    system.end_of_second(t);
+  }
+  EXPECT_GE(system.alert_count(AlertKind::kDehydrationRisk), 1u);
+
+  // Resource shortage builds up.
+  system.resources().set_state(Resource::kFoodKcal, {2500.0 * 6 * 3, 2500.0, 0.0});
+  system.end_of_day(start + hours(14));
+  EXPECT_GE(system.alert_count(AlertKind::kResourceShortage), 1u);
+
+  // The day-12 conflict: command arrives 20 min late, crew already acted.
+  system.uplink().send(start, Command{7, "proceed with plan P", system.conflicts().version(),
+                                      start});
+  system.conflicts().record_local_decision(start + minutes(5), "crew switched to plan Q");
+  system.poll_uplink(start + minutes(20));
+  EXPECT_EQ(system.alert_count(AlertKind::kCommandConflict), 1u);
+
+  // Every alert was routed through a modality.
+  EXPECT_GE(system.deliveries().size(), system.alerts().size());
+  for (const auto& d : system.deliveries()) {
+    EXPECT_TRUE(d.modality.has_value());
+  }
+}
+
+TEST(SupportSystem, ConsensusIntegration) {
+  SupportSystem system;
+  const auto id = system.changes().propose(0, "mute badges in the bedroom");
+  for (std::size_t i = 0; i < crew::kCrewSize; ++i) {
+    system.changes().vote(minutes(1 + static_cast<std::int64_t>(i)), id, i, true);
+  }
+  system.changes().vote(minutes(45), id, kMissionControl, true);
+  EXPECT_EQ(system.changes().get(id)->state(), ProposalState::kApproved);
+}
+
+}  // namespace
+}  // namespace hs::support

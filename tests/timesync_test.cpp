@@ -1,0 +1,131 @@
+// Unit + property tests for drifting clocks and the offset estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "timesync/clock.hpp"
+#include "timesync/estimator.hpp"
+#include "util/rng.hpp"
+
+namespace hs::timesync {
+namespace {
+
+TEST(DriftingClock, ZeroDriftIsIdentity) {
+  DriftingClock clock(0, 0.0, 0);
+  EXPECT_EQ(clock.local_ms(seconds(10)), 10'000u);
+  EXPECT_EQ(clock.local_ms(days(13)), static_cast<io::LocalMs>(13LL * 24 * 3600 * 1000));
+}
+
+TEST(DriftingClock, PositiveDriftRunsFast) {
+  DriftingClock clock(0, 50.0, 0);  // +50 ppm
+  const auto local = clock.local_ms(days(1));
+  const auto expected_gain = static_cast<io::LocalMs>(86'400'000.0 * 50e-6);
+  EXPECT_EQ(local, 86'400'000u + expected_gain);
+}
+
+TEST(DriftingClock, DriftAccumulatesToSecondsOverMission) {
+  DriftingClock clock(0, 30.0, 0);
+  const double gain_ms =
+      static_cast<double>(clock.local_ms(days(14))) - 14.0 * 86'400'000.0;
+  EXPECT_NEAR(gain_ms, 14.0 * 86'400'000.0 * 30e-6, 1.0);  // ~36 s
+  EXPECT_GT(gain_ms, 30'000.0);
+}
+
+TEST(DriftingClock, InitialOffsetApplied) {
+  DriftingClock clock(0, 0.0, 5000);
+  EXPECT_EQ(clock.local_ms(0), 5000u);
+}
+
+TEST(DriftingClock, TrueTimeInverts) {
+  DriftingClock clock(seconds(100), -42.0, 777);
+  const SimTime t = seconds(100) + hours(30);
+  const auto local = clock.local_ms(t);
+  EXPECT_NEAR(static_cast<double>(clock.true_time(local)), static_cast<double>(t),
+              static_cast<double>(2 * kMillisecond));
+}
+
+TEST(OffsetEstimator, NoSamplesIsError) {
+  OffsetEstimator est;
+  EXPECT_FALSE(est.fit(0).has_value());
+}
+
+TEST(OffsetEstimator, SingleSampleOffsetOnly) {
+  OffsetEstimator est;
+  est.add_sample(io::SyncSample{1000, 1500, 0});
+  const auto fit = est.fit(0);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_DOUBLE_EQ(fit->rate, 1.0);
+  EXPECT_DOUBLE_EQ(fit->rectify(1000), 1500.0);
+}
+
+TEST(OffsetEstimator, SeparatesBadges) {
+  OffsetEstimator est;
+  est.add_sample(io::SyncSample{100, 200, 0});
+  est.add_sample(io::SyncSample{100, 999, 1});
+  EXPECT_EQ(est.sample_count(0), 1u);
+  EXPECT_EQ(est.sample_count(1), 1u);
+  EXPECT_DOUBLE_EQ(est.fit(0)->rectify(100), 200.0);
+  EXPECT_DOUBLE_EQ(est.fit(1)->rectify(100), 999.0);
+}
+
+/// Property: for any drift in a realistic range, sampling the clock pair a
+/// few dozen times over a mission recovers the mapping to sub-10 ms.
+class DriftSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DriftSweep, EstimatorRecoversClockMapping) {
+  const double drift_ppm = GetParam();
+  DriftingClock badge(0, drift_ppm, 123456);
+  DriftingClock reference(0, 0.0, 0);
+
+  OffsetEstimator est;
+  for (int i = 0; i < 50; ++i) {
+    const SimTime t = hours(6) * i;  // samples across ~12 days
+    est.add_sample(io::SyncSample{badge.local_ms(t), reference.local_ms(t), 3});
+  }
+  const auto fit = est.fit(3);
+  ASSERT_TRUE(fit.has_value());
+  // Rate must match (1 + drift)^-1.
+  EXPECT_NEAR(fit->rate, 1.0 / (1.0 + drift_ppm * 1e-6), 1e-7);
+  // Rectified timestamps must land within 10 ms of reference time.
+  for (int i = 0; i < 20; ++i) {
+    const SimTime t = hours(13) * i;
+    const double rectified = fit->rectify(badge.local_ms(t));
+    EXPECT_NEAR(rectified, static_cast<double>(reference.local_ms(t)), 10.0)
+        << "drift=" << drift_ppm;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Drifts, DriftSweep,
+                         ::testing::Values(-80.0, -30.0, -5.0, 0.0, 5.0, 30.0, 80.0));
+
+TEST(OffsetEstimator, RobustToJitteredSamples) {
+  Rng rng(99);
+  DriftingClock badge(0, 40.0, 777);
+  OffsetEstimator est;
+  for (int i = 0; i < 200; ++i) {
+    const SimTime t = minutes(90) * (i + 1);
+    // +-3 ms exchange jitter.
+    const auto ref = static_cast<io::LocalMs>(
+        static_cast<double>(t / kMillisecond) + rng.normal(0.0, 3.0));
+    est.add_sample(io::SyncSample{badge.local_ms(t), ref, 1});
+  }
+  const auto fit = est.fit(1);
+  ASSERT_TRUE(fit.has_value());
+  for (int i = 0; i < 10; ++i) {
+    const SimTime t = days(1) * i + hours(5);
+    EXPECT_NEAR(fit->rectify(badge.local_ms(t)), static_cast<double>(t / kMillisecond), 30.0);
+  }
+  EXPECT_LT(fit->max_residual_ms, 25.0);
+}
+
+TEST(OffsetEstimator, WithoutRectificationErrorIsLarge) {
+  // The ablation motivation: trusting raw local time after two weeks of
+  // 40 ppm drift puts timestamps ~48 s off.
+  DriftingClock badge(0, 40.0, 0);
+  const double raw = static_cast<double>(badge.local_ms(days(14)));
+  const double truth = static_cast<double>(days(14) / kMillisecond);
+  EXPECT_GT(std::fabs(raw - truth), 40'000.0);
+}
+
+}  // namespace
+}  // namespace hs::timesync
