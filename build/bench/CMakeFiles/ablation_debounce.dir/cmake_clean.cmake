@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_debounce.dir/ablation_debounce.cpp.o"
+  "CMakeFiles/ablation_debounce.dir/ablation_debounce.cpp.o.d"
+  "ablation_debounce"
+  "ablation_debounce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_debounce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

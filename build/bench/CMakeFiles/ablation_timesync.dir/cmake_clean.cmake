@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_timesync.dir/ablation_timesync.cpp.o"
+  "CMakeFiles/ablation_timesync.dir/ablation_timesync.cpp.o.d"
+  "ablation_timesync"
+  "ablation_timesync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_timesync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

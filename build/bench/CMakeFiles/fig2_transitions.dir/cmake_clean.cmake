@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_transitions.dir/fig2_transitions.cpp.o"
+  "CMakeFiles/fig2_transitions.dir/fig2_transitions.cpp.o.d"
+  "fig2_transitions"
+  "fig2_transitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_transitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_heatmap.cpp" "bench/CMakeFiles/fig3_heatmap.dir/fig3_heatmap.cpp.o" "gcc" "bench/CMakeFiles/fig3_heatmap.dir/fig3_heatmap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hs_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sna/CMakeFiles/hs_sna.dir/DependInfo.cmake"
+  "/root/repo/build/src/locate/CMakeFiles/hs_locate.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/hs_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/crew/CMakeFiles/hs_crew.dir/DependInfo.cmake"
+  "/root/repo/build/src/badge/CMakeFiles/hs_badge.dir/DependInfo.cmake"
+  "/root/repo/build/src/timesync/CMakeFiles/hs_timesync.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/hs_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/hs_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/beacon/CMakeFiles/hs_beacon.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/habitat/CMakeFiles/hs_habitat.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

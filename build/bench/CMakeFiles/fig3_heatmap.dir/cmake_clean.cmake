@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_heatmap.dir/fig3_heatmap.cpp.o"
+  "CMakeFiles/fig3_heatmap.dir/fig3_heatmap.cpp.o.d"
+  "fig3_heatmap"
+  "fig3_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_walking.dir/fig4_walking.cpp.o"
+  "CMakeFiles/fig4_walking.dir/fig4_walking.cpp.o.d"
+  "fig4_walking"
+  "fig4_walking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_walking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

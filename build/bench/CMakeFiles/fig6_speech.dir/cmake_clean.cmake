@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_speech.dir/fig6_speech.cpp.o"
+  "CMakeFiles/fig6_speech.dir/fig6_speech.cpp.o.d"
+  "fig6_speech"
+  "fig6_speech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_speech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

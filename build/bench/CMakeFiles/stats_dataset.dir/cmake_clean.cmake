@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_dataset.dir/stats_dataset.cpp.o"
+  "CMakeFiles/stats_dataset.dir/stats_dataset.cpp.o.d"
+  "stats_dataset"
+  "stats_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

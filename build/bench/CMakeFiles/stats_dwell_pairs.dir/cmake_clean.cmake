@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_dwell_pairs.dir/stats_dwell_pairs.cpp.o"
+  "CMakeFiles/stats_dwell_pairs.dir/stats_dwell_pairs.cpp.o.d"
+  "stats_dwell_pairs"
+  "stats_dwell_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_dwell_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

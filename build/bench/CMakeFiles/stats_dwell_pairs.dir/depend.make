@@ -1,0 +1,2 @@
+# Empty dependencies file for stats_dwell_pairs.
+# This may be replaced when dependencies are built.

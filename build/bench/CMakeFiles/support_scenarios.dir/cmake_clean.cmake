@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_scenarios.dir/support_scenarios.cpp.o"
+  "CMakeFiles/support_scenarios.dir/support_scenarios.cpp.o.d"
+  "support_scenarios"
+  "support_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_crew.dir/table1_crew.cpp.o"
+  "CMakeFiles/table1_crew.dir/table1_crew.cpp.o.d"
+  "table1_crew"
+  "table1_crew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_crew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ergonomics_study.dir/ergonomics_study.cpp.o"
+  "CMakeFiles/ergonomics_study.dir/ergonomics_study.cpp.o.d"
+  "ergonomics_study"
+  "ergonomics_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ergonomics_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icares_replay.dir/icares_replay.cpp.o"
+  "CMakeFiles/icares_replay.dir/icares_replay.cpp.o.d"
+  "icares_replay"
+  "icares_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icares_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

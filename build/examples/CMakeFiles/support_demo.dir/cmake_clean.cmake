@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_demo.dir/support_demo.cpp.o"
+  "CMakeFiles/support_demo.dir/support_demo.cpp.o.d"
+  "support_demo"
+  "support_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

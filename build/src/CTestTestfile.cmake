@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("io")
+subdirs("habitat")
+subdirs("radio")
+subdirs("timesync")
+subdirs("badge")
+subdirs("beacon")
+subdirs("locate")
+subdirs("dsp")
+subdirs("sna")
+subdirs("crew")
+subdirs("core")
+subdirs("support")

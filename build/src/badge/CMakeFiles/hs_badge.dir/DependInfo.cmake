@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/badge/badge.cpp" "src/badge/CMakeFiles/hs_badge.dir/badge.cpp.o" "gcc" "src/badge/CMakeFiles/hs_badge.dir/badge.cpp.o.d"
+  "/root/repo/src/badge/battery.cpp" "src/badge/CMakeFiles/hs_badge.dir/battery.cpp.o" "gcc" "src/badge/CMakeFiles/hs_badge.dir/battery.cpp.o.d"
+  "/root/repo/src/badge/network.cpp" "src/badge/CMakeFiles/hs_badge.dir/network.cpp.o" "gcc" "src/badge/CMakeFiles/hs_badge.dir/network.cpp.o.d"
+  "/root/repo/src/badge/sdcard.cpp" "src/badge/CMakeFiles/hs_badge.dir/sdcard.cpp.o" "gcc" "src/badge/CMakeFiles/hs_badge.dir/sdcard.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/radio/CMakeFiles/hs_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/beacon/CMakeFiles/hs_beacon.dir/DependInfo.cmake"
+  "/root/repo/build/src/timesync/CMakeFiles/hs_timesync.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/hs_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/habitat/CMakeFiles/hs_habitat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_badge.dir/badge.cpp.o"
+  "CMakeFiles/hs_badge.dir/badge.cpp.o.d"
+  "CMakeFiles/hs_badge.dir/battery.cpp.o"
+  "CMakeFiles/hs_badge.dir/battery.cpp.o.d"
+  "CMakeFiles/hs_badge.dir/network.cpp.o"
+  "CMakeFiles/hs_badge.dir/network.cpp.o.d"
+  "CMakeFiles/hs_badge.dir/sdcard.cpp.o"
+  "CMakeFiles/hs_badge.dir/sdcard.cpp.o.d"
+  "libhs_badge.a"
+  "libhs_badge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_badge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_beacon.dir/beacon.cpp.o"
+  "CMakeFiles/hs_beacon.dir/beacon.cpp.o.d"
+  "libhs_beacon.a"
+  "libhs_beacon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_beacon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

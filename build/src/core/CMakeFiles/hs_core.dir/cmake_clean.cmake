@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_core.dir/analysis.cpp.o"
+  "CMakeFiles/hs_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/hs_core.dir/runner.cpp.o"
+  "CMakeFiles/hs_core.dir/runner.cpp.o.d"
+  "libhs_core.a"
+  "libhs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_crew.dir/astronaut.cpp.o"
+  "CMakeFiles/hs_crew.dir/astronaut.cpp.o.d"
+  "CMakeFiles/hs_crew.dir/conversation.cpp.o"
+  "CMakeFiles/hs_crew.dir/conversation.cpp.o.d"
+  "CMakeFiles/hs_crew.dir/crew_sim.cpp.o"
+  "CMakeFiles/hs_crew.dir/crew_sim.cpp.o.d"
+  "CMakeFiles/hs_crew.dir/profile.cpp.o"
+  "CMakeFiles/hs_crew.dir/profile.cpp.o.d"
+  "CMakeFiles/hs_crew.dir/schedule.cpp.o"
+  "CMakeFiles/hs_crew.dir/schedule.cpp.o.d"
+  "CMakeFiles/hs_crew.dir/script.cpp.o"
+  "CMakeFiles/hs_crew.dir/script.cpp.o.d"
+  "CMakeFiles/hs_crew.dir/survey.cpp.o"
+  "CMakeFiles/hs_crew.dir/survey.cpp.o.d"
+  "libhs_crew.a"
+  "libhs_crew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_crew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/speech.cpp" "src/dsp/CMakeFiles/hs_dsp.dir/speech.cpp.o" "gcc" "src/dsp/CMakeFiles/hs_dsp.dir/speech.cpp.o.d"
+  "/root/repo/src/dsp/walking.cpp" "src/dsp/CMakeFiles/hs_dsp.dir/walking.cpp.o" "gcc" "src/dsp/CMakeFiles/hs_dsp.dir/walking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/hs_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_dsp.dir/speech.cpp.o"
+  "CMakeFiles/hs_dsp.dir/speech.cpp.o.d"
+  "CMakeFiles/hs_dsp.dir/walking.cpp.o"
+  "CMakeFiles/hs_dsp.dir/walking.cpp.o.d"
+  "libhs_dsp.a"
+  "libhs_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_habitat.dir/habitat.cpp.o"
+  "CMakeFiles/hs_habitat.dir/habitat.cpp.o.d"
+  "CMakeFiles/hs_habitat.dir/propagation.cpp.o"
+  "CMakeFiles/hs_habitat.dir/propagation.cpp.o.d"
+  "libhs_habitat.a"
+  "libhs_habitat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_habitat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_io.dir/binlog.cpp.o"
+  "CMakeFiles/hs_io.dir/binlog.cpp.o.d"
+  "CMakeFiles/hs_io.dir/csv.cpp.o"
+  "CMakeFiles/hs_io.dir/csv.cpp.o.d"
+  "CMakeFiles/hs_io.dir/heatmap_render.cpp.o"
+  "CMakeFiles/hs_io.dir/heatmap_render.cpp.o.d"
+  "CMakeFiles/hs_io.dir/table.cpp.o"
+  "CMakeFiles/hs_io.dir/table.cpp.o.d"
+  "libhs_io.a"
+  "libhs_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

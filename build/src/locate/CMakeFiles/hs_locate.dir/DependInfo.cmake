@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/locate/heatmap.cpp" "src/locate/CMakeFiles/hs_locate.dir/heatmap.cpp.o" "gcc" "src/locate/CMakeFiles/hs_locate.dir/heatmap.cpp.o.d"
+  "/root/repo/src/locate/room_classifier.cpp" "src/locate/CMakeFiles/hs_locate.dir/room_classifier.cpp.o" "gcc" "src/locate/CMakeFiles/hs_locate.dir/room_classifier.cpp.o.d"
+  "/root/repo/src/locate/transitions.cpp" "src/locate/CMakeFiles/hs_locate.dir/transitions.cpp.o" "gcc" "src/locate/CMakeFiles/hs_locate.dir/transitions.cpp.o.d"
+  "/root/repo/src/locate/triangulate.cpp" "src/locate/CMakeFiles/hs_locate.dir/triangulate.cpp.o" "gcc" "src/locate/CMakeFiles/hs_locate.dir/triangulate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/beacon/CMakeFiles/hs_beacon.dir/DependInfo.cmake"
+  "/root/repo/build/src/habitat/CMakeFiles/hs_habitat.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/hs_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_locate.dir/heatmap.cpp.o"
+  "CMakeFiles/hs_locate.dir/heatmap.cpp.o.d"
+  "CMakeFiles/hs_locate.dir/room_classifier.cpp.o"
+  "CMakeFiles/hs_locate.dir/room_classifier.cpp.o.d"
+  "CMakeFiles/hs_locate.dir/transitions.cpp.o"
+  "CMakeFiles/hs_locate.dir/transitions.cpp.o.d"
+  "CMakeFiles/hs_locate.dir/triangulate.cpp.o"
+  "CMakeFiles/hs_locate.dir/triangulate.cpp.o.d"
+  "libhs_locate.a"
+  "libhs_locate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_locate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_radio.dir/channel.cpp.o"
+  "CMakeFiles/hs_radio.dir/channel.cpp.o.d"
+  "CMakeFiles/hs_radio.dir/ir.cpp.o"
+  "CMakeFiles/hs_radio.dir/ir.cpp.o.d"
+  "libhs_radio.a"
+  "libhs_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_sim.dir/simulation.cpp.o"
+  "CMakeFiles/hs_sim.dir/simulation.cpp.o.d"
+  "libhs_sim.a"
+  "libhs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

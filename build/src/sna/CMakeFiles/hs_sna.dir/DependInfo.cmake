@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sna/copresence.cpp" "src/sna/CMakeFiles/hs_sna.dir/copresence.cpp.o" "gcc" "src/sna/CMakeFiles/hs_sna.dir/copresence.cpp.o.d"
+  "/root/repo/src/sna/hits.cpp" "src/sna/CMakeFiles/hs_sna.dir/hits.cpp.o" "gcc" "src/sna/CMakeFiles/hs_sna.dir/hits.cpp.o.d"
+  "/root/repo/src/sna/meetings.cpp" "src/sna/CMakeFiles/hs_sna.dir/meetings.cpp.o" "gcc" "src/sna/CMakeFiles/hs_sna.dir/meetings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/locate/CMakeFiles/hs_locate.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/hs_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/beacon/CMakeFiles/hs_beacon.dir/DependInfo.cmake"
+  "/root/repo/build/src/habitat/CMakeFiles/hs_habitat.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/hs_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

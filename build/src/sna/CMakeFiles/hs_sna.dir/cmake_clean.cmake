@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_sna.dir/copresence.cpp.o"
+  "CMakeFiles/hs_sna.dir/copresence.cpp.o.d"
+  "CMakeFiles/hs_sna.dir/hits.cpp.o"
+  "CMakeFiles/hs_sna.dir/hits.cpp.o.d"
+  "CMakeFiles/hs_sna.dir/meetings.cpp.o"
+  "CMakeFiles/hs_sna.dir/meetings.cpp.o.d"
+  "libhs_sna.a"
+  "libhs_sna.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_sna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

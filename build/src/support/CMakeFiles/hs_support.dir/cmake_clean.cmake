@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_support.dir/ability.cpp.o"
+  "CMakeFiles/hs_support.dir/ability.cpp.o.d"
+  "CMakeFiles/hs_support.dir/anomaly.cpp.o"
+  "CMakeFiles/hs_support.dir/anomaly.cpp.o.d"
+  "CMakeFiles/hs_support.dir/consensus.cpp.o"
+  "CMakeFiles/hs_support.dir/consensus.cpp.o.d"
+  "CMakeFiles/hs_support.dir/earthlink.cpp.o"
+  "CMakeFiles/hs_support.dir/earthlink.cpp.o.d"
+  "CMakeFiles/hs_support.dir/resources.cpp.o"
+  "CMakeFiles/hs_support.dir/resources.cpp.o.d"
+  "CMakeFiles/hs_support.dir/system.cpp.o"
+  "CMakeFiles/hs_support.dir/system.cpp.o.d"
+  "libhs_support.a"
+  "libhs_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timesync/clock.cpp" "src/timesync/CMakeFiles/hs_timesync.dir/clock.cpp.o" "gcc" "src/timesync/CMakeFiles/hs_timesync.dir/clock.cpp.o.d"
+  "/root/repo/src/timesync/estimator.cpp" "src/timesync/CMakeFiles/hs_timesync.dir/estimator.cpp.o" "gcc" "src/timesync/CMakeFiles/hs_timesync.dir/estimator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/hs_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_timesync.dir/clock.cpp.o"
+  "CMakeFiles/hs_timesync.dir/clock.cpp.o.d"
+  "CMakeFiles/hs_timesync.dir/estimator.cpp.o"
+  "CMakeFiles/hs_timesync.dir/estimator.cpp.o.d"
+  "libhs_timesync.a"
+  "libhs_timesync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_timesync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

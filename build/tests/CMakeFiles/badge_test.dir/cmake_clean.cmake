@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/badge_test.dir/badge_test.cpp.o"
+  "CMakeFiles/badge_test.dir/badge_test.cpp.o.d"
+  "badge_test"
+  "badge_test.pdb"
+  "badge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/badge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crew_test.dir/crew_test.cpp.o"
+  "CMakeFiles/crew_test.dir/crew_test.cpp.o.d"
+  "crew_test"
+  "crew_test.pdb"
+  "crew_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crew_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

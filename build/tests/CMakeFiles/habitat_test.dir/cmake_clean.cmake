@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/habitat_test.dir/habitat_test.cpp.o"
+  "CMakeFiles/habitat_test.dir/habitat_test.cpp.o.d"
+  "habitat_test"
+  "habitat_test.pdb"
+  "habitat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/habitat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

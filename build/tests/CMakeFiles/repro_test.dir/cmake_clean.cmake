@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_test.dir/repro_test.cpp.o"
+  "CMakeFiles/repro_test.dir/repro_test.cpp.o.d"
+  "repro_test"
+  "repro_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sna_test.dir/sna_test.cpp.o"
+  "CMakeFiles/sna_test.dir/sna_test.cpp.o.d"
+  "sna_test"
+  "sna_test.pdb"
+  "sna_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sna_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timesync_test.dir/timesync_test.cpp.o"
+  "CMakeFiles/timesync_test.dir/timesync_test.cpp.o.d"
+  "timesync_test"
+  "timesync_test.pdb"
+  "timesync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timesync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/habitat_test[1]_include.cmake")
+include("/root/repo/build/tests/radio_test[1]_include.cmake")
+include("/root/repo/build/tests/timesync_test[1]_include.cmake")
+include("/root/repo/build/tests/beacon_test[1]_include.cmake")
+include("/root/repo/build/tests/badge_test[1]_include.cmake")
+include("/root/repo/build/tests/locate_test[1]_include.cmake")
+include("/root/repo/build/tests/dsp_test[1]_include.cmake")
+include("/root/repo/build/tests/sna_test[1]_include.cmake")
+include("/root/repo/build/tests/crew_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+add_test(core_test "/root/repo/build/tests/core_test")
+set_tests_properties(core_test PROPERTIES  TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;16;add_test;/root/repo/tests/CMakeLists.txt;33;hs_add_suite;/root/repo/tests/CMakeLists.txt;0;")
+add_test(repro_test "/root/repo/build/tests/repro_test")
+set_tests_properties(repro_test PROPERTIES  TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;16;add_test;/root/repo/tests/CMakeLists.txt;34;hs_add_suite;/root/repo/tests/CMakeLists.txt;0;")
