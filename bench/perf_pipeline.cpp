@@ -1,0 +1,79 @@
+// Serial vs parallel analysis throughput on the full 14-day dataset.
+//
+// Runs the canonical ICAres-1 mission once, then times the complete
+// analysis — AnalysisPipeline construction (rectify + attribute + derive)
+// plus artifacts() (every paper figure/table) — at threads=1 (the serial
+// reference path) and threads=N, and prints the speedup. The two runs are
+// also spot-checked for equality; tests/determinism_test.cpp holds the
+// exhaustive bit-identity suite.
+//
+// Usage: perf_pipeline [seed] [threads] [reps]
+//   seed     mission seed (default 42)
+//   threads  parallel thread count (default 4; 0 = hardware_concurrency)
+//   reps     timed repetitions per configuration, best-of (default 3)
+//
+// Note: the speedup is bounded by the host's core count — on a
+// single-core container both configurations time the same work and the
+// ratio prints ~1.0x.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "bench_common.hpp"
+
+namespace {
+
+struct Timed {
+  double seconds = 0.0;
+  hs::core::AnalysisPipeline::Artifacts artifacts;
+};
+
+Timed run_once(const hs::core::Dataset& data, unsigned threads) {
+  const auto t0 = std::chrono::steady_clock::now();
+  hs::core::PipelineOptions opts;
+  opts.threads = threads;
+  const hs::core::AnalysisPipeline pipeline(data, opts);
+  Timed out;
+  out.artifacts = pipeline.artifacts();
+  out.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return out;
+}
+
+Timed best_of(const hs::core::Dataset& data, unsigned threads, int reps) {
+  Timed best = run_once(data, threads);
+  for (int r = 1; r < reps; ++r) {
+    Timed t = run_once(data, threads);
+    if (t.seconds < best.seconds) best = std::move(t);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto data = hs::bench::run_mission(argc, argv);
+  const unsigned threads =
+      argc > 2 ? static_cast<unsigned>(std::strtoul(argv[2], nullptr, 10)) : 4;
+  const int reps = argc > 3 ? std::atoi(argv[3]) : 3;
+  const unsigned resolved = hs::util::resolve_threads(threads);
+
+  std::printf("host hardware_concurrency: %u\n", std::thread::hardware_concurrency());
+  std::printf("timing full analysis (pipeline + all artifacts), best of %d\n\n", reps);
+
+  const Timed serial = best_of(data, 1, reps);
+  std::printf("  threads=1   %8.3f s\n", serial.seconds);
+  const Timed parallel = best_of(data, threads, reps);
+  std::printf("  threads=%-3u %8.3f s\n", resolved, parallel.seconds);
+  std::printf("\n  speedup: %.2fx\n", serial.seconds / parallel.seconds);
+
+  // Spot-check equality (the determinism test is the real gate).
+  bool same = serial.artifacts.fig2.total() == parallel.artifacts.fig2.total() &&
+              serial.artifacts.dataset.total_records == parallel.artifacts.dataset.total_records;
+  for (std::size_t i = 0; i < serial.artifacts.table1.size(); ++i) {
+    same = same && serial.artifacts.table1[i].company == parallel.artifacts.table1[i].company &&
+           serial.artifacts.table1[i].talking == parallel.artifacts.table1[i].talking;
+  }
+  std::printf("  serial == parallel spot-check: %s\n", same ? "ok" : "MISMATCH");
+  return same ? 0 : 1;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
 #include "util/stats.hpp"
 
@@ -42,6 +43,9 @@ double overlap_seconds(const std::vector<std::pair<double, double>>& intervals, 
 
 AnalysisPipeline::AnalysisPipeline(const Dataset& dataset, PipelineOptions options)
     : dataset_(&dataset), options_(options) {
+  if (util::resolve_threads(options_.threads) > 1) {
+    pool_ = std::make_shared<util::ThreadPool>(options_.threads);
+  }
   assemble();
 }
 
@@ -57,26 +61,46 @@ const timesync::ClockFit* AnalysisPipeline::clock_fit(io::BadgeId badge) const {
   return it == fits_.end() ? nullptr : &it->second;
 }
 
+// Every stage below shards across an independent axis (badges, then
+// astronauts) via util::parallel_for; each shard writes only its own
+// pre-allocated slot and any cross-shard merge happens serially in a
+// fixed order, so the result is bit-identical for every thread count
+// (docs/CONCURRENCY.md states the full guarantee).
 void AnalysisPipeline::assemble() {
   const auto& ownership =
       options_.corrected_ownership ? dataset_->ownership : dataset_->naive_ownership;
+  const auto& logs = dataset_->logs;
+  const std::size_t nlogs = logs.size();
+  util::ThreadPool* pool = pool_.get();
 
-  // 1. Clock rectification per badge.
-  for (const auto& log : dataset_->logs) {
+  // 1. Clock rectification per badge — each least-squares fit depends only
+  // on that badge's own sync samples. Map nodes are created serially up
+  // front (badge ids are unique per Dataset); shards fill the values.
+  std::vector<timesync::ClockFit*> fit_slot(nlogs);
+  for (std::size_t i = 0; i < nlogs; ++i) fit_slot[i] = &fits_[logs[i].id];
+  util::parallel_for(pool, nlogs, [&](std::size_t i) {
+    const auto& log = logs[i];
     timesync::ClockFit fit;  // identity (rate 1, offset 0)
     if (options_.rectify_clocks) {
       timesync::OffsetEstimator est;
       est.add_samples(log.card.sync());
       if (auto fitted = est.fit(log.id)) fit = *fitted;
     }
-    fits_[log.id] = fit;
-  }
+    *fit_slot[i] = fit;
+  });
 
   // 2. Worn/active intervals per badge from its wear events.
-  for (const auto& log : dataset_->logs) {
-    const auto& fit = fits_[log.id];
-    auto& worn = worn_[log.id];
-    auto& active = active_[log.id];
+  std::vector<std::vector<std::pair<double, double>>*> worn_slot(nlogs);
+  std::vector<std::vector<std::pair<double, double>>*> active_slot(nlogs);
+  for (std::size_t i = 0; i < nlogs; ++i) {
+    worn_slot[i] = &worn_[logs[i].id];
+    active_slot[i] = &active_[logs[i].id];
+  }
+  util::parallel_for(pool, nlogs, [&](std::size_t i) {
+    const auto& log = logs[i];
+    const auto& fit = *fit_slot[i];
+    auto& worn = *worn_slot[i];
+    auto& active = *active_slot[i];
     constexpr double kNotOpen = -1.0;
     double worn_since = kNotOpen;
     double active_since = kNotOpen;
@@ -98,12 +122,24 @@ void AnalysisPipeline::assemble() {
     const double mission_end = static_cast<double>(day_start(dataset_->last_day() + 1)) / 1e6;
     if (worn_since != kNotOpen) worn.emplace_back(worn_since, mission_end);
     if (active_since != kNotOpen) active.emplace_back(active_since, mission_end);
-  }
+  });
 
-  // 3. Attribute records to astronauts (worn periods only).
-  for (const auto& log : dataset_->logs) {
-    const auto& fit = fits_[log.id];
-    IntervalCursor worn_cursor(worn_[log.id]);
+  // 3. Attribute records to astronauts (worn periods only). Several badges
+  // can feed one astronaut (the day-9 swap, F reusing C's badge), so each
+  // badge shard rectifies into private per-astronaut buffers; the merge
+  // into persons_ happens serially in log order, reproducing exactly the
+  // append order of the serial path.
+  struct Contribution {
+    std::array<std::vector<locate::TimedRssi>, crew::kCrewSize> obs;
+    std::array<std::vector<dsp::TimedAudio>, crew::kCrewSize> audio;
+    std::array<std::vector<TimedMotion>, crew::kCrewSize> motion;
+  };
+  std::vector<Contribution> contrib(nlogs);
+  util::parallel_for(pool, nlogs, [&](std::size_t i) {
+    const auto& log = logs[i];
+    const auto& fit = *fit_slot[i];
+    Contribution& c = contrib[i];
+    IntervalCursor worn_cursor(*worn_slot[i]);
 
     auto owner_at = [&](double t_s) -> std::optional<std::size_t> {
       const int day = mission_day(static_cast<SimTime>(t_s * 1e6));
@@ -114,39 +150,49 @@ void AnalysisPipeline::assemble() {
       const double t = fit.rectify(r.t) / 1000.0;
       if (!worn_cursor.contains(t)) continue;
       if (const auto who = owner_at(t)) {
-        persons_[*who].obs.push_back(locate::TimedRssi{t, r.beacon, r.rssi_dbm});
+        c.obs[*who].push_back(locate::TimedRssi{t, r.beacon, r.rssi_dbm});
       }
     }
-    IntervalCursor worn_audio(worn_[log.id]);
+    IntervalCursor worn_audio(*worn_slot[i]);
     for (const auto& r : log.card.audio()) {
       const double t = fit.rectify(r.t) / 1000.0;
       if (!worn_audio.contains(t)) continue;
       if (const auto who = owner_at(t)) {
-        persons_[*who].audio.push_back(
+        c.audio[*who].push_back(
             dsp::TimedAudio{t, r.level_db, r.voiced_fraction, r.dominant_f0_hz});
       }
     }
-    IntervalCursor worn_motion(worn_[log.id]);
+    IntervalCursor worn_motion(*worn_slot[i]);
     for (const auto& r : log.card.motion()) {
       const double t = fit.rectify(r.t) / 1000.0;
       if (!worn_motion.contains(t)) continue;
       if (const auto who = owner_at(t)) {
-        persons_[*who].motion.push_back(TimedMotion{t, r.accel_var, r.step_freq_hz});
+        c.motion[*who].push_back(TimedMotion{t, r.accel_var, r.step_freq_hz});
       }
+    }
+  });
+  for (auto& c : contrib) {
+    for (std::size_t who = 0; who < crew::kCrewSize; ++who) {
+      auto& p = persons_[who];
+      p.obs.insert(p.obs.end(), c.obs[who].begin(), c.obs[who].end());
+      p.audio.insert(p.audio.end(), c.audio[who].begin(), c.audio[who].end());
+      p.motion.insert(p.motion.end(), c.motion[who].begin(), c.motion[who].end());
     }
   }
 
-  // 4. Sort (multiple badges can contribute to one astronaut) and derive.
+  // 4. Sort (multiple badges can contribute to one astronaut) and derive —
+  // independent per astronaut; classifier and detector are shared const.
   const locate::RoomClassifier classifier(dataset_->beacons, options_.classifier);
   const dsp::SpeechDetector speech(options_.speech);
-  for (auto& p : persons_) {
+  util::parallel_for(pool, crew::kCrewSize, [&](std::size_t i) {
+    auto& p = persons_[i];
     auto by_time = [](const auto& a, const auto& b) { return a.t_s < b.t_s; };
     std::sort(p.obs.begin(), p.obs.end(), by_time);
     std::sort(p.audio.begin(), p.audio.end(), by_time);
     std::sort(p.motion.begin(), p.motion.end(), by_time);
     p.track = classifier.classify(p.obs);
     p.speech = speech.analyze(p.audio, 0.0);
-  }
+  });
 }
 
 locate::TransitionMatrix AnalysisPipeline::fig2_transitions(double min_dwell_s) const {
@@ -171,7 +217,9 @@ AnalysisPipeline::DailySeries AnalysisPipeline::fig4_walking() const {
   series.values.assign(static_cast<std::size_t>(days), {});
   for (auto& row : series.values) row.fill(-1.0);
 
-  for (std::size_t i = 0; i < crew::kCrewSize; ++i) {
+  // Each astronaut owns column i of every row — disjoint writes, so the
+  // crew axis shards freely.
+  util::parallel_for(pool_.get(), crew::kCrewSize, [&](std::size_t i) {
     // Split the motion stream by day and classify.
     std::size_t walking = 0;
     std::size_t total = 0;
@@ -197,7 +245,7 @@ AnalysisPipeline::DailySeries AnalysisPipeline::fig4_walking() const {
       if (detector.is_walking(f)) ++walking;
     }
     flush();
-  }
+  });
   return series;
 }
 
@@ -208,7 +256,7 @@ AnalysisPipeline::DailySeries AnalysisPipeline::fig6_speech() const {
   series.values.assign(static_cast<std::size_t>(days), {});
   for (auto& row : series.values) row.fill(-1.0);
 
-  for (std::size_t i = 0; i < crew::kCrewSize; ++i) {
+  util::parallel_for(pool_.get(), crew::kCrewSize, [&](std::size_t i) {
     std::size_t speech = 0;
     std::size_t total = 0;
     int cur_day = -1;
@@ -230,7 +278,7 @@ AnalysisPipeline::DailySeries AnalysisPipeline::fig6_speech() const {
       if (iv.speech) ++speech;
     }
     flush();
-  }
+  });
   return series;
 }
 
@@ -242,7 +290,7 @@ std::vector<std::vector<AnalysisPipeline::TimelineBin>> AnalysisPipeline::fig5_t
   const auto bins = static_cast<std::size_t>((t1 - t0) / bin_s);
 
   std::vector<std::vector<TimelineBin>> out(crew::kCrewSize);
-  for (std::size_t i = 0; i < crew::kCrewSize; ++i) {
+  util::parallel_for(pool_.get(), crew::kCrewSize, [&](std::size_t i) {
     out[i].resize(bins);
     for (std::size_t b = 0; b < bins; ++b) {
       TimelineBin& bin = out[i][b];
@@ -277,7 +325,7 @@ std::vector<std::vector<AnalysisPipeline::TimelineBin>> AnalysisPipeline::fig5_t
       bin.speech_fraction = total > 0 ? static_cast<double>(speech) / total : 0.0;
       bin.loudness_db = loud_n > 0 ? loud / loud_n : 0.0;
     }
-  }
+  });
   return out;
 }
 
@@ -475,8 +523,16 @@ AnalysisPipeline::PairStats AnalysisPipeline::pair_stats() const {
   speech.reserve(crew::kCrewSize);
   for (const auto& p : persons_) speech.push_back(p.speech);
 
-  for (int day = dataset_->first_day(); day <= dataset_->last_day(); ++day) {
-    const double d0 = static_cast<double>(day_start(day)) / 1e6;
+  // Meeting detection is independent per mission day, so the day axis
+  // shards: each day accumulates a private partial, and the partials fold
+  // serially in day order — the same fold on every thread count, keeping
+  // the floating-point sums bit-identical (docs/CONCURRENCY.md).
+  const int first = dataset_->first_day();
+  const auto days = static_cast<std::size_t>(dataset_->last_day() - first + 1);
+  std::vector<PairStats> daily(days);
+  util::parallel_for(pool_.get(), days, [&](std::size_t d) {
+    PairStats& ps = daily[d];
+    const double d0 = static_cast<double>(day_start(first + static_cast<int>(d))) / 1e6;
     const auto meetings = sna::detect_meetings(all_tracks, d0 + 8 * 3600.0, d0 + 22 * 3600.0);
     for (const auto& m : meetings) {
       const auto dyn = sna::analyze_meeting(m, speech);
@@ -487,14 +543,20 @@ AnalysisPipeline::PairStats AnalysisPipeline::pair_stats() const {
       // the rest of the crew shows up).
       const bool real_private = m.is_private() && m.duration_s() >= 360.0;
       if (m.involves(0) && m.involves(5)) {
-        stats.af_meetings_h += hours;
-        if (real_private) stats.af_private_h += hours * dyn.speech_fraction;
+        ps.af_meetings_h += hours;
+        if (real_private) ps.af_private_h += hours * dyn.speech_fraction;
       }
       if (m.involves(3) && m.involves(4)) {
-        stats.de_meetings_h += hours;
-        if (real_private) stats.de_private_h += hours * dyn.speech_fraction;
+        ps.de_meetings_h += hours;
+        if (real_private) ps.de_private_h += hours * dyn.speech_fraction;
       }
     }
+  });
+  for (const auto& ps : daily) {
+    stats.af_private_h += ps.af_private_h;
+    stats.de_private_h += ps.de_private_h;
+    stats.af_meetings_h += ps.af_meetings_h;
+    stats.de_meetings_h += ps.de_meetings_h;
   }
   return stats;
 }
@@ -549,6 +611,31 @@ std::array<dsp::VoiceClass, crew::kCrewSize> AnalysisPipeline::voice_census() co
     census[i] = dsp::dominant_voice_class(persons_[i].speech);
   }
   return census;
+}
+
+AnalysisPipeline::Artifacts AnalysisPipeline::artifacts() const {
+  Artifacts out;
+  out.fig3.reserve(crew::kCrewSize);
+  for (std::size_t i = 0; i < crew::kCrewSize; ++i) out.fig3.emplace_back(dataset_->habitat);
+
+  // One shard per paper artifact; fig3 additionally shards per astronaut
+  // (triangulation dominates the cost). Every shard writes only its own
+  // field, and each derivation is already deterministic, so running them
+  // concurrently cannot change any value.
+  std::vector<std::function<void()>> shards;
+  shards.emplace_back([&] { out.fig2 = fig2_transitions(); });
+  for (std::size_t i = 0; i < crew::kCrewSize; ++i) {
+    shards.emplace_back([&, i] { out.fig3[i] = fig3_heatmap(i); });
+  }
+  shards.emplace_back([&] { out.fig4 = fig4_walking(); });
+  shards.emplace_back([&] { out.fig6 = fig6_speech(); });
+  shards.emplace_back([&] { out.table1 = table1(); });
+  shards.emplace_back([&] { out.dataset = dataset_stats(); });
+  shards.emplace_back([&] { out.dwell = dwell_stats(); });
+  shards.emplace_back([&] { out.pairs = pair_stats(); });
+  shards.emplace_back([&] { out.survey = survey_validation(); });
+  util::parallel_for(pool_.get(), shards.size(), [&](std::size_t i) { shards[i](); });
+  return out;
 }
 
 std::vector<sna::Meeting> AnalysisPipeline::meetings_on(int day) const {

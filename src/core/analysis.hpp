@@ -12,6 +12,7 @@
 
 #include <array>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -26,6 +27,7 @@
 #include "sna/hits.hpp"
 #include "sna/meetings.hpp"
 #include "timesync/estimator.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hs::core {
 
@@ -43,6 +45,11 @@ struct PipelineOptions {
   /// Rectify badge clocks via the reference badge (false: trust raw local
   /// timestamps — the time-sync ablation).
   bool rectify_clocks = true;
+  /// Worker threads for the sharded pipeline stages and artifacts().
+  /// 0 = std::thread::hardware_concurrency(); 1 = the serial reference
+  /// path (no pool is created). Results are bit-identical for every
+  /// thread count — see docs/CONCURRENCY.md for the guarantee.
+  unsigned threads = 0;
   dsp::SpeechParams speech{};
   dsp::WalkingParams walking{};
   locate::ClassifierParams classifier{};
@@ -143,6 +150,23 @@ class AnalysisPipeline {
   /// from their badge's f0 stream (the paper's male/female distinction).
   [[nodiscard]] std::array<dsp::VoiceClass, crew::kCrewSize> voice_census() const;
 
+  // --- all paper artifacts in one (parallel) shot ---------------------------
+  /// Every figure/table the paper reports, derived concurrently when the
+  /// pipeline has a pool (options.threads != 1): each field is an
+  /// independent shard, and fig3 additionally shards per astronaut.
+  struct Artifacts {
+    locate::TransitionMatrix fig2;
+    std::vector<locate::HeatmapAccumulator> fig3;  ///< one heatmap per astronaut
+    DailySeries fig4;
+    DailySeries fig6;
+    std::vector<Table1Row> table1;
+    DatasetStats dataset;
+    DwellStats dwell;
+    PairStats pairs;
+    SurveyValidation survey;
+  };
+  [[nodiscard]] Artifacts artifacts() const;
+
   // --- meetings --------------------------------------------------------------
   [[nodiscard]] std::vector<sna::Meeting> meetings_on(int day) const;
   [[nodiscard]] sna::MeetingDynamics meeting_dynamics(const sna::Meeting& meeting) const;
@@ -164,6 +188,9 @@ class AnalysisPipeline {
 
   const Dataset* dataset_;
   PipelineOptions options_;
+  /// Shared worker pool for assemble() and artifacts(); null on the
+  /// serial path (threads == 1). shared_ptr keeps the pipeline copyable.
+  std::shared_ptr<util::ThreadPool> pool_;
   std::map<io::BadgeId, timesync::ClockFit> fits_;
   /// Worn/active intervals per badge on the rectified timeline.
   std::map<io::BadgeId, std::vector<std::pair<double, double>>> worn_;

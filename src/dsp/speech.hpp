@@ -58,6 +58,8 @@ enum class VoiceClass { kUnknown, kMale, kFemale };
 /// f0 votes); kUnknown when no voiced intervals are present.
 [[nodiscard]] VoiceClass dominant_voice_class(const std::vector<SpeechInterval>& intervals);
 
+// Thread-safety: parameters are fixed at construction and every method is
+// const — one detector serves all per-astronaut shards concurrently.
 class SpeechDetector {
  public:
   explicit SpeechDetector(SpeechParams params = {}) : params_(params) {}

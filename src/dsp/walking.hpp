@@ -19,6 +19,8 @@ struct WalkingParams {
   double min_accel_var = 1.2;  ///< (m/s^2)^2; below this it's fidgeting
 };
 
+// Thread-safety: parameters are fixed at construction and every method is
+// const — safe to share across concurrent figure shards.
 class WalkingDetector {
  public:
   explicit WalkingDetector(WalkingParams params = {}) : params_(params) {}

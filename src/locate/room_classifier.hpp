@@ -39,6 +39,8 @@ struct ClassifierParams {
   double gap_carry_s = 5.0;  ///< carry last room over observation gaps up to this
 };
 
+// Thread-safety: configured at construction, stateless const queries —
+// one instance may classify several astronauts' streams concurrently.
 class RoomClassifier {
  public:
   explicit RoomClassifier(const std::vector<beacon::Beacon>& beacons,

@@ -23,6 +23,8 @@ struct PositionFix {
   habitat::RoomId room = habitat::RoomId::kNone;
 };
 
+// Thread-safety: configured at construction, stateless const queries —
+// safe to share across the per-astronaut heatmap shards.
 class Triangulator {
  public:
   Triangulator(const habitat::Habitat& habitat, const std::vector<beacon::Beacon>& beacons,

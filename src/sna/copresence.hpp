@@ -13,6 +13,9 @@
 
 namespace hs::sna {
 
+// Thread-safety: accumulate() mutates — an instance belongs to a single
+// shard (table1 builds its own); const queries afterwards are safe to
+// share.
 class CompanyAnalysis {
  public:
   explicit CompanyAnalysis(std::size_t crew_size);

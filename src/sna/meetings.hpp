@@ -34,6 +34,7 @@ struct MeetingParams {
 };
 
 /// Segment meetings from per-astronaut room tracks over [t0_s, t1_s).
+/// Pure function of its inputs — pair_stats shards it per mission day.
 [[nodiscard]] std::vector<Meeting> detect_meetings(
     const std::vector<std::vector<locate::RoomStay>>& tracks, double t0_s, double t1_s,
     MeetingParams params = {});

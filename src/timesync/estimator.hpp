@@ -29,6 +29,9 @@ struct ClockFit {
   }
 };
 
+// Thread-safety: add samples, then query — fit() and sample_count() are
+// const and safe to call concurrently; the parallel pipeline builds one
+// estimator per badge shard (docs/CONCURRENCY.md).
 class OffsetEstimator {
  public:
   void add_sample(const io::SyncSample& s) { samples_.push_back(s); }

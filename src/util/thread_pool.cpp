@@ -1,0 +1,127 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <limits>
+#include <memory>
+#include <utility>
+
+namespace hs::util {
+namespace {
+
+thread_local bool tls_on_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned n = resolve_threads(threads);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool ThreadPool::on_worker_thread() { return tls_on_worker; }
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  tls_on_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+unsigned resolve_threads(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->size() < 2 || n < 2 || ThreadPool::on_worker_thread()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared fan-out state: a ticket counter hands each participant the next
+  // un-claimed index; results are per-index so claiming order is free.
+  struct Shared {
+    std::atomic<std::size_t> next{0};
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::mutex err_mutex;
+    std::size_t err_index = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr err;
+    std::atomic<unsigned> pending{0};
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->n = n;
+  shared->fn = &fn;
+
+  auto drain = [](Shared& s) {
+    std::size_t i = 0;
+    while ((i = s.next.fetch_add(1, std::memory_order_relaxed)) < s.n) {
+      try {
+        (*s.fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(s.err_mutex);
+        if (i < s.err_index) {
+          s.err_index = i;
+          s.err = std::current_exception();
+        }
+        // Cancel indices nobody claimed yet; already-claimed ones finish.
+        s.next.store(s.n, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  const unsigned helpers =
+      static_cast<unsigned>(std::min<std::size_t>(pool->size(), n - 1));
+  shared->pending.store(helpers, std::memory_order_relaxed);
+  for (unsigned h = 0; h < helpers; ++h) {
+    pool->submit([shared, drain] {
+      drain(*shared);
+      if (shared->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(shared->done_mutex);
+        shared->done_cv.notify_all();
+      }
+    });
+  }
+
+  drain(*shared);  // the calling thread participates too
+
+  std::unique_lock<std::mutex> lock(shared->done_mutex);
+  shared->done_cv.wait(lock, [&] {
+    return shared->pending.load(std::memory_order_acquire) == 0;
+  });
+  if (shared->err) std::rethrow_exception(shared->err);
+}
+
+}  // namespace hs::util

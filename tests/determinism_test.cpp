@@ -1,0 +1,135 @@
+// Serial ≡ parallel: the pipeline's contract is that PipelineOptions::
+// threads changes wall-clock time only. This suite runs the full 14-day
+// mission on two seeds and demands bit-identical output — every figure,
+// table, statistic, and intermediate product — between threads=1 (the
+// serial reference path, no pool) and threads=4.
+//
+// Exact floating-point equality is intentional: every shard writes only
+// its own slot and every cross-shard fold happens serially in a fixed
+// order (see docs/CONCURRENCY.md), so there is no legitimate source of
+// divergence. A tolerance here would only hide a broken shard boundary.
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "core/runner.hpp"
+
+namespace hs::core {
+namespace {
+
+void expect_same_series(const AnalysisPipeline::DailySeries& a,
+                        const AnalysisPipeline::DailySeries& b) {
+  EXPECT_EQ(a.first_day, b.first_day);
+  ASSERT_EQ(a.values.size(), b.values.size());
+  for (std::size_t d = 0; d < a.values.size(); ++d) {
+    for (std::size_t i = 0; i < crew::kCrewSize; ++i) {
+      EXPECT_EQ(a.values[d][i], b.values[d][i]) << "day row " << d << " astronaut " << i;
+    }
+  }
+}
+
+void expect_identical(std::uint64_t seed) {
+  const Dataset data = run_icares_mission(seed);
+
+  PipelineOptions serial_opts;
+  serial_opts.threads = 1;
+  PipelineOptions parallel_opts;
+  parallel_opts.threads = 4;
+  const AnalysisPipeline serial(data, serial_opts);
+  const AnalysisPipeline parallel(data, parallel_opts);
+
+  // Intermediate products: clock fits, tracks, speech intervals.
+  for (const auto& log : data.logs) {
+    const auto* fs = serial.clock_fit(log.id);
+    const auto* fp = parallel.clock_fit(log.id);
+    ASSERT_EQ(fs == nullptr, fp == nullptr);
+    if (fs == nullptr) continue;
+    EXPECT_EQ(fs->offset_ms, fp->offset_ms) << "badge " << log.id;
+    EXPECT_EQ(fs->rate, fp->rate) << "badge " << log.id;
+    EXPECT_EQ(fs->samples, fp->samples) << "badge " << log.id;
+  }
+  for (std::size_t i = 0; i < crew::kCrewSize; ++i) {
+    EXPECT_EQ(serial.track(i), parallel.track(i)) << "astronaut " << i;
+    const auto& ss = serial.speech_intervals(i);
+    const auto& sp = parallel.speech_intervals(i);
+    ASSERT_EQ(ss.size(), sp.size()) << "astronaut " << i;
+    for (std::size_t k = 0; k < ss.size(); ++k) {
+      EXPECT_EQ(ss[k].start_s, sp[k].start_s);
+      EXPECT_EQ(ss[k].speech, sp[k].speech);
+      EXPECT_EQ(ss[k].mean_voiced_db, sp[k].mean_voiced_db);
+      EXPECT_EQ(ss[k].dominant_f0_hz, sp[k].dominant_f0_hz);
+      EXPECT_EQ(ss[k].voiced_frames, sp[k].voiced_frames);
+      EXPECT_EQ(ss[k].total_frames, sp[k].total_frames);
+    }
+  }
+
+  // The full artifact set, derived concurrently on the parallel side.
+  const auto a = serial.artifacts();
+  const auto b = parallel.artifacts();
+
+  EXPECT_EQ(a.fig2.counts(), b.fig2.counts());
+
+  ASSERT_EQ(a.fig3.size(), b.fig3.size());
+  for (std::size_t i = 0; i < a.fig3.size(); ++i) {
+    EXPECT_EQ(a.fig3[i].total_seconds(), b.fig3[i].total_seconds()) << "astronaut " << i;
+    EXPECT_EQ(a.fig3[i].grid_rows(), b.fig3[i].grid_rows()) << "astronaut " << i;
+  }
+
+  expect_same_series(a.fig4, b.fig4);
+  expect_same_series(a.fig6, b.fig6);
+
+  ASSERT_EQ(a.table1.size(), b.table1.size());
+  for (std::size_t i = 0; i < a.table1.size(); ++i) {
+    EXPECT_EQ(a.table1[i].id, b.table1[i].id);
+    EXPECT_EQ(a.table1[i].has_social, b.table1[i].has_social);
+    EXPECT_EQ(a.table1[i].company, b.table1[i].company);
+    EXPECT_EQ(a.table1[i].authority, b.table1[i].authority);
+    EXPECT_EQ(a.table1[i].talking, b.table1[i].talking);
+    EXPECT_EQ(a.table1[i].walking, b.table1[i].walking);
+  }
+
+  EXPECT_EQ(a.dataset.total_gib, b.dataset.total_gib);
+  EXPECT_EQ(a.dataset.worn_of_daytime, b.dataset.worn_of_daytime);
+  EXPECT_EQ(a.dataset.active_of_daytime, b.dataset.active_of_daytime);
+  EXPECT_EQ(a.dataset.worn_by_day, b.dataset.worn_by_day);
+  EXPECT_EQ(a.dataset.total_records, b.dataset.total_records);
+
+  EXPECT_EQ(a.dwell.typical_biolab_h, b.dwell.typical_biolab_h);
+  EXPECT_EQ(a.dwell.typical_office_h, b.dwell.typical_office_h);
+  EXPECT_EQ(a.dwell.typical_workshop_h, b.dwell.typical_workshop_h);
+
+  EXPECT_EQ(a.pairs.af_private_h, b.pairs.af_private_h);
+  EXPECT_EQ(a.pairs.de_private_h, b.pairs.de_private_h);
+  EXPECT_EQ(a.pairs.af_meetings_h, b.pairs.af_meetings_h);
+  EXPECT_EQ(a.pairs.de_meetings_h, b.pairs.de_meetings_h);
+
+  EXPECT_EQ(a.survey.wellbeing_speech_corr, b.survey.wellbeing_speech_corr);
+  EXPECT_EQ(a.survey.comfort_slope_per_day, b.survey.comfort_slope_per_day);
+  EXPECT_EQ(a.survey.responses, b.survey.responses);
+
+  // Fig. 5 timeline (day 5: mid-mission, fully instrumented) and the
+  // voice census round out the paper's artifact set.
+  const auto t1 = serial.fig5_timeline(5);
+  const auto t2 = parallel.fig5_timeline(5);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    ASSERT_EQ(t1[i].size(), t2[i].size());
+    for (std::size_t k = 0; k < t1[i].size(); ++k) {
+      EXPECT_EQ(t1[i][k].start_s, t2[i][k].start_s);
+      EXPECT_EQ(t1[i][k].room, t2[i][k].room);
+      EXPECT_EQ(t1[i][k].speech_fraction, t2[i][k].speech_fraction);
+      EXPECT_EQ(t1[i][k].loudness_db, t2[i][k].loudness_db);
+    }
+  }
+  EXPECT_EQ(serial.voice_census(), parallel.voice_census());
+}
+
+TEST(DeterminismTest, SerialAndParallelPipelinesAreBitIdenticalSeed42) {
+  expect_identical(42);
+}
+
+TEST(DeterminismTest, SerialAndParallelPipelinesAreBitIdenticalSeed7) {
+  expect_identical(7);
+}
+
+}  // namespace
+}  // namespace hs::core

@@ -1,0 +1,98 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace hs::util {
+namespace {
+
+TEST(ThreadPool, ResolveThreadsMapsZeroToHardwareConcurrency) {
+  EXPECT_GE(resolve_threads(0), 1U);
+  EXPECT_EQ(resolve_threads(1), 1U);
+  EXPECT_EQ(resolve_threads(7), 7U);
+}
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3U);
+}
+
+TEST(ThreadPool, SubmittedTasksRunInFifoOrderOnSingleWorker) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::promise<void> done;
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&order, i] { order.push_back(i); });
+  }
+  pool.submit([&done] { done.set_value(); });
+  done.get_future().wait();
+  ASSERT_EQ(order.size(), 16U);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(&pool, kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForWithNullPoolRunsSeriallyInOrder) {
+  std::vector<std::size_t> visited;
+  parallel_for(nullptr, 5, [&](std::size_t i) { visited.push_back(i); });
+  EXPECT_EQ(visited, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(4);
+  try {
+    parallel_for(&pool, 100, [](std::size_t i) {
+      if (i == 3) throw std::runtime_error("shard 3 failed");
+    });
+    FAIL() << "expected the shard exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "shard 3 failed");
+  }
+}
+
+TEST(ThreadPool, ParallelForCancelsUnstartedIndicesAfterThrow) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(parallel_for(&pool, 100000,
+                            [&](std::size_t) {
+                              ran.fetch_add(1);
+                              throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+  // The first throw cancels what nobody claimed; only a handful of
+  // already-claimed indices may still have run.
+  EXPECT_LT(ran.load(), 100000);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  constexpr std::size_t kOuter = 8;
+  constexpr std::size_t kInner = 8;
+  std::array<std::array<std::atomic<int>, kInner>, kOuter> hits{};
+  parallel_for(&pool, kOuter, [&](std::size_t o) {
+    EXPECT_TRUE(ThreadPool::on_worker_thread() || o < kOuter);  // either side may run shards
+    parallel_for(&pool, kInner, [&](std::size_t i) { hits[o][i].fetch_add(1); });
+  });
+  for (const auto& row : hits) {
+    for (const auto& h : row) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, OnWorkerThreadFalseOnCaller) {
+  EXPECT_FALSE(ThreadPool::on_worker_thread());
+}
+
+}  // namespace
+}  // namespace hs::util
