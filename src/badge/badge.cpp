@@ -69,7 +69,7 @@ bool Badge::due(SimTime now, int period_s) const {
 void Badge::tick_frames(SimTime now, const EnvironmentModel& env, Rng& rng) {
   // Battery first: a badge that dies mid-second logs nothing more.
   Battery::Mode mode = Battery::Mode::kOff;
-  if (docked_ || external_power_) {
+  if ((docked_ || external_power_) && !charge_inhibited_) {
     mode = Battery::Mode::kCharging;
   } else if (wear_state_ == io::WearState::kWorn) {
     mode = Battery::Mode::kActive;

@@ -50,6 +50,19 @@ class Badge {
   void set_external_power(bool on) { external_power_ = on; }
   [[nodiscard]] bool external_power() const { return external_power_; }
 
+  // --- fault hooks (driven by hs::faults) ----------------------------------
+  /// Charging stops working (failed cradle contact, badge left off the
+  /// charger overnight). A docked badge sits at RTC draw instead of
+  /// charging; clearing the inhibit restores normal charging — the
+  /// "delayed recharge" the deployment hit.
+  void set_charge_inhibited(bool inhibited) { charge_inhibited_ = inhibited; }
+  [[nodiscard]] bool charge_inhibited() const { return charge_inhibited_; }
+
+  /// Step the local millisecond counter by `ms` from now on (firmware
+  /// glitch / counter corruption). Subsequent records carry the stepped
+  /// timestamps; the offline fit must recover piecewise.
+  void apply_clock_step(double ms) { clock_.apply_step(ms); }
+
   // --- state --------------------------------------------------------------
   [[nodiscard]] io::BadgeId id() const { return id_; }
   [[nodiscard]] io::WearState wear_state() const { return wear_state_; }
@@ -108,6 +121,7 @@ class Badge {
   bool docked_ = false;
   bool was_depleted_ = false;
   bool external_power_ = false;
+  bool charge_inhibited_ = false;
 };
 
 }  // namespace hs::badge

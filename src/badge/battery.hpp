@@ -27,6 +27,19 @@ class Battery {
   /// Advance the battery by `dt` in the given mode.
   void step(SimDuration dt, Mode mode);
 
+  /// Drain the cell instantly (fault hook: cell failure, deep discharge
+  /// after a night off the charger). The badge browns out on its next tick.
+  void deplete() { charge_mah_ = 0.0; }
+
+  /// Force the charge to `fraction` of capacity, clamped to [0,1] (fault
+  /// hook: a failing cell sags before it dies, giving the health monitor
+  /// its low-battery warning window).
+  void set_fraction(double fraction) {
+    if (fraction < 0.0) fraction = 0.0;
+    if (fraction > 1.0) fraction = 1.0;
+    charge_mah_ = fraction * params_.capacity_mah;
+  }
+
   [[nodiscard]] bool depleted() const { return charge_mah_ <= 0.0; }
   [[nodiscard]] double fraction() const { return charge_mah_ / params_.capacity_mah; }
   [[nodiscard]] double charge_mah() const { return charge_mah_; }

@@ -71,7 +71,17 @@ void BadgeNetwork::tick(SimTime now, Rng& rng) {
   // 2. BLE beacon scans.
   for (auto& b : badges_) {
     if (!b->active() || !b->due(now, b->params().scan_period_s)) continue;
-    b->scan_beacons(now, candidates_for(habitat_->room_at(b->position())), ble_, rng);
+    const auto& all = candidates_for(habitat_->room_at(b->position()));
+    if (beacons_down_ == 0) {
+      b->scan_beacons(now, all, ble_, rng);
+    } else {
+      // Outage active somewhere: scan over the audible, still-alive set.
+      scan_scratch_.clear();
+      for (const beacon::Beacon* bc : all) {
+        if (!beacon_down(bc->id)) scan_scratch_.push_back(bc);
+      }
+      b->scan_beacons(now, scan_scratch_, ble_, rng);
+    }
   }
 
   // 3. 868 MHz proximity pings: sender broadcasts, every other active badge
@@ -109,6 +119,25 @@ void BadgeNetwork::tick(SimTime now, Rng& rng) {
       if (in_range) b->record_sync(now, reference_->clock());
     }
   }
+}
+
+void BadgeNetwork::set_beacon_down(io::BeaconId id, bool down) {
+  if (beacon_down_.size() <= id) beacon_down_.resize(static_cast<std::size_t>(id) + 1, 0);
+  if (static_cast<bool>(beacon_down_[id]) == down) return;
+  beacon_down_[id] = down ? 1 : 0;
+  beacons_down_ += down ? 1 : -1;
+}
+
+bool BadgeNetwork::beacon_down(io::BeaconId id) const {
+  return id < beacon_down_.size() && beacon_down_[id] != 0;
+}
+
+void BadgeNetwork::add_channel_loss(io::Band band, double db) {
+  (band == io::Band::kBle24 ? ble_ : subghz_).add_extra_loss_db(db);
+}
+
+const radio::Channel& BadgeNetwork::channel(io::Band band) const {
+  return band == io::Band::kBle24 ? ble_ : subghz_;
 }
 
 std::int64_t BadgeNetwork::total_bytes() const {

@@ -52,6 +52,16 @@ class BadgeNetwork {
   /// Total bytes across all SD cards (the paper's "150 GiB of data").
   [[nodiscard]] std::int64_t total_bytes() const;
 
+  // --- fault hooks (driven by hs::faults) ----------------------------------
+  /// Mark a beacon dark (power loss, firmware hang): its advertisements
+  /// vanish from scan windows until the outage clears.
+  void set_beacon_down(io::BeaconId id, bool down);
+  [[nodiscard]] bool beacon_down(io::BeaconId id) const;
+  /// Add extra path loss to one of the shared channels (interference,
+  /// antenna damage); additive, so pass the negative to unwind.
+  void add_channel_loss(io::Band band, double db);
+  [[nodiscard]] const radio::Channel& channel(io::Band band) const;
+
  private:
   /// Beacons audible from a room: same room or adjacent (two metal walls
   /// put everything else > 30 dB below sensitivity, so they are skipped).
@@ -68,6 +78,12 @@ class BadgeNetwork {
   Badge* reference_ = nullptr;
   // candidate lists indexed by room (kRoomCount entries + 1 for kNone).
   std::vector<std::vector<const beacon::Beacon*>> candidates_;
+  // Fault state: one flag per beacon id; count kept so the no-fault scan
+  // path stays allocation-free. scan_scratch_ holds the filtered candidate
+  // list while an outage is active.
+  std::vector<std::uint8_t> beacon_down_;
+  std::size_t beacons_down_ = 0;
+  std::vector<const beacon::Beacon*> scan_scratch_;
 };
 
 }  // namespace hs::badge

@@ -1,6 +1,69 @@
 #include "badge/sdcard.hpp"
 
+#include <algorithm>
+#include <limits>
+
 namespace hs::badge {
+namespace {
+
+/// Erase records whose timestamp (via `stamp`) falls past `cutoff`;
+/// returns how many went. remove_if rather than a suffix erase: clock-step
+/// faults can make a stream locally non-monotone.
+template <typename Record, typename Stamp>
+std::size_t drop_tail(std::vector<Record>& stream, io::LocalMs cutoff, Stamp stamp) {
+  const auto first = std::remove_if(stream.begin(), stream.end(),
+                                    [&](const Record& r) { return stamp(r) > cutoff; });
+  const auto dropped = static_cast<std::size_t>(stream.end() - first);
+  stream.erase(first, stream.end());
+  return dropped;
+}
+
+}  // namespace
+
+void SdCard::set_tail_loss(double fraction) {
+  tail_loss_ = std::clamp(fraction, 0.0, 1.0);
+}
+
+std::size_t SdCard::apply_tail_loss() {
+  if (tail_loss_ <= 0.0) return 0;
+  // The recorded timespan, over every stream (sync samples stamp `local`).
+  io::LocalMs lo = std::numeric_limits<io::LocalMs>::max();
+  io::LocalMs hi = 0;
+  bool any = false;
+  const auto span = [&](io::LocalMs t) {
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+    any = true;
+  };
+  for (const auto& r : beacon_obs_) span(r.t);
+  for (const auto& r : pings_) span(r.t);
+  for (const auto& r : ir_contacts_) span(r.t);
+  for (const auto& r : motion_) span(r.t);
+  for (const auto& r : audio_) span(r.t);
+  for (const auto& r : env_) span(r.t);
+  for (const auto& r : wear_) span(r.t);
+  for (const auto& r : sync_) span(r.local);
+  if (!any || hi <= lo) {
+    tail_loss_ = 0.0;
+    return 0;
+  }
+
+  const auto keep_ms = static_cast<double>(hi - lo) * (1.0 - tail_loss_);
+  const auto cutoff = static_cast<io::LocalMs>(static_cast<double>(lo) + keep_ms);
+  const auto t_of = [](const auto& r) { return r.t; };
+  std::size_t removed = 0;
+  removed += drop_tail(beacon_obs_, cutoff, t_of);
+  removed += drop_tail(pings_, cutoff, t_of);
+  removed += drop_tail(ir_contacts_, cutoff, t_of);
+  removed += drop_tail(motion_, cutoff, t_of);
+  removed += drop_tail(audio_, cutoff, t_of);
+  removed += drop_tail(env_, cutoff, t_of);
+  removed += drop_tail(wear_, cutoff, t_of);
+  removed += drop_tail(sync_, cutoff, [](const io::SyncSample& r) { return r.local; });
+  truncated_records_ += removed;
+  tail_loss_ = 0.0;  // applied; a second call is a no-op
+  return removed;
+}
 
 std::int64_t SdCard::bytes_written() const {
   // Feature records are tiny next to the raw streams; count them at their

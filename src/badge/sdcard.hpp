@@ -26,17 +26,42 @@ constexpr double kRawBytesPerActiveSecond = 38500.0;
 
 class SdCard {
  public:
-  void log(const io::BeaconObs& r) { beacon_obs_.push_back(r); }
-  void log(const io::ProximityPing& r) { pings_.push_back(r); }
-  void log(const io::IrContact& r) { ir_contacts_.push_back(r); }
-  void log(const io::MotionFrame& r) { motion_.push_back(r); }
-  void log(const io::AudioFrame& r) { audio_.push_back(r); }
-  void log(const io::EnvFrame& r) { env_.push_back(r); }
-  void log(const io::WearEvent& r) { wear_.push_back(r); }
-  void log(const io::SyncSample& r) { sync_.push_back(r); }
+  void log(const io::BeaconObs& r) { store(beacon_obs_, r); }
+  void log(const io::ProximityPing& r) { store(pings_, r); }
+  void log(const io::IrContact& r) { store(ir_contacts_, r); }
+  void log(const io::MotionFrame& r) { store(motion_, r); }
+  void log(const io::AudioFrame& r) { store(audio_, r); }
+  void log(const io::EnvFrame& r) { store(env_, r); }
+  void log(const io::WearEvent& r) { store(wear_, r); }
+  void log(const io::SyncSample& r) { store(sync_, r); }
+
+  // --- fault hooks (driven by hs::faults) ----------------------------------
+  /// While set, every log() call is silently dropped and counted — the
+  /// firmware keeps sampling but the card commits nothing (worn-out cells,
+  /// a controller lockup). Raw-stream bytes are not accounted either: the
+  /// data never reached flash.
+  void set_write_fault(bool failed) { write_fault_ = failed; }
+  [[nodiscard]] bool write_fault() const { return write_fault_; }
+  /// Records lost to write faults over the card's lifetime.
+  [[nodiscard]] std::size_t dropped_records() const { return dropped_records_; }
+
+  /// Arm collection-time tail loss: the final `fraction` of the card's
+  /// recorded timespan is unreadable (truncated binlog — the deployment's
+  /// corrupted-transfer failure). Applied once by apply_tail_loss().
+  void set_tail_loss(double fraction);
+  [[nodiscard]] double tail_loss() const { return tail_loss_; }
+  /// Drop every record in the armed tail window across all streams.
+  /// Returns the number of records removed (also kept as
+  /// truncated_records()). Idempotent; a no-op when nothing is armed.
+  std::size_t apply_tail_loss();
+  /// Records lost to the applied tail truncation.
+  [[nodiscard]] std::size_t truncated_records() const { return truncated_records_; }
 
   /// Account raw-stream bytes for one active interval.
-  void account_raw(double bytes) { raw_bytes_ += static_cast<std::int64_t>(bytes); }
+  void account_raw(double bytes) {
+    if (write_fault_) return;
+    raw_bytes_ += static_cast<std::int64_t>(bytes);
+  }
 
   /// Total stored volume: raw streams + encoded feature records.
   [[nodiscard]] std::int64_t bytes_written() const;
@@ -57,6 +82,15 @@ class SdCard {
   [[nodiscard]] std::vector<std::uint8_t> export_binlog() const;
 
  private:
+  template <typename Record>
+  void store(std::vector<Record>& stream, const Record& r) {
+    if (write_fault_) {
+      ++dropped_records_;
+      return;
+    }
+    stream.push_back(r);
+  }
+
   std::vector<io::BeaconObs> beacon_obs_;
   std::vector<io::ProximityPing> pings_;
   std::vector<io::IrContact> ir_contacts_;
@@ -66,6 +100,10 @@ class SdCard {
   std::vector<io::WearEvent> wear_;
   std::vector<io::SyncSample> sync_;
   std::int64_t raw_bytes_ = 0;
+  bool write_fault_ = false;
+  std::size_t dropped_records_ = 0;
+  double tail_loss_ = 0.0;
+  std::size_t truncated_records_ = 0;
 };
 
 }  // namespace hs::badge

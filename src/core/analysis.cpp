@@ -638,6 +638,51 @@ AnalysisPipeline::Artifacts AnalysisPipeline::artifacts() const {
   return out;
 }
 
+AnalysisPipeline::GapReport AnalysisPipeline::gap_report() const {
+  GapReport report;
+  for (const auto& log : dataset_->logs) {
+    BadgeGapSummary s;
+    s.id = log.id;
+    s.records = log.card.record_count();
+    s.dropped_records = log.card.dropped_records();
+    s.truncated_records = log.card.truncated_records();
+    s.sync_samples = log.card.sync().size();
+
+    timesync::ClockFit fit;  // identity when the badge never got a fit
+    if (const auto it = fits_.find(log.id); it != fits_.end()) {
+      fit = it->second;
+      s.fit_residual_ms = fit.max_residual_ms;
+      s.fit_stepped = fit.stepped();
+    }
+    s.recorded_active_s = static_cast<double>(log.card.motion().size());
+
+    // Longest silence inside one active interval. Gaps that span interval
+    // boundaries (the badge docked overnight) are expected and don't
+    // count; a gap inside an interval is data that never got written.
+    if (const auto it = active_.find(log.id); it != active_.end() && !it->second.empty()) {
+      const auto& intervals = it->second;
+      std::size_t iv = 0;
+      double prev = -1.0;
+      for (const auto& m : log.card.motion()) {
+        const double t = fit.rectify(m.t) / 1000.0;
+        while (iv < intervals.size() && intervals[iv].second <= t) {
+          ++iv;
+          prev = -1.0;
+        }
+        if (iv >= intervals.size()) break;
+        if (t < intervals[iv].first) continue;
+        if (prev >= 0.0) s.longest_gap_s = std::max(s.longest_gap_s, t - prev);
+        prev = t;
+      }
+    }
+
+    report.total_dropped += s.dropped_records;
+    report.total_truncated += s.truncated_records;
+    report.badges.push_back(s);
+  }
+  return report;
+}
+
 std::vector<sna::Meeting> AnalysisPipeline::meetings_on(int day) const {
   const double d0 = static_cast<double>(day_start(day)) / 1e6;
   return sna::detect_meetings(tracks(), d0 + 8 * 3600.0, d0 + 22 * 3600.0);

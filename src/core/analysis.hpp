@@ -50,8 +50,12 @@ struct PipelineOptions {
   /// path (no pool is created). Results are bit-identical for every
   /// thread count — see docs/CONCURRENCY.md for the guarantee.
   unsigned threads = 0;
+  /// Speech-interval detection thresholds (the paper's 60 dB / 20 % /
+  /// 15 s rule); overridable for sensitivity studies.
   dsp::SpeechParams speech{};
+  /// Walking classifier thresholds applied to the 1 Hz motion frames.
   dsp::WalkingParams walking{};
+  /// Room-classifier parameters (dwell filter length, RSSI smoothing).
   locate::ClassifierParams classifier{};
 };
 
@@ -166,6 +170,30 @@ class AnalysisPipeline {
     SurveyValidation survey;
   };
   [[nodiscard]] Artifacts artifacts() const;
+
+  // --- data-quality / degradation report ------------------------------------
+  /// Per-badge account of what the pipeline had to work around: records
+  /// lost on the card, truncated transfers, clock-fit health, and the
+  /// longest silent stretch inside a supposedly-active interval (motion
+  /// frames are ~1 Hz whenever a badge is on, so an in-interval gap much
+  /// longer than a second is missing data — a write fault or a dead cell).
+  struct BadgeGapSummary {
+    io::BadgeId id = 0;
+    std::size_t records = 0;            ///< records that made it off the card
+    std::size_t dropped_records = 0;    ///< lost to SD write faults
+    std::size_t truncated_records = 0;  ///< lost to binlog tail truncation
+    std::size_t sync_samples = 0;
+    double fit_residual_ms = 0.0;       ///< clock-fit max residual
+    bool fit_stepped = false;           ///< piecewise fit (step anomaly)
+    double recorded_active_s = 0.0;     ///< seconds with motion frames
+    double longest_gap_s = 0.0;         ///< worst in-interval silence
+  };
+  struct GapReport {
+    std::vector<BadgeGapSummary> badges;
+    std::size_t total_dropped = 0;
+    std::size_t total_truncated = 0;
+  };
+  [[nodiscard]] GapReport gap_report() const;
 
   // --- meetings --------------------------------------------------------------
   [[nodiscard]] std::vector<sna::Meeting> meetings_on(int day) const;

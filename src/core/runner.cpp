@@ -12,17 +12,26 @@ Vec2 charging_station_position(const habitat::Habitat& habitat) {
   return bedroom.clamp(Vec2{bedroom.lo.x + 0.6, bedroom.lo.y + 0.6}, 0.3);
 }
 
+/// Script-level faults must land before the crew simulator fixes the
+/// ownership schedules, so fold the plan into the script first.
+MissionConfig with_fault_plan_applied(MissionConfig config) {
+  config.fault_plan.apply_to_script(config.script);
+  return config;
+}
+
 }  // namespace
 
 MissionRunner::MissionRunner(MissionConfig config)
-    : config_(std::move(config)),
+    : config_(with_fault_plan_applied(std::move(config))),
       habitat_(habitat::Habitat::lunares()),
       rng_(config_.seed),
       network_(habitat_, beacon::deploy_lunares_beacons(habitat_, config_.beacon_count),
                charging_station_position(habitat_), config_.ble_channel,
                config_.subghz_channel),
-      crew_(habitat_, network_, config_.script, config_.seed) {
+      crew_(habitat_, network_, config_.script, config_.seed),
+      injector_(config_.fault_plan) {
   network_.set_environment(crew_.environment());
+  injector_.arm(sim_, network_);
 
   // Crew badges 0..5: imperfect oscillators, stale counters at boot.
   Rng clock_rng = rng_.fork(0xc10c);
@@ -55,6 +64,7 @@ Dataset MissionRunner::run_days(int last_day) {
   const SimTime end = day_start(last_day + 1);
   MissionView view{0, &crew_, &network_};
   for (SimTime t = 0; t < end; t += kSecond) {
+    sim_.run_until(t);  // fault activations/recoveries land before the tick
     crew_.tick(t);
     network_.tick(t, tick_rng);
     if (!observers_.empty()) {
@@ -71,6 +81,9 @@ Dataset MissionRunner::run_days(int last_day) {
     BadgeLog log;
     log.id = b->id();
     log.card = network_.badge(b->id())->take_sd();
+    // Binlog-truncation faults bite at collection: the tail of the card
+    // never makes it off the badge.
+    log.card.apply_tail_loss();
     ds.logs.push_back(std::move(log));
   }
   ds.ownership = crew_.corrected_ownership();

@@ -9,6 +9,8 @@
 #include "badge/network.hpp"
 #include "core/dataset.hpp"
 #include "crew/crew_sim.hpp"
+#include "faults/fault_injector.hpp"
+#include "faults/fault_plan.hpp"
 #include "sim/simulation.hpp"
 
 namespace hs::core {
@@ -26,6 +28,10 @@ struct MissionConfig {
   /// metal-wall shielding that makes room classification near-perfect).
   habitat::ChannelParams ble_channel = habitat::kBleChannel;
   habitat::ChannelParams subghz_channel = habitat::kSubGhzChannel;
+  /// Scripted faults injected into the mission (empty: the happy path).
+  /// Script-level faults (the badge swap) are folded into `script` before
+  /// the crew simulator is built; device faults fire from the event queue.
+  faults::FaultPlan fault_plan{};
 };
 
 /// Live view handed to per-tick observers (support system, examples).
@@ -54,6 +60,8 @@ class MissionRunner {
 
   [[nodiscard]] const MissionConfig& config() const { return config_; }
   [[nodiscard]] const habitat::Habitat& habitat() const { return habitat_; }
+  /// Fault lifecycle so far (activation/recovery instants per fault).
+  [[nodiscard]] const faults::FaultInjector& faults() const { return injector_; }
 
  private:
   MissionConfig config_;
@@ -61,6 +69,10 @@ class MissionRunner {
   Rng rng_;
   badge::BadgeNetwork network_;
   crew::CrewSimulator crew_;
+  /// Event kernel driving the fault schedule (and any future event-driven
+  /// subsystems); pumped once per simulated second.
+  sim::Simulation sim_;
+  faults::FaultInjector injector_;
   std::vector<std::function<void(const MissionView&)>> observers_;
 };
 

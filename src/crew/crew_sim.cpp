@@ -51,10 +51,10 @@ CrewSimulator::CrewSimulator(const habitat::Habitat& habitat, badge::BadgeNetwor
 }
 
 io::BadgeId CrewSimulator::badge_for(std::size_t astronaut, int day) const {
-  // Day-9 mix-up: A wears B's badge and vice versa.
+  // Day-9 mix-up: each of the swap pair wears the other's badge.
   if (script_.badge_swap_day > 0 && day == script_.badge_swap_day) {
-    if (astronaut == 0) return 1;
-    if (astronaut == 1) return 0;
+    if (astronaut == script_.badge_swap_a) return static_cast<io::BadgeId>(script_.badge_swap_b);
+    if (astronaut == script_.badge_swap_b) return static_cast<io::BadgeId>(script_.badge_swap_a);
   }
   // From day 6, F (index 5) reuses dead C's badge (id 2).
   if (script_.c_death_enabled && script_.badge_reuse_day > 0 && astronaut == 5 &&

@@ -33,7 +33,11 @@ struct MissionScript {
   SimDuration consolation_end = hours(16);
 
   int badge_reuse_day = 6;   ///< F wears C's badge from this day (0 = off)
-  int badge_swap_day = 9;    ///< A<->B badge mix-up on this day (0 = off)
+  int badge_swap_day = 9;    ///< badge mix-up on this day (0 = off)
+  /// The pair that trades badges on badge_swap_day (the deployment's
+  /// incident was A<->B; fault plans may script other pairs).
+  std::size_t badge_swap_a = 0;
+  std::size_t badge_swap_b = 1;
   int food_shortage_day = 11;
   int reprimand_day = 12;
 

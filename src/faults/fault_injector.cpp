@@ -1,0 +1,134 @@
+#include "faults/fault_injector.hpp"
+
+namespace hs::faults {
+namespace {
+
+/// Battery-death staging: charge fraction the failing cell sags to at
+/// activation (below BadgeHealthMonitor's default 0.2 threshold), and how
+/// long the sag lasts before the cell dies outright.
+constexpr double kSagFraction = 0.1;
+constexpr SimDuration kCollapse = minutes(15);
+
+}  // namespace
+
+void FaultInjector::arm(sim::Simulation& sim, badge::BadgeNetwork& network) {
+  records_.clear();
+  records_.reserve(plan_.faults().size());
+  for (const FaultSpec& spec : plan_.faults()) {
+    records_.push_back(FaultRecord{spec, -1, -1});
+    const std::size_t idx = records_.size() - 1;
+    const auto badge_id = static_cast<io::BadgeId>(spec.badge);
+    auto* net = &network;
+
+    switch (spec.kind) {
+      case FaultKind::kBatteryDeath:
+        // Two-stage collapse: the cell sags below the health monitor's
+        // low-battery threshold at `start` (the warning window a real
+        // dying cell gives), then dies outright kCollapse later.
+        sim.schedule_at(spec.start, [this, net, idx, badge_id, &sim] {
+          badge::Badge* b = net->badge(badge_id);
+          if (b == nullptr) return;
+          b->battery().set_fraction(kSagFraction);
+          // The cradle slot is flaky until recovery: docking draws RTC
+          // current but does not charge, so the badge stays dark.
+          if (records_[idx].spec.duration > 0) b->set_charge_inhibited(true);
+          records_[idx].activated_at = sim.now();
+        });
+        sim.schedule_at(spec.start + kCollapse, [net, badge_id] {
+          if (badge::Badge* b = net->badge(badge_id)) b->battery().deplete();
+        });
+        if (spec.duration > 0) {
+          sim.schedule_at(spec.start + spec.duration, [this, net, idx, badge_id, &sim] {
+            badge::Badge* b = net->badge(badge_id);
+            if (b == nullptr) return;
+            b->set_charge_inhibited(false);
+            // The crew re-seats the dead badge on the fixed slot: the wear
+            // loop never docks a browned-out badge on its own, so this is
+            // what restarts the overnight-recharge path.
+            if (!b->docked()) b->dock(net->charging_station(), sim.now());
+            records_[idx].cleared_at = sim.now();
+          });
+        }
+        break;
+
+      case FaultKind::kSdWriteFailure:
+        sim.schedule_at(spec.start, [this, net, idx, badge_id, &sim] {
+          if (badge::Badge* b = net->badge(badge_id)) {
+            b->sd().set_write_fault(true);
+            records_[idx].activated_at = sim.now();
+          }
+        });
+        sim.schedule_at(spec.start + spec.duration, [this, net, idx, badge_id, &sim] {
+          if (badge::Badge* b = net->badge(badge_id)) {
+            b->sd().set_write_fault(false);
+            records_[idx].cleared_at = sim.now();
+          }
+        });
+        break;
+
+      case FaultKind::kBinlogTruncation:
+        // Arms collection-time tail loss; the data is lost when the card
+        // is pulled (MissionRunner applies it), not during the mission.
+        sim.schedule_at(spec.start, [this, net, idx, badge_id, &sim] {
+          if (badge::Badge* b = net->badge(badge_id)) {
+            b->sd().set_tail_loss(records_[idx].spec.magnitude);
+            records_[idx].activated_at = sim.now();
+          }
+        });
+        break;
+
+      case FaultKind::kBeaconOutage:
+        sim.schedule_at(spec.start, [this, net, idx, &sim] {
+          net->set_beacon_down(static_cast<io::BeaconId>(records_[idx].spec.beacon), true);
+          records_[idx].activated_at = sim.now();
+        });
+        sim.schedule_at(spec.start + spec.duration, [this, net, idx, &sim] {
+          net->set_beacon_down(static_cast<io::BeaconId>(records_[idx].spec.beacon), false);
+          records_[idx].cleared_at = sim.now();
+        });
+        break;
+
+      case FaultKind::kRadioDegradation:
+        sim.schedule_at(spec.start, [this, net, idx, &sim] {
+          net->add_channel_loss(records_[idx].spec.band, records_[idx].spec.magnitude);
+          records_[idx].activated_at = sim.now();
+        });
+        sim.schedule_at(spec.start + spec.duration, [this, net, idx, &sim] {
+          net->add_channel_loss(records_[idx].spec.band, -records_[idx].spec.magnitude);
+          records_[idx].cleared_at = sim.now();
+        });
+        break;
+
+      case FaultKind::kClockStep:
+        sim.schedule_at(spec.start, [this, net, idx, badge_id, &sim] {
+          if (badge::Badge* b = net->badge(badge_id)) {
+            b->apply_clock_step(records_[idx].spec.magnitude);
+            records_[idx].activated_at = sim.now();
+          }
+        });
+        break;
+
+      case FaultKind::kBadgeSwap:
+        // The swap itself lives in the mission script (FaultPlan::
+        // apply_to_script, folded in before the crew simulator is built);
+        // these markers only book-keep the window for metrics.
+        sim.schedule_at(day_start(spec.day), [this, idx, &sim] {
+          records_[idx].activated_at = sim.now();
+        });
+        sim.schedule_at(day_start(spec.day + 1), [this, idx, &sim] {
+          records_[idx].cleared_at = sim.now();
+        });
+        break;
+    }
+  }
+}
+
+std::size_t FaultInjector::active_count() const {
+  std::size_t n = 0;
+  for (const auto& r : records_) {
+    if (r.activated_at >= 0 && r.cleared_at < 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace hs::faults

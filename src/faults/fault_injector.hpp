@@ -1,0 +1,50 @@
+// Schedules a FaultPlan onto a running mission.
+//
+// The injector is armed once, before the first tick: every FaultSpec
+// becomes one or two one-shot events on the simulation kernel (activation
+// and, for windowed faults, recovery), which mutate the target device
+// directly through the badge/beacon/radio fault hooks. Because arming is
+// a pure function of the plan — no random draws, no wall clock — the same
+// seed plus the same plan produces a byte-identical dataset at any thread
+// count (docs/CONCURRENCY.md's guarantee is untouched: faults only change
+// the data, not how it is analyzed).
+#pragma once
+
+#include <vector>
+
+#include "badge/network.hpp"
+#include "faults/fault_plan.hpp"
+#include "sim/simulation.hpp"
+
+namespace hs::faults {
+
+/// Per-fault lifecycle, filled in as the mission runs; the resilience
+/// bench turns these into time-to-detection metrics.
+struct FaultRecord {
+  FaultSpec spec;
+  SimTime activated_at = -1;  ///< -1 until the activation event fires
+  SimTime cleared_at = -1;    ///< -1 until recovery (or forever, if none)
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  /// Register every fault in the plan with the kernel. `sim` and `network`
+  /// must outlive the injector's scheduled events (MissionRunner owns all
+  /// three). Call once, before the mission's first tick.
+  void arm(sim::Simulation& sim, badge::BadgeNetwork& network);
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] const std::vector<FaultRecord>& records() const { return records_; }
+
+  /// Faults currently active (activated, not yet cleared).
+  [[nodiscard]] std::size_t active_count() const;
+
+ private:
+  FaultPlan plan_;
+  std::vector<FaultRecord> records_;
+};
+
+}  // namespace hs::faults

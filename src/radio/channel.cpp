@@ -6,7 +6,7 @@
 namespace hs::radio {
 
 std::optional<int> Channel::try_receive(Vec2 tx, Vec2 rx, Rng& rng) const {
-  const double rssi = prop_.sample_rssi(tx, rx, rng);
+  const double rssi = prop_.sample_rssi(tx, rx, rng) - extra_loss_db_;
   const double floor = prop_.params().sensitivity_dbm;
   if (rssi < floor) return std::nullopt;
   // Soft edge: frames within 3 dB of the floor still drop sometimes.

@@ -29,8 +29,16 @@ class Channel {
 
   [[nodiscard]] const habitat::ChannelParams& params() const { return prop_.params(); }
 
+  /// Extra path loss applied to every frame on the channel (dB), on top of
+  /// the propagation model. Fault hook (hs::faults radio degradation:
+  /// interference, antenna damage, a mis-seated connector); additive so
+  /// overlapping fault windows compose and unwind cleanly.
+  void add_extra_loss_db(double db) { extra_loss_db_ += db; }
+  [[nodiscard]] double extra_loss_db() const { return extra_loss_db_; }
+
  private:
   habitat::Propagation prop_;
+  double extra_loss_db_ = 0.0;
 };
 
 }  // namespace hs::radio

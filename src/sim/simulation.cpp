@@ -38,12 +38,19 @@ std::size_t Simulation::run_until(SimTime end) {
     if (it == callbacks_.end()) continue;  // cancelled
     now_ = entry.time;
     if (it->second.period > 0) {
-      // Re-arm before invoking so the callback may cancel its own id.
-      queue_.push(Entry{entry.time + it->second.period, next_seq_++, entry.id});
-      // The callback map entry stays; copy the fn so callbacks that cancel
-      // (erasing the map slot) don't pull the rug out from under the call.
+      const SimDuration period = it->second.period;
+      // Copy the fn: the callback may cancel its own id, erasing the map
+      // slot out from under the call.
       auto fn = it->second.fn;
       fn();
+      // Re-arm only after the callback returns, and only if the event
+      // survived its own firing: cancel() from inside the callback makes
+      // the in-flight firing the last one, with no stale queue entry left
+      // behind. Re-find the slot — the callback may have scheduled events
+      // and rehashed the map, invalidating `it`.
+      if (callbacks_.find(entry.id) != callbacks_.end()) {
+        queue_.push(Entry{entry.time + period, next_seq_++, entry.id});
+      }
     } else {
       auto fn = std::move(it->second.fn);
       callbacks_.erase(it);
@@ -64,9 +71,12 @@ std::size_t Simulation::run_all() {
     if (it == callbacks_.end()) continue;
     now_ = entry.time;
     if (it->second.period > 0) {
-      queue_.push(Entry{entry.time + it->second.period, next_seq_++, entry.id});
+      const SimDuration period = it->second.period;
       auto fn = it->second.fn;
       fn();
+      if (callbacks_.find(entry.id) != callbacks_.end()) {
+        queue_.push(Entry{entry.time + period, next_seq_++, entry.id});
+      }
     } else {
       auto fn = std::move(it->second.fn);
       callbacks_.erase(it);

@@ -39,7 +39,10 @@ class Simulation {
   EventId schedule_periodic(SimTime first, SimDuration period, Callback fn);
 
   /// Cancel a pending (or periodic) event. Cancelling an already-fired
-  /// one-shot or unknown id is a harmless no-op.
+  /// one-shot or unknown id is a harmless no-op. A periodic event may
+  /// cancel its own id from inside its callback: the in-flight firing is
+  /// then the last one, and no stale queue entry is left behind (the
+  /// event is only re-armed after its callback returns, if still alive).
   void cancel(EventId id);
 
   /// Run events with timestamp <= end, then set now() == end.

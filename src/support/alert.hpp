@@ -20,6 +20,7 @@ enum class AlertKind {
   kResourceShortage,    ///< a consumable will run out before resupply
   kCommandConflict,     ///< delayed Earth command contradicts local action
   kBatteryLow,          ///< a wearable needs charging
+  kSensorLoss,          ///< a badge went dark outside the charger
 };
 
 const char* alert_kind_name(AlertKind kind);

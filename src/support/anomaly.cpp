@@ -23,6 +23,8 @@ const char* alert_kind_name(AlertKind kind) {
       return "command-conflict";
     case AlertKind::kBatteryLow:
       return "battery-low";
+    case AlertKind::kSensorLoss:
+      return "sensor-loss";
   }
   return "?";
 }

@@ -1,0 +1,50 @@
+#include "support/badge_health.hpp"
+
+#include <string>
+
+#include "util/strings.hpp"
+
+namespace hs::support {
+
+void BadgeHealthMonitor::observe(const BadgeHealth& h, std::vector<Alert>& out) {
+  PerBadge& s = state_[h.badge];
+
+  // Battery: warn once per discharge cycle while the badge is in use.
+  if (h.active && !h.docked && h.battery_fraction < low_threshold_) {
+    if (!s.low_reported) {
+      s.low_reported = true;
+      out.push_back(Alert{h.t, AlertKind::kBatteryLow,
+                          h.worn ? Severity::kWarning : Severity::kInfo, std::nullopt,
+                          "badge " + std::to_string(int{h.badge}) + " battery at " +
+                              format_fixed(100.0 * h.battery_fraction, 0) +
+                              "% - dock it on the charger"});
+    }
+  } else if (h.battery_fraction > low_threshold_ + hysteresis_) {
+    s.low_reported = false;  // recharged; re-arm for the next cycle
+  }
+
+  // Sensor loss: an active badge that goes dark anywhere but the charger.
+  if (s.was_active && !h.active && !h.docked) {
+    if (!s.loss_reported) {
+      s.loss_reported = true;
+      out.push_back(Alert{h.t, AlertKind::kSensorLoss, Severity::kCritical, std::nullopt,
+                          "badge " + std::to_string(int{h.badge}) +
+                              " stopped sensing outside the charger"});
+    }
+  }
+  if (h.active) {
+    s.loss_reported = false;
+    s.was_active = true;
+  } else if (h.docked) {
+    // Powering off on the charger is the normal overnight path.
+    s.was_active = false;
+  }
+
+  if (!h.active && !h.docked && s.loss_reported) {
+    // Stay armed-and-reported until the badge recovers; was_active keeps
+    // its value so a recharge-then-death cycle alerts again.
+    s.was_active = false;
+  }
+}
+
+}  // namespace hs::support

@@ -1,0 +1,57 @@
+// Badge fleet health monitoring for the mission support system.
+//
+// The deployment's support sketch (paper, Section VI) monitors the sensor
+// infrastructure itself, not just the crew: a badge with a dying cell
+// needs charging before its wearer becomes invisible, and a badge that
+// goes dark outside the charger is a sensing outage someone must fix. The
+// monitor consumes one BadgeHealth sample per badge per second (fed from
+// the live MissionView) and raises kBatteryLow / kSensorLoss alerts with
+// hysteresis, so the system keeps serving the remaining crew instead of
+// alert-storming while a fault persists.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "io/records.hpp"
+#include "support/alert.hpp"
+
+namespace hs::support {
+
+/// One badge's vitals for the current second.
+struct BadgeHealth {
+  SimTime t = 0;
+  io::BadgeId badge = 0;
+  double battery_fraction = 1.0;  ///< remaining charge in [0,1]
+  bool active = false;            ///< powered and sampling
+  bool docked = false;            ///< on the charging station
+  bool worn = false;              ///< on someone's neck
+};
+
+class BadgeHealthMonitor {
+ public:
+  /// `low_threshold` — battery fraction below which a worn badge raises
+  /// kBatteryLow (once per discharge cycle; re-arms after recharging past
+  /// threshold + hysteresis). A badge that was active and goes dark while
+  /// not docked raises kSensorLoss (re-arms when it comes back).
+  explicit BadgeHealthMonitor(double low_threshold = 0.2, double hysteresis = 0.1)
+      : low_threshold_(low_threshold), hysteresis_(hysteresis) {}
+
+  /// Ingest one badge's vitals; append any alerts raised.
+  void observe(const BadgeHealth& health, std::vector<Alert>& out);
+
+  [[nodiscard]] double low_threshold() const { return low_threshold_; }
+
+ private:
+  struct PerBadge {
+    bool low_reported = false;
+    bool loss_reported = false;
+    bool was_active = false;
+  };
+
+  double low_threshold_;
+  double hysteresis_;
+  std::map<io::BadgeId, PerBadge> state_;
+};
+
+}  // namespace hs::support

@@ -23,10 +23,17 @@ namespace hs::support {
 using VoterId = std::size_t;
 constexpr VoterId kMissionControl = 1000;
 
+/// Lifecycle of a proposal: open, then exactly one terminal state.
 enum class ProposalState { kPending, kApproved, kRejected, kExpired };
 
+/// Canonical lower-case name ("pending", "approved", ...), for reports.
 const char* proposal_state_name(ProposalState s);
 
+/// One proposed system change and its ballot. Created by ChangeAuthority
+/// with the full voter roster; resolves to kApproved only on unanimity,
+/// to kRejected on the first no-vote, and to kExpired when the TTL lapses
+/// first (a 20-light-minute round trip makes missing votes the common
+/// failure). Value-semantic; all mutation goes through vote()/tick().
 class ChangeProposal {
  public:
   ChangeProposal(std::uint64_t id, std::string description, std::vector<VoterId> voters,
@@ -57,7 +64,10 @@ class ChangeProposal {
   std::map<VoterId, bool> votes_;
 };
 
-/// Registry of proposals; the single writer of applied changes.
+/// Registry of proposals; the single writer of applied changes. Owns the
+/// voter roster (all crew plus mission control) so every proposal it
+/// opens requires the same unanimous ballot, and is ticked once per
+/// simulated second by SupportSystem to expire overdue proposals.
 class ChangeAuthority {
  public:
   explicit ChangeAuthority(std::vector<VoterId> voters) : voters_(std::move(voters)) {}
@@ -65,7 +75,11 @@ class ChangeAuthority {
   /// Open a proposal; returns its id.
   std::uint64_t propose(SimTime now, std::string description, SimDuration ttl = hours(2));
 
+  /// Forward a vote to the identified proposal. Returns false for unknown
+  /// proposals and for votes ChangeProposal::vote rejects.
   bool vote(SimTime now, std::uint64_t proposal, VoterId voter, bool approve);
+
+  /// Advance time on every open proposal (expiry checks).
   void tick(SimTime now);
 
   [[nodiscard]] const ChangeProposal* get(std::uint64_t id) const;

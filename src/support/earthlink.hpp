@@ -20,6 +20,11 @@
 
 namespace hs::support {
 
+/// A mission-control instruction in flight on the uplink. Commands are
+/// versioned against the habitat decision state they were issued for:
+/// ConflictMonitor compares `based_on_version` on arrival and flags the
+/// command as stale instead of applying it when the crew has already
+/// moved on (the paper's day-12 incident).
 struct Command {
   std::uint64_t id = 0;
   std::string action;

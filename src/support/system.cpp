@@ -45,6 +45,12 @@ void SupportSystem::ingest(const CrewFeature& feature) {
   route_new_alerts(before);
 }
 
+void SupportSystem::ingest_badge(const BadgeHealth& health) {
+  const std::size_t before = alerts_.size();
+  badge_health_.observe(health, alerts_);
+  route_new_alerts(before);
+}
+
 void SupportSystem::end_of_second(SimTime now) {
   const std::size_t before = alerts_.size();
   for (auto& d : detectors_) d->end_of_second(now, alerts_);

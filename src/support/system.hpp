@@ -12,6 +12,7 @@
 
 #include "support/ability.hpp"
 #include "support/anomaly.hpp"
+#include "support/badge_health.hpp"
 #include "support/consensus.hpp"
 #include "support/earthlink.hpp"
 #include "support/resources.hpp"
@@ -31,6 +32,12 @@ class SupportSystem {
   /// Ingest one crew member's feature sample for the current second.
   void ingest(const CrewFeature& feature);
 
+  /// Ingest one badge's vitals for the current second. Sensor faults must
+  /// degrade the system, not crash it: a dead badge raises kBatteryLow /
+  /// kSensorLoss here while every other detector keeps serving the crew
+  /// members that are still instrumented.
+  void ingest_badge(const BadgeHealth& health);
+
   /// Close the current second (run gathering/day-boundary logic).
   void end_of_second(SimTime now);
 
@@ -44,6 +51,7 @@ class SupportSystem {
   [[nodiscard]] ConflictMonitor& conflicts() { return conflicts_; }
   [[nodiscard]] ChangeAuthority& changes() { return changes_; }
   [[nodiscard]] InterfaceAdapter& interface_adapter() { return adapter_; }
+  [[nodiscard]] BadgeHealthMonitor& badge_health() { return badge_health_; }
 
   /// Pump arrived uplink commands through the conflict monitor.
   void poll_uplink(SimTime now);
@@ -66,6 +74,7 @@ class SupportSystem {
   ConflictMonitor conflicts_;
   ChangeAuthority changes_;
   InterfaceAdapter adapter_;
+  BadgeHealthMonitor badge_health_;
   std::vector<Alert> alerts_;
   std::vector<Delivery> deliveries_;
 };

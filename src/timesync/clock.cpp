@@ -1,13 +1,17 @@
 #include "timesync/clock.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace hs::timesync {
 
 io::LocalMs DriftingClock::local_ms(SimTime t) const {
   const double elapsed_ms = static_cast<double>(t - boot_) / static_cast<double>(kMillisecond);
-  const double local = elapsed_ms * (1.0 + drift_ppm_ * 1e-6) + static_cast<double>(initial_offset_ms_);
-  return static_cast<io::LocalMs>(std::llround(local));
+  const double local =
+      elapsed_ms * (1.0 + drift_ppm_ * 1e-6) + static_cast<double>(initial_offset_ms_) + step_ms_;
+  // A large negative step could drive the u32 counter below zero; real
+  // counters clamp rather than wrap.
+  return static_cast<io::LocalMs>(std::llround(std::max(0.0, local)));
 }
 
 SimTime DriftingClock::true_time(io::LocalMs local) const {

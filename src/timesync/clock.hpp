@@ -27,8 +27,15 @@ class DriftingClock {
   [[nodiscard]] io::LocalMs local_ms(SimTime t) const;
 
   /// Inverse mapping: true time at which the clock shows `local`
-  /// (exact up to rounding; used by tests, not by the pipeline).
+  /// (exact up to rounding; used by tests, not by the pipeline). Ignores
+  /// any step anomaly (the inverse is ambiguous across a step).
   [[nodiscard]] SimTime true_time(io::LocalMs local) const;
+
+  /// Fault hook: step the counter by `ms` from now on (firmware glitch,
+  /// counter corruption on brown-out). Only timestamps taken after the
+  /// call are affected; steps accumulate.
+  void apply_step(double ms) { step_ms_ += ms; }
+  [[nodiscard]] double step_ms() const { return step_ms_; }
 
   [[nodiscard]] double drift_ppm() const { return drift_ppm_; }
   [[nodiscard]] SimTime boot() const { return boot_; }
@@ -37,6 +44,7 @@ class DriftingClock {
   SimTime boot_;
   double drift_ppm_;
   std::uint32_t initial_offset_ms_;
+  double step_ms_ = 0.0;
 };
 
 }  // namespace hs::timesync

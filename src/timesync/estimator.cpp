@@ -1,8 +1,38 @@
 #include "timesync/estimator.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace hs::timesync {
+namespace {
+
+/// Plain least squares over a sample range; offset-only (rate 1.0) when
+/// the locals are degenerate.
+void fit_segment(const std::vector<const io::SyncSample*>& mine, std::size_t begin,
+                 std::size_t end, double& offset_ms, double& rate) {
+  double mean_local = 0.0;
+  double mean_ref = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    mean_local += static_cast<double>(mine[i]->local);
+    mean_ref += static_cast<double>(mine[i]->ref);
+  }
+  const auto n = static_cast<double>(end - begin);
+  mean_local /= n;
+  mean_ref /= n;
+
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const double dl = static_cast<double>(mine[i]->local) - mean_local;
+    const double dr = static_cast<double>(mine[i]->ref) - mean_ref;
+    sxx += dl * dl;
+    sxy += dl * dr;
+  }
+  rate = sxx > 0.0 ? sxy / sxx : 1.0;
+  offset_ms = mean_ref - rate * mean_local;
+}
+
+}  // namespace
 
 void OffsetEstimator::add_samples(const std::vector<io::SyncSample>& ss) {
   samples_.insert(samples_.end(), ss.begin(), ss.end());
@@ -27,34 +57,72 @@ Expected<ClockFit> OffsetEstimator::fit(io::BadgeId badge) const {
     return Error{"timesync: no sync samples for badge " + std::to_string(int{badge})};
   }
 
-  double mean_local = 0.0;
-  double mean_ref = 0.0;
-  for (const auto* s : mine) {
-    mean_local += static_cast<double>(s->local);
-    mean_ref += static_cast<double>(s->ref);
-  }
-  const auto n = static_cast<double>(mine.size());
-  mean_local /= n;
-  mean_ref /= n;
-
-  double sxx = 0.0;
-  double sxy = 0.0;
-  for (const auto* s : mine) {
-    const double dl = static_cast<double>(s->local) - mean_local;
-    const double dr = static_cast<double>(s->ref) - mean_ref;
-    sxx += dl * dl;
-    sxy += dl * dr;
-  }
-
   ClockFit fit;
   fit.samples = mine.size();
-  fit.rate = sxx > 0.0 ? sxy / sxx : 1.0;
-  fit.offset_ms = mean_ref - fit.rate * mean_local;
+  fit_segment(mine, 0, mine.size(), fit.offset_ms, fit.rate);
   for (const auto* s : mine) {
     const double resid = std::fabs(fit.rectify(s->local) - static_cast<double>(s->ref));
     fit.max_residual_ms = std::max(fit.max_residual_ms, resid);
   }
-  return fit;
+  if (fit.max_residual_ms <= kStepResidualMs || mine.size() < 4) return fit;
+
+  // Residual far beyond anything drift can explain: assume a step anomaly.
+  // Samples arrive in true-time (ref) order; find the largest jump in the
+  // per-sample offset (ref - local), which is where the counter stepped.
+  std::size_t split = 0;  // segment B starts at split + 1
+  double best_jump = 0.0;
+  for (std::size_t i = 0; i + 1 < mine.size(); ++i) {
+    const double off_i = static_cast<double>(mine[i]->ref) - static_cast<double>(mine[i]->local);
+    const double off_j =
+        static_cast<double>(mine[i + 1]->ref) - static_cast<double>(mine[i + 1]->local);
+    const double jump = std::fabs(off_j - off_i);
+    if (jump > best_jump) {
+      best_jump = jump;
+      split = i;
+    }
+  }
+  const std::size_t b_begin = split + 1;
+  if (b_begin < 2 || mine.size() - b_begin < 2) {
+    // Too few samples on one side for a slope; keep the single-line fit
+    // (already the least-squares best effort).
+    return fit;
+  }
+
+  ClockFit pieced;
+  pieced.samples = mine.size();
+  fit_segment(mine, 0, b_begin, pieced.offset_ms, pieced.rate);
+  fit_segment(mine, b_begin, mine.size(), pieced.step_offset_ms, pieced.step_rate);
+  pieced.step_local_ms = static_cast<double>(mine[b_begin]->local);
+
+  // A backward step makes segment-B locals overlap segment A's, so the
+  // local-threshold dispatch in rectify() would misroute A's records. Fit
+  // the dominant segment alone instead (the minority segment stays
+  // misrectified — degraded, not wrong everywhere).
+  double a_max_local = 0.0;
+  for (std::size_t i = 0; i < b_begin; ++i) {
+    a_max_local = std::max(a_max_local, static_cast<double>(mine[i]->local));
+  }
+  if (pieced.step_local_ms <= a_max_local) {
+    const bool a_dominates = b_begin >= mine.size() - b_begin;
+    ClockFit dominant;
+    dominant.samples = mine.size();
+    if (a_dominates) {
+      fit_segment(mine, 0, b_begin, dominant.offset_ms, dominant.rate);
+    } else {
+      fit_segment(mine, b_begin, mine.size(), dominant.offset_ms, dominant.rate);
+    }
+    for (const auto* s : mine) {
+      const double resid = std::fabs(dominant.rectify(s->local) - static_cast<double>(s->ref));
+      dominant.max_residual_ms = std::max(dominant.max_residual_ms, resid);
+    }
+    return dominant;
+  }
+
+  for (const auto* s : mine) {
+    const double resid = std::fabs(pieced.rectify(s->local) - static_cast<double>(s->ref));
+    pieced.max_residual_ms = std::max(pieced.max_residual_ms, resid);
+  }
+  return pieced;
 }
 
 }  // namespace hs::timesync

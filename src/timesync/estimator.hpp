@@ -17,15 +17,32 @@
 namespace hs::timesync {
 
 /// Fit for one badge's clock against the reference timeline.
+///
+/// Normally a single line ref = a + b * local. When the sync stream shows
+/// a step anomaly (counter corruption, a firmware glitch injected by
+/// hs::faults), the fit turns piecewise: records stamped at or after
+/// `step_local_ms` rectify through the second segment. A clean clock
+/// leaves the step fields at their defaults and rectifies exactly as
+/// before.
 struct ClockFit {
   double offset_ms = 0.0;  ///< a: ref at local == 0
   double rate = 1.0;       ///< b: d(ref)/d(local)
   std::size_t samples = 0;
   double max_residual_ms = 0.0;
 
+  /// Piecewise extension: local timestamp where the second segment starts
+  /// (< 0 — the default — means no step was detected).
+  double step_local_ms = -1.0;
+  double step_offset_ms = 0.0;
+  double step_rate = 1.0;
+
+  [[nodiscard]] bool stepped() const { return step_local_ms >= 0.0; }
+
   /// Rectify a local timestamp onto the reference timeline (ms).
   [[nodiscard]] double rectify(io::LocalMs local) const {
-    return offset_ms + rate * static_cast<double>(local);
+    const auto l = static_cast<double>(local);
+    if (step_local_ms >= 0.0 && l >= step_local_ms) return step_offset_ms + step_rate * l;
+    return offset_ms + rate * l;
   }
 };
 
@@ -37,9 +54,17 @@ class OffsetEstimator {
   void add_sample(const io::SyncSample& s) { samples_.push_back(s); }
   void add_samples(const std::vector<io::SyncSample>& ss);
 
+  /// Residual threshold (ms) beyond which a single-line fit is assumed to
+  /// hide a step anomaly and the piecewise recovery kicks in. Drift alone
+  /// leaves sub-millisecond residuals; real steps are seconds.
+  static constexpr double kStepResidualMs = 200.0;
+
   /// Least-squares fit for one badge. Requires >= 2 samples with distinct
   /// local timestamps; single-sample fits fall back to offset-only
-  /// (rate 1.0). No samples is an error.
+  /// (rate 1.0). No samples is an error. If the single-line residual
+  /// exceeds kStepResidualMs the estimator splits the stream at the
+  /// largest offset jump and fits the two segments independently (forward
+  /// steps), or falls back to the dominant segment (see ClockFit).
   [[nodiscard]] Expected<ClockFit> fit(io::BadgeId badge) const;
 
   [[nodiscard]] std::size_t sample_count(io::BadgeId badge) const;

@@ -27,9 +27,7 @@ void expect_same_series(const AnalysisPipeline::DailySeries& a,
   }
 }
 
-void expect_identical(std::uint64_t seed) {
-  const Dataset data = run_icares_mission(seed);
-
+void expect_identical(const Dataset& data) {
   PipelineOptions serial_opts;
   serial_opts.threads = 1;
   PipelineOptions parallel_opts;
@@ -124,11 +122,22 @@ void expect_identical(std::uint64_t seed) {
 }
 
 TEST(DeterminismTest, SerialAndParallelPipelinesAreBitIdenticalSeed42) {
-  expect_identical(42);
+  expect_identical(run_icares_mission(42));
 }
 
 TEST(DeterminismTest, SerialAndParallelPipelinesAreBitIdenticalSeed7) {
-  expect_identical(7);
+  expect_identical(run_icares_mission(7));
+}
+
+TEST(DeterminismTest, FaultedMissionKeepsTheContract) {
+  // Fault injection changes the dataset, never the analysis: a mission
+  // degraded by the kitchen-sink plan (every fault kind once, seeded)
+  // must still be bit-identical between serial and parallel pipelines.
+  MissionConfig config;
+  config.seed = 42;
+  config.fault_plan = faults::FaultPlan::combined(42);
+  MissionRunner runner(config);
+  expect_identical(runner.run());
 }
 
 }  // namespace

@@ -1,0 +1,91 @@
+// Faulted-mission smoke test: run a short mission under a kitchen-sink
+// fault plan (every FaultKind at least once), feed the support system
+// live, run the analysis pipeline, and exit 0 if nothing crashed and the
+// basic degradation invariants hold. The build compiles this binary with
+// AddressSanitizer (see tests/CMakeLists.txt), so it doubles as a memory
+// check on the injector's event-queue lifetimes and the SD-card
+// truncation paths.
+#include <cstdio>
+
+#include "core/analysis.hpp"
+#include "core/runner.hpp"
+#include "faults/fault_plan.hpp"
+#include "support/system.hpp"
+
+namespace {
+
+int fail(const char* what) {
+  std::fprintf(stderr, "faults_smoke: FAILED: %s\n", what);
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hs;
+
+  faults::FaultPlan plan("smoke");
+  plan.add({.kind = faults::FaultKind::kSdWriteFailure,
+            .start = day_start(2) + hours(8),
+            .duration = hours(4),
+            .badge = 1});
+  plan.add({.kind = faults::FaultKind::kBatteryDeath,
+            .start = day_start(2) + hours(10),
+            .duration = hours(6),
+            .badge = 3});
+  plan.add({.kind = faults::FaultKind::kBinlogTruncation,
+            .start = day_start(2),
+            .badge = 4,
+            .magnitude = 0.2});
+  plan.add({.kind = faults::FaultKind::kBeaconOutage,
+            .start = day_start(2) + hours(9),
+            .duration = hours(3),
+            .beacon = 5});
+  plan.add({.kind = faults::FaultKind::kRadioDegradation,
+            .start = day_start(3) + hours(10),
+            .duration = hours(4),
+            .band = hs::io::Band::kBle24,
+            .magnitude = 40.0});
+  plan.add({.kind = faults::FaultKind::kClockStep,
+            .start = day_start(3) + hours(2),
+            .badge = 2,
+            .magnitude = 3000.0});
+  plan.add({.kind = faults::FaultKind::kBadgeSwap, .day = 3, .astronaut_a = 0, .astronaut_b = 1});
+
+  core::MissionConfig config;
+  config.seed = 31;
+  config.fault_plan = plan;
+  core::MissionRunner runner(config);
+
+  support::SupportSystem support;
+  runner.add_observer([&support](const core::MissionView& view) {
+    for (io::BadgeId id = 0; id < 6; ++id) {
+      const badge::Badge* b = view.network->badge(id);
+      support.ingest_badge(support::BadgeHealth{view.now, id, b->battery().fraction(),
+                                                b->active(), b->docked(), b->worn()});
+    }
+  });
+
+  const core::Dataset data = runner.run_days(3);
+
+  if (runner.faults().records().size() != plan.faults().size()) {
+    return fail("not every fault was armed");
+  }
+  for (const auto& r : runner.faults().records()) {
+    if (r.activated_at < 0) return fail("a fault never activated");
+  }
+
+  const core::AnalysisPipeline pipeline(data);
+  const auto gaps = pipeline.gap_report();
+  const auto artifacts = pipeline.artifacts();
+
+  if (artifacts.dataset.total_records == 0) return fail("pipeline produced no records");
+  if (gaps.total_dropped == 0) return fail("write fault dropped nothing");
+  if (gaps.total_truncated == 0) return fail("truncation lost nothing");
+
+  std::printf("faults_smoke: OK (%zu faults, %zu records, %zu dropped, %zu truncated, %zu alerts)\n",
+              runner.faults().records().size(),
+              static_cast<std::size_t>(artifacts.dataset.total_records), gaps.total_dropped,
+              gaps.total_truncated, support.alerts().size());
+  return 0;
+}

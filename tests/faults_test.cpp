@@ -1,0 +1,318 @@
+// Fault-injection suite: the FaultPlan DSL, the injector's device-level
+// effects, graceful degradation through the analysis pipeline, and the
+// support system's infrastructure alerts.
+//
+// The heavy lifting happens once: a full 14-day mission under an
+// "exercise-everything" plan containing one fault of every kind (shared
+// fixture, core_test pattern). Every behavioural test then reads from
+// that single dataset. docs/RESILIENCE.md documents the per-kind
+// degradation contracts these tests pin down.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/runner.hpp"
+#include "faults/fault_plan.hpp"
+#include "support/system.hpp"
+
+namespace hs::faults {
+namespace {
+
+// --- DSL round-trips (no mission needed) -----------------------------------
+
+TEST(FaultPlanDsl, KindNamesAreStable) {
+  EXPECT_STREQ(kind_name(FaultKind::kBatteryDeath), "battery-death");
+  EXPECT_STREQ(kind_name(FaultKind::kSdWriteFailure), "sd-write-failure");
+  EXPECT_STREQ(kind_name(FaultKind::kBinlogTruncation), "binlog-truncation");
+  EXPECT_STREQ(kind_name(FaultKind::kBeaconOutage), "beacon-outage");
+  EXPECT_STREQ(kind_name(FaultKind::kRadioDegradation), "radio-degradation");
+  EXPECT_STREQ(kind_name(FaultKind::kClockStep), "clock-step");
+  EXPECT_STREQ(kind_name(FaultKind::kBadgeSwap), "badge-swap");
+}
+
+TEST(FaultPlanDsl, PresetsRoundTripThroughTheDsl) {
+  const FaultPlan presets[] = {
+      FaultPlan::day9_badge_swap(),        FaultPlan::battery_stress(),
+      FaultPlan::storage_stress(),         FaultPlan::infrastructure_stress(),
+      FaultPlan::clock_anomalies(),        FaultPlan::combined(123),
+  };
+  for (const FaultPlan& plan : presets) {
+    const auto parsed = FaultPlan::parse(plan.to_string());
+    ASSERT_TRUE(parsed.has_value()) << plan.name() << ": " << parsed.error().message;
+    EXPECT_EQ(*parsed, plan) << plan.name();
+  }
+}
+
+TEST(FaultPlanDsl, CombinedIsDeterministicPerSeed) {
+  EXPECT_EQ(FaultPlan::combined(7), FaultPlan::combined(7));
+  EXPECT_EQ(FaultPlan::combined(7).to_string(), FaultPlan::combined(7).to_string());
+  EXPECT_NE(FaultPlan::combined(7).to_string(), FaultPlan::combined(8).to_string());
+}
+
+TEST(FaultPlanDsl, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(FaultPlan::parse("battery-meltdown badge=1 at=2d00:00").has_value());
+  EXPECT_FALSE(FaultPlan::parse("battery-death badge=1 at=nonsense").has_value());
+  EXPECT_FALSE(FaultPlan::parse("binlog-truncation badge=1 at=2d00:00 frac=1.5").has_value());
+  EXPECT_FALSE(FaultPlan::parse("radio-degradation band=fm at=2d00:00 for=1h db=3").has_value());
+}
+
+TEST(FaultPlanDsl, ParseAcceptsCommentsAndBlankLines) {
+  const auto plan = FaultPlan::parse(
+      "# resilience scenario\n"
+      "plan commented\n"
+      "\n"
+      "beacon-outage beacon=4 at=3d10:30 for=90m\n");
+  ASSERT_TRUE(plan.has_value()) << plan.error().message;
+  EXPECT_EQ(plan->name(), "commented");
+  ASSERT_EQ(plan->faults().size(), 1u);
+  EXPECT_EQ(plan->faults()[0].kind, FaultKind::kBeaconOutage);
+  EXPECT_EQ(plan->faults()[0].beacon, 4);
+  EXPECT_EQ(plan->faults()[0].start, day_start(3) + hours(10) + minutes(30));
+  EXPECT_EQ(plan->faults()[0].duration, minutes(90));
+}
+
+// --- the shared faulted mission ---------------------------------------------
+
+// One fault of every kind. Targets avoid each other where interference
+// would muddy an assertion (the swap pair excludes the reused badge 2 and
+// the dead badge 3's wearer is in it deliberately: the swap is ownership-
+// level and must survive a device fault on the same badge's history).
+FaultPlan exercise_plan() {
+  FaultPlan plan("exercise-all");
+  plan.add({.kind = FaultKind::kBatteryDeath,
+            .start = day_start(3) + hours(14),
+            .duration = hours(36),
+            .badge = 3});
+  plan.add({.kind = FaultKind::kSdWriteFailure,
+            .start = day_start(5) + hours(6),
+            .duration = hours(18),
+            .badge = 1});
+  plan.add({.kind = FaultKind::kBinlogTruncation,
+            .start = day_start(2),
+            .badge = 4,
+            .magnitude = 0.25});
+  plan.add({.kind = FaultKind::kBeaconOutage,
+            .start = day_start(4) + hours(10),
+            .duration = hours(6),
+            .beacon = 12});
+  plan.add({.kind = FaultKind::kRadioDegradation,
+            .start = day_start(7) + hours(12),
+            .duration = hours(8),
+            .band = io::Band::kBle24,
+            .magnitude = 80.0});
+  plan.add({.kind = FaultKind::kClockStep,
+            .start = day_start(7) + hours(3),
+            .badge = 2,
+            .magnitude = 5000.0});
+  plan.add({.kind = FaultKind::kBadgeSwap, .day = 9, .astronaut_a = 0, .astronaut_b = 3});
+  return plan;
+}
+
+class FaultedMissionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    core::MissionConfig config;
+    config.seed = 2024;
+    config.fault_plan = exercise_plan();
+    core::MissionRunner runner(config);
+
+    // Live support system fed badge vitals every simulated second: sensor
+    // faults must surface as alerts while the rest keeps serving.
+    support_ = new support::SupportSystem();
+    runner.add_observer([](const core::MissionView& view) {
+      for (io::BadgeId id = 0; id < 6; ++id) {
+        const badge::Badge* b = view.network->badge(id);
+        support_->ingest_badge(support::BadgeHealth{view.now, id, b->battery().fraction(),
+                                                    b->active(), b->docked(), b->worn()});
+      }
+    });
+
+    dataset_ = new core::Dataset(runner.run());
+    fault_records_ = new std::vector<FaultRecord>(runner.faults().records());
+    pipeline_ = new core::AnalysisPipeline(*dataset_);
+    gaps_ = new core::AnalysisPipeline::GapReport(pipeline_->gap_report());
+  }
+  static void TearDownTestSuite() {
+    delete gaps_;
+    delete pipeline_;
+    delete fault_records_;
+    delete dataset_;
+    delete support_;
+    gaps_ = nullptr;
+    pipeline_ = nullptr;
+    fault_records_ = nullptr;
+    dataset_ = nullptr;
+    support_ = nullptr;
+  }
+
+  static const core::BadgeLog& log(io::BadgeId id) {
+    const auto* l = dataset_->log(id);
+    EXPECT_NE(l, nullptr);
+    return *l;
+  }
+
+  static const core::AnalysisPipeline::BadgeGapSummary& gap(io::BadgeId id) {
+    return gaps_->badges.at(id);
+  }
+
+  // Local-ms window strictly inside [lo, hi) mission time: badge counters
+  // boot up to 600 s stale and drift tens of ppm, so shave a 15-minute
+  // margin off both ends before comparing against LocalMs timestamps.
+  static bool inside(io::LocalMs t, SimTime lo, SimTime hi) {
+    const auto lo_ms = static_cast<io::LocalMs>((lo + minutes(15)) / kMillisecond);
+    const auto hi_ms = static_cast<io::LocalMs>((hi - minutes(15)) / kMillisecond);
+    return t >= lo_ms && t < hi_ms;
+  }
+
+  static core::Dataset* dataset_;
+  static core::AnalysisPipeline* pipeline_;
+  static core::AnalysisPipeline::GapReport* gaps_;
+  static std::vector<FaultRecord>* fault_records_;
+  static support::SupportSystem* support_;
+};
+
+core::Dataset* FaultedMissionTest::dataset_ = nullptr;
+core::AnalysisPipeline* FaultedMissionTest::pipeline_ = nullptr;
+core::AnalysisPipeline::GapReport* FaultedMissionTest::gaps_ = nullptr;
+std::vector<FaultRecord>* FaultedMissionTest::fault_records_ = nullptr;
+support::SupportSystem* FaultedMissionTest::support_ = nullptr;
+
+TEST_F(FaultedMissionTest, MissionCompletesAndEveryFaultFired) {
+  ASSERT_EQ(fault_records_->size(), exercise_plan().faults().size());
+  for (const FaultRecord& r : *fault_records_) {
+    EXPECT_GE(r.activated_at, 0) << kind_name(r.spec.kind);
+    if (r.spec.duration > 0 || r.spec.kind == FaultKind::kBadgeSwap) {
+      EXPECT_GE(r.cleared_at, r.activated_at) << kind_name(r.spec.kind);
+    }
+  }
+  // Activation instants are exact (event kernel, not tick polling).
+  EXPECT_EQ((*fault_records_)[0].activated_at, day_start(3) + hours(14));
+  EXPECT_EQ((*fault_records_)[0].cleared_at, day_start(3) + hours(14) + hours(36));
+}
+
+TEST_F(FaultedMissionTest, BatteryDeathSilencesBadgeThenRecovers) {
+  // Dark from shortly after the day-3 collapse until the flaky cradle
+  // slot recovers (day 5, 02:00) and the badge recharges: no motion
+  // frames on day 4, frames again from day 6 on.
+  std::size_t during = 0;
+  std::size_t after = 0;
+  for (const auto& m : log(3).card.motion()) {
+    during += inside(m.t, day_start(4), day_start(5)) ? 1 : 0;
+    after += inside(m.t, day_start(6), day_start(15)) ? 1 : 0;
+  }
+  EXPECT_EQ(during, 0u);
+  EXPECT_GT(after, 1000u);
+  // The outage dwarfs any organic wear gap on a healthy badge.
+  EXPECT_GT(gap(3).longest_gap_s, gap(5).longest_gap_s);
+}
+
+TEST_F(FaultedMissionTest, SdWriteFailureDropsRecordsOnTheFloor) {
+  EXPECT_GT(log(1).card.dropped_records(), 0u);
+  EXPECT_EQ(log(0).card.dropped_records(), 0u);
+  EXPECT_EQ(gaps_->total_dropped, log(1).card.dropped_records());
+}
+
+TEST_F(FaultedMissionTest, BinlogTruncationLosesTheTail) {
+  EXPECT_GT(log(4).card.truncated_records(), 0u);
+  EXPECT_EQ(gaps_->total_truncated, log(4).card.truncated_records());
+  // The whole late mission is gone from badge 4's card.
+  for (const auto& m : log(4).card.motion()) {
+    EXPECT_FALSE(inside(m.t, day_start(13), day_start(15)));
+  }
+}
+
+TEST_F(FaultedMissionTest, BeaconOutageLeavesNoObservations) {
+  for (io::BadgeId id = 0; id < 6; ++id) {
+    for (const auto& o : log(id).card.beacon_obs()) {
+      if (o.beacon != 12) continue;
+      EXPECT_FALSE(inside(o.t, day_start(4) + hours(10), day_start(4) + hours(16)))
+          << "badge " << int{id} << " saw the dark beacon at local ms " << o.t;
+    }
+  }
+}
+
+TEST_F(FaultedMissionTest, RadioDegradationBlanksTheBleChannel) {
+  // 80 dB of extra path loss puts every advertisement below sensitivity.
+  for (io::BadgeId id = 0; id < 6; ++id) {
+    if (id == 3) continue;  // dead until day 5 anyway
+    std::size_t in_window = 0;
+    for (const auto& o : log(id).card.beacon_obs()) {
+      in_window += inside(o.t, day_start(7) + hours(12), day_start(7) + hours(20)) ? 1 : 0;
+    }
+    EXPECT_EQ(in_window, 0u) << "badge " << int{id};
+  }
+}
+
+TEST_F(FaultedMissionTest, ClockStepYieldsPiecewiseFitAndSaneRectification) {
+  const auto* fit = pipeline_->clock_fit(2);
+  ASSERT_NE(fit, nullptr);
+  EXPECT_TRUE(fit->stepped());
+  EXPECT_TRUE(gap(2).fit_stepped);
+  // The piecewise fit re-absorbs the 5 s step into two clean segments.
+  EXPECT_LT(fit->max_residual_ms, 200.0);
+  // No other badge's clock stepped.
+  for (io::BadgeId id = 0; id < 6; ++id) {
+    if (id == 2) continue;
+    EXPECT_FALSE(gap(id).fit_stepped) << "badge " << int{id};
+  }
+}
+
+TEST_F(FaultedMissionTest, ScriptedSwapIsVisibleInAttribution) {
+  const auto& corrected = dataset_->ownership;
+  // Day 9: astronauts 0 and 3 carry each other's badges.
+  EXPECT_EQ(corrected.badge_of(0, 9), std::optional<io::BadgeId>{3});
+  EXPECT_EQ(corrected.badge_of(3, 9), std::optional<io::BadgeId>{0});
+  // Days 8 and 10: back to normal.
+  EXPECT_EQ(corrected.badge_of(0, 8), std::optional<io::BadgeId>{0});
+  EXPECT_EQ(corrected.badge_of(0, 10), std::optional<io::BadgeId>{0});
+  // The naive one-owner assumption misattributes the swap day.
+  EXPECT_EQ(dataset_->naive_ownership.badge_of(0, 9), std::optional<io::BadgeId>{0});
+}
+
+TEST_F(FaultedMissionTest, SupportSystemRaisesInfrastructureAlerts) {
+  EXPECT_GE(support_->alert_count(support::AlertKind::kBatteryLow), 1u);
+  EXPECT_GE(support_->alert_count(support::AlertKind::kSensorLoss), 1u);
+  // Alerts fan out through the ability-based interface like any other.
+  EXPECT_GE(support_->deliveries().size(), support_->alerts().size());
+}
+
+TEST_F(FaultedMissionTest, PipelineStillProducesTheFullArtifactSet) {
+  // Graceful degradation, not absence: every artifact still computes.
+  const auto artifacts = pipeline_->artifacts();
+  EXPECT_GT(artifacts.dataset.total_records, 0u);
+  EXPECT_EQ(artifacts.fig3.size(), crew::kCrewSize);
+  EXPECT_FALSE(artifacts.table1.empty());
+}
+
+// --- reproducibility --------------------------------------------------------
+
+TEST(FaultReproducibility, SameSeedSamePlanIsByteIdentical) {
+  FaultPlan plan("repro");
+  plan.add({.kind = FaultKind::kBatteryDeath,
+            .start = day_start(2) + hours(9),
+            .duration = hours(4),
+            .badge = 0});
+  plan.add({.kind = FaultKind::kClockStep,
+            .start = day_start(2) + hours(12),
+            .badge = 1,
+            .magnitude = -1500.0});
+
+  auto run = [&plan] {
+    core::MissionConfig config;
+    config.seed = 99;
+    config.fault_plan = plan;
+    core::MissionRunner runner(config);
+    return runner.run_days(2);
+  };
+  const core::Dataset a = run();
+  const core::Dataset b = run();
+  ASSERT_EQ(a.logs.size(), b.logs.size());
+  for (std::size_t i = 0; i < a.logs.size(); ++i) {
+    EXPECT_EQ(a.logs[i].card.export_binlog(), b.logs[i].card.export_binlog())
+        << "badge " << int{a.logs[i].id};
+  }
+}
+
+}  // namespace
+}  // namespace hs::faults

@@ -110,6 +110,53 @@ TEST(Simulation, PeriodicCanCancelItself) {
   EXPECT_EQ(fired, 3);
 }
 
+TEST(Simulation, PeriodicSelfCancelLeavesNoStaleEntry) {
+  // Regression: re-arming used to happen *before* the callback ran, so a
+  // periodic cancelling itself from inside its own callback left one
+  // already-queued (stale) entry behind. The in-flight firing must be the
+  // last one, with nothing left in the queue.
+  Simulation sim;
+  int fired = 0;
+  EventId id = 0;
+  id = sim.schedule_periodic(seconds(1), seconds(1), [&] {
+    if (++fired == 3) sim.cancel(id);
+  });
+  sim.run_until(seconds(3));  // exactly the third (final) firing
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.pending(), 0u);  // stale entry would show up here
+  EXPECT_EQ(sim.run_all(), 0u);
+}
+
+TEST(Simulation, PeriodicSelfCancelThenReplaceItself) {
+  // A callback may cancel its own id and install a replacement periodic
+  // in the same firing; only the replacement keeps running.
+  Simulation sim;
+  int old_fired = 0;
+  int new_fired = 0;
+  EventId id = 0;
+  id = sim.schedule_periodic(seconds(1), seconds(1), [&] {
+    ++old_fired;
+    sim.cancel(id);
+    sim.schedule_periodic(seconds(2), seconds(2), [&] { ++new_fired; });
+  });
+  sim.run_until(seconds(10));
+  EXPECT_EQ(old_fired, 1);
+  EXPECT_EQ(new_fired, 5);  // t = 2, 4, 6, 8, 10
+}
+
+TEST(Simulation, SameInstantSiblingCancelsPeriodicBeforeFirstFiring) {
+  // FIFO order among equal timestamps: a one-shot scheduled first fires
+  // first and may cancel a periodic due at the same instant.
+  Simulation sim;
+  int fired = 0;
+  EventId id = 0;
+  sim.schedule_at(seconds(1), [&] { sim.cancel(id); });
+  id = sim.schedule_periodic(seconds(1), seconds(1), [&] { ++fired; });
+  sim.run_until(seconds(5));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
 TEST(Simulation, EventsCanScheduleEvents) {
   Simulation sim;
   std::vector<SimTime> times;
