@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "mesh/read_view.hpp"
+
 namespace hs::core {
 namespace {
 
@@ -31,7 +33,17 @@ MissionRunner::MissionRunner(MissionConfig config)
       crew_(habitat_, network_, config_.script, config_.seed),
       injector_(config_.fault_plan) {
   network_.set_environment(crew_.environment());
-  injector_.arm(sim_, network_);
+  if (config_.mesh.enabled) {
+    // The base-station node sits at the charging station (where the real
+    // deployment's collection point was); beacon nodes reuse their
+    // beacon's position and id, so a beacon outage takes both down.
+    mesh_ = std::make_unique<mesh::MeshNetwork>(habitat_, network_.beacons(),
+                                                network_.charging_station(), config_.mesh,
+                                                config_.seed);
+    mesh_->attach(&network_);
+    mesh_->arm(sim_);
+  }
+  injector_.arm(sim_, network_, mesh_.get());
 
   // Crew badges 0..5: imperfect oscillators, stale counters at boot.
   Rng clock_rng = rng_.fork(0xc10c);
@@ -62,15 +74,25 @@ Dataset MissionRunner::run() { return run_days(config_.script.mission_days); }
 Dataset MissionRunner::run_days(int last_day) {
   Rng tick_rng = rng_.fork(0x71c4);
   const SimTime end = day_start(last_day + 1);
-  MissionView view{0, &crew_, &network_};
+  MissionView view{0, &crew_, &network_, mesh_.get()};
   for (SimTime t = 0; t < end; t += kSecond) {
-    sim_.run_until(t);  // fault activations/recoveries land before the tick
+    sim_.run_until(t);  // fault activations/recoveries + gossip rounds land first
     crew_.tick(t);
     network_.tick(t, tick_rng);
+    if (mesh_) mesh_->tick(t);
     if (!observers_.empty()) {
       view.now = t;
       for (auto& obs : observers_) obs(view);
     }
+  }
+  // Mission over: badges ship whatever is still unshipped before the
+  // cards are pulled (the mesh equivalent of walking to the collection
+  // point one last time).
+  if (mesh_) mesh_->flush(sim_.now());
+
+  std::map<io::BadgeId, badge::SdCard> mesh_cards;
+  if (mesh_ && config_.collect_from_mesh) {
+    mesh_cards = mesh::MeshReadView(*mesh_).rebuild_cards();
   }
 
   Dataset ds;
@@ -80,10 +102,16 @@ Dataset MissionRunner::run_days(int last_day) {
   for (const auto& b : network_.badges()) {
     BadgeLog log;
     log.id = b->id();
-    log.card = network_.badge(b->id())->take_sd();
-    // Binlog-truncation faults bite at collection: the tail of the card
-    // never makes it off the badge.
-    log.card.apply_tail_loss();
+    if (mesh_ && config_.collect_from_mesh) {
+      // Collection-time card faults (tail truncation) cannot bite here:
+      // chunks already replicated into the mesh are off the card.
+      log.card = std::move(mesh_cards[log.id]);
+    } else {
+      log.card = network_.badge(b->id())->take_sd();
+      // Binlog-truncation faults bite at collection: the tail of the card
+      // never makes it off the badge.
+      log.card.apply_tail_loss();
+    }
     ds.logs.push_back(std::move(log));
   }
   ds.ownership = crew_.corrected_ownership();

@@ -6,11 +6,14 @@
 #include <cstdint>
 #include <functional>
 
+#include <memory>
+
 #include "badge/network.hpp"
 #include "core/dataset.hpp"
 #include "crew/crew_sim.hpp"
 #include "faults/fault_injector.hpp"
 #include "faults/fault_plan.hpp"
+#include "mesh/mesh.hpp"
 #include "sim/simulation.hpp"
 
 namespace hs::core {
@@ -32,6 +35,16 @@ struct MissionConfig {
   /// Script-level faults (the badge swap) are folded into `script` before
   /// the crew simulator is built; device faults fire from the event queue.
   faults::FaultPlan fault_plan{};
+  /// In-habitat data plane (mesh.enabled turns it on): beacons + base
+  /// station as replicating storage nodes, badges offloading binlog
+  /// chunks, gossip anti-entropy between nodes.
+  mesh::MeshConfig mesh{};
+  /// Collect the dataset from the mesh's merged read view instead of
+  /// pulling SD cards (requires mesh.enabled). Fault-free this is
+  /// byte-identical to direct collection; under faults it yields whatever
+  /// the surviving mesh holds — notably, binlog tail truncation cannot
+  /// touch chunks that were already replicated.
+  bool collect_from_mesh = false;
 };
 
 /// Live view handed to per-tick observers (support system, examples).
@@ -39,6 +52,9 @@ struct MissionView {
   SimTime now = 0;
   const crew::CrewSimulator* crew = nullptr;
   const badge::BadgeNetwork* network = nullptr;
+  /// Non-null when the mission runs a mesh; observers may publish control
+  /// items (alerts, ballots) but must leave record offloading to the tick.
+  mesh::MeshNetwork* mesh = nullptr;
 };
 
 class MissionRunner {
@@ -62,6 +78,10 @@ class MissionRunner {
   [[nodiscard]] const habitat::Habitat& habitat() const { return habitat_; }
   /// Fault lifecycle so far (activation/recovery instants per fault).
   [[nodiscard]] const faults::FaultInjector& faults() const { return injector_; }
+  /// The data plane, if config.mesh.enabled (nullptr otherwise). Mutable
+  /// so tests and benches can drive extra gossip rounds after the run.
+  [[nodiscard]] mesh::MeshNetwork* mesh() { return mesh_.get(); }
+  [[nodiscard]] const mesh::MeshNetwork* mesh() const { return mesh_.get(); }
 
  private:
   MissionConfig config_;
@@ -72,6 +92,7 @@ class MissionRunner {
   /// Event kernel driving the fault schedule (and any future event-driven
   /// subsystems); pumped once per simulated second.
   sim::Simulation sim_;
+  std::unique_ptr<mesh::MeshNetwork> mesh_;
   faults::FaultInjector injector_;
   std::vector<std::function<void(const MissionView&)>> observers_;
 };

@@ -1,7 +1,25 @@
 #include "faults/fault_injector.hpp"
 
+#include "mesh/mesh.hpp"
+
 namespace hs::faults {
 namespace {
+
+/// The beacon's mesh node, or nullptr when no mesh is running / the id is
+/// not a mesh node (ids past the node list are legal in plans).
+mesh::MeshNetwork* node_target(mesh::MeshNetwork* mesh, int id) {
+  if (mesh == nullptr || id < 0 || static_cast<std::size_t>(id) >= mesh->nodes().size()) {
+    return nullptr;
+  }
+  return mesh;
+}
+
+std::vector<mesh::NodeId> to_node_ids(const std::vector<int>& ids) {
+  std::vector<mesh::NodeId> out;
+  out.reserve(ids.size());
+  for (const int id : ids) out.push_back(static_cast<mesh::NodeId>(id));
+  return out;
+}
 
 /// Battery-death staging: charge fraction the failing cell sags to at
 /// activation (below BadgeHealthMonitor's default 0.2 threshold), and how
@@ -11,7 +29,8 @@ constexpr SimDuration kCollapse = minutes(15);
 
 }  // namespace
 
-void FaultInjector::arm(sim::Simulation& sim, badge::BadgeNetwork& network) {
+void FaultInjector::arm(sim::Simulation& sim, badge::BadgeNetwork& network,
+                        mesh::MeshNetwork* mesh) {
   records_.clear();
   records_.reserve(plan_.faults().size());
   for (const FaultSpec& spec : plan_.faults()) {
@@ -78,12 +97,22 @@ void FaultInjector::arm(sim::Simulation& sim, badge::BadgeNetwork& network) {
         break;
 
       case FaultKind::kBeaconOutage:
-        sim.schedule_at(spec.start, [this, net, idx, &sim] {
-          net->set_beacon_down(static_cast<io::BeaconId>(records_[idx].spec.beacon), true);
+        // The beacon and its mesh node share a power supply: an outage
+        // silences the advertisements and wipes the node's volatile store.
+        sim.schedule_at(spec.start, [this, net, mesh, idx, &sim] {
+          const int beacon = records_[idx].spec.beacon;
+          net->set_beacon_down(static_cast<io::BeaconId>(beacon), true);
+          if (auto* m = node_target(mesh, beacon)) {
+            m->set_node_down(static_cast<mesh::NodeId>(beacon), true);
+          }
           records_[idx].activated_at = sim.now();
         });
-        sim.schedule_at(spec.start + spec.duration, [this, net, idx, &sim] {
-          net->set_beacon_down(static_cast<io::BeaconId>(records_[idx].spec.beacon), false);
+        sim.schedule_at(spec.start + spec.duration, [this, net, mesh, idx, &sim] {
+          const int beacon = records_[idx].spec.beacon;
+          net->set_beacon_down(static_cast<io::BeaconId>(beacon), false);
+          if (auto* m = node_target(mesh, beacon)) {
+            m->set_node_down(static_cast<mesh::NodeId>(beacon), false);
+          }
           records_[idx].cleared_at = sim.now();
         });
         break;
@@ -118,6 +147,25 @@ void FaultInjector::arm(sim::Simulation& sim, badge::BadgeNetwork& network) {
         sim.schedule_at(day_start(spec.day + 1), [this, idx, &sim] {
           records_[idx].cleared_at = sim.now();
         });
+        break;
+
+      case FaultKind::kPartition:
+        sim.schedule_at(spec.start, [this, mesh, idx, &sim] {
+          if (mesh != nullptr) {
+            mesh->add_partition(to_node_ids(records_[idx].spec.group_a),
+                                to_node_ids(records_[idx].spec.group_b));
+          }
+          records_[idx].activated_at = sim.now();
+        });
+        if (spec.duration > 0) {
+          sim.schedule_at(spec.start + spec.duration, [this, mesh, idx, &sim] {
+            if (mesh != nullptr) {
+              mesh->remove_partition(to_node_ids(records_[idx].spec.group_a),
+                                     to_node_ids(records_[idx].spec.group_b));
+            }
+            records_[idx].cleared_at = sim.now();
+          });
+        }
         break;
     }
   }

@@ -16,6 +16,10 @@
 #include "faults/fault_plan.hpp"
 #include "sim/simulation.hpp"
 
+namespace hs::mesh {
+class MeshNetwork;
+}
+
 namespace hs::faults {
 
 /// Per-fault lifecycle, filled in as the mission runs; the resilience
@@ -33,8 +37,12 @@ class FaultInjector {
 
   /// Register every fault in the plan with the kernel. `sim` and `network`
   /// must outlive the injector's scheduled events (MissionRunner owns all
-  /// three). Call once, before the mission's first tick.
-  void arm(sim::Simulation& sim, badge::BadgeNetwork& network);
+  /// three). Call once, before the mission's first tick. When a mesh is
+  /// running, pass it too: beacon outages then also take down the beacon's
+  /// mesh node (one power supply), and kPartition severs gossip links; a
+  /// meshless mission ignores both (records are still book-kept).
+  void arm(sim::Simulation& sim, badge::BadgeNetwork& network,
+           mesh::MeshNetwork* mesh = nullptr);
 
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
   [[nodiscard]] const std::vector<FaultRecord>& records() const { return records_; }

@@ -10,7 +10,7 @@ namespace {
 constexpr FaultKind kAllKinds[] = {
     FaultKind::kBatteryDeath,     FaultKind::kSdWriteFailure, FaultKind::kBinlogTruncation,
     FaultKind::kBeaconOutage,     FaultKind::kRadioDegradation, FaultKind::kClockStep,
-    FaultKind::kBadgeSwap,
+    FaultKind::kBadgeSwap,        FaultKind::kPartition,
 };
 
 /// "3d07:30" — 1-based mission day plus habitat wall-clock time.
@@ -39,6 +39,38 @@ std::string format_number(double v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%g", v);
   return buf;
+}
+
+/// "0,1,2|3,4" — the two node groups of a partition.
+std::string format_groups(const std::vector<int>& a, const std::vector<int>& b) {
+  std::string out;
+  const auto join = [&out](const std::vector<int>& group) {
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(group[i]);
+    }
+  };
+  join(a);
+  out += '|';
+  join(b);
+  return out;
+}
+
+bool parse_int_list(const std::string& text, std::vector<int>& out) {
+  out.clear();
+  std::istringstream ids(text);
+  std::string id;
+  while (std::getline(ids, id, ',')) {
+    if (id.empty() || id.find_first_not_of("0123456789") != std::string::npos) return false;
+    out.push_back(std::atoi(id.c_str()));
+  }
+  return !out.empty();
+}
+
+bool parse_groups(const std::string& text, std::vector<int>& a, std::vector<int>& b) {
+  const auto bar = text.find('|');
+  if (bar == std::string::npos) return false;
+  return parse_int_list(text.substr(0, bar), a) && parse_int_list(text.substr(bar + 1), b);
 }
 
 bool parse_time(const std::string& text, SimTime& out) {
@@ -81,6 +113,8 @@ const char* kind_name(FaultKind kind) {
       return "clock-step";
     case FaultKind::kBadgeSwap:
       return "badge-swap";
+    case FaultKind::kPartition:
+      return "partition";
   }
   return "?";
 }
@@ -124,6 +158,11 @@ std::string FaultPlan::to_string() const {
         break;
       case FaultKind::kBadgeSwap:
         out << " day=" << f.day << " a=" << f.astronaut_a << " b=" << f.astronaut_b;
+        break;
+      case FaultKind::kPartition:
+        out << " at=" << format_time(f.start);
+        if (f.duration > 0) out << " for=" << format_duration(f.duration);
+        out << " groups=" << format_groups(f.group_a, f.group_b);
         break;
     }
     out << "\n";
@@ -185,6 +224,10 @@ Expected<FaultPlan> FaultPlan::parse(const std::string& text) {
         } else {
           return fail("bad band '" + value + "'");
         }
+      } else if (key == "groups") {
+        if (!parse_groups(value, spec.group_a, spec.group_b)) {
+          return fail("bad groups '" + value + "'");
+        }
       } else if (key == "day") {
         spec.day = std::atoi(value.c_str());
       } else if (key == "a") {
@@ -198,6 +241,9 @@ Expected<FaultPlan> FaultPlan::parse(const std::string& text) {
     if (spec.kind == FaultKind::kBinlogTruncation &&
         (spec.magnitude < 0.0 || spec.magnitude > 1.0)) {
       return fail("frac must be in [0,1]");
+    }
+    if (spec.kind == FaultKind::kPartition && (spec.group_a.empty() || spec.group_b.empty())) {
+      return fail("partition needs groups=<ids>|<ids>");
     }
     plan.faults_.push_back(spec);
   }
@@ -266,6 +312,17 @@ FaultPlan FaultPlan::clock_anomalies() {
   return plan.add(step);
 }
 
+FaultPlan FaultPlan::mesh_partition() {
+  FaultPlan plan("mesh-partition");
+  FaultSpec split;
+  split.kind = FaultKind::kPartition;
+  split.start = day_start(6) + hours(9);
+  split.duration = hours(8);
+  for (int id = 0; id < 14; ++id) split.group_a.push_back(id);
+  for (int id = 14; id < 28; ++id) split.group_b.push_back(id);
+  return plan.add(split);
+}
+
 FaultPlan FaultPlan::combined(std::uint64_t seed) {
   Rng rng(seed);
   FaultPlan plan("combined-" + std::to_string(seed));
@@ -325,6 +382,17 @@ FaultPlan FaultPlan::combined(std::uint64_t seed) {
   swap.astronaut_a = 0;
   swap.astronaut_b = 1;
   plan.add(swap);
+
+  // Appended after the original kinds with fixed groups (no extra rng
+  // draws), so seeded plans from before the partition kind existed keep
+  // their exact fault schedules.
+  FaultSpec split;
+  split.kind = FaultKind::kPartition;
+  split.start = day_start(8) + hours(10);
+  split.duration = hours(6);
+  for (int id = 0; id < 14; ++id) split.group_a.push_back(id);
+  for (int id = 14; id < 28; ++id) split.group_b.push_back(id);
+  plan.add(split);
 
   return plan;
 }

@@ -30,6 +30,7 @@ enum class FaultKind : std::uint8_t {
   kRadioDegradation, ///< `magnitude` dB extra path loss on `band` for `duration`
   kClockStep,        ///< local counter jumps by `magnitude` ms at `start`
   kBadgeSwap,        ///< astronauts `astronaut_a`/`astronaut_b` trade badges on `day`
+  kPartition,        ///< mesh radio partition between `group_a` and `group_b` for `duration`
 };
 
 /// Canonical kebab-case name ("battery-death", ...), used by the DSL.
@@ -54,6 +55,10 @@ struct FaultSpec {
   int day = 0;
   std::size_t astronaut_a = 0;
   std::size_t astronaut_b = 1;
+  // kPartition: mesh node ids on each side of the severed radio link
+  // (nodes in neither group keep gossiping with both sides).
+  std::vector<int> group_a{};
+  std::vector<int> group_b{};
 
   friend bool operator==(const FaultSpec&, const FaultSpec&) = default;
 };
@@ -100,6 +105,10 @@ class FaultPlan {
   [[nodiscard]] static FaultPlan infrastructure_stress();
   /// A +5 s counter step on badge 2 halfway through the mission.
   [[nodiscard]] static FaultPlan clock_anomalies();
+  /// The habitat mesh splits for eight hours on day 6: half the nodes
+  /// lose radio contact with the other half (a sealed bulkhead door),
+  /// then the split heals and the sides re-converge by anti-entropy.
+  [[nodiscard]] static FaultPlan mesh_partition();
   /// Seeded kitchen-sink plan: one fault of every kind at randomized
   /// targets/times. Same seed => same plan, byte for byte.
   [[nodiscard]] static FaultPlan combined(std::uint64_t seed);

@@ -1,0 +1,39 @@
+// Distributed change-proposal ballots over the mesh.
+//
+// Section VI-C3's consensus requirement must hold even when the base
+// station is dark: proposals and votes are published as replicated chunks
+// (ChunkKind::kProposal / kVote) and gossip carries them to every live
+// node. Any node can then tally locally and deterministically — ballots
+// are replayed through the same support::ChangeProposal state machine the
+// centralized path uses, sorted by (cast time, chunk key), so every node
+// that holds the same chunks reaches the same verdict. No coordinator,
+// no base station in the loop.
+#pragma once
+
+#include <vector>
+
+#include "mesh/mesh.hpp"
+#include "support/consensus.hpp"
+
+namespace hs::mesh {
+
+/// One proposal's locally tallied outcome.
+struct BallotTally {
+  ProposalItem item;
+  support::ProposalState state = support::ProposalState::kPending;
+  std::size_t approvals = 0;
+  std::size_t votes_cast = 0;
+};
+
+/// Tally every proposal visible in `store` as of `now`, replaying its
+/// votes (ordered by cast time, then chunk key) through
+/// support::ChangeProposal. Deterministic in the store contents; returns
+/// tallies ordered by proposal id.
+std::vector<BallotTally> tally_ballots(const std::map<ChunkKey, const MeshChunk*>& store,
+                                       SimTime now);
+
+/// Tally from one node's local store — the autonomous-consensus question
+/// "what does this node believe the verdict is?".
+std::vector<BallotTally> tally_ballots_at(const MeshNetwork& mesh, NodeId node, SimTime now);
+
+}  // namespace hs::mesh

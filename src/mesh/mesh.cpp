@@ -1,0 +1,285 @@
+#include "mesh/mesh.hpp"
+
+#include <algorithm>
+
+#include "io/binlog.hpp"
+#include "util/units.hpp"
+
+namespace hs::mesh {
+namespace {
+
+const SeqSet kEmptySeqSet{};
+
+}  // namespace
+
+MeshNetwork::MeshNetwork(const habitat::Habitat& habitat,
+                         const std::vector<beacon::Beacon>& beacons, Vec2 base_station,
+                         MeshConfig config, std::uint64_t seed)
+    : habitat_(&habitat), config_(config), seed_(seed) {
+  nodes_.reserve(beacons.size() + 1);
+  for (const auto& b : beacons) {
+    nodes_.emplace_back(static_cast<NodeId>(b.id), b.position, b.room);
+  }
+  nodes_.emplace_back(static_cast<NodeId>(beacons.size()), base_station,
+                      habitat.room_at(base_station));
+
+  // Audibility mirrors BadgeNetwork: a badge can reach nodes in its own or
+  // an adjacent room; the kRoomCount slot (unknown room) allows every node.
+  candidates_.resize(habitat::kRoomCount + 1);
+  for (const auto& node : nodes_) {
+    for (int r = 0; r < habitat::kRoomCount; ++r) {
+      const auto room = static_cast<habitat::RoomId>(r);
+      if (node.room() == room || habitat.adjacent(node.room(), room)) {
+        candidates_[r].push_back(node.id());
+      }
+    }
+    candidates_[habitat::kRoomCount].push_back(node.id());
+  }
+}
+
+void MeshNetwork::arm(sim::Simulation& sim) {
+  const SimDuration period = seconds(config_.gossip_period_s);
+  sim.schedule_periodic(period, period, [this, &sim] { run_round(sim.now()); });
+}
+
+bool MeshNetwork::has_pending(const badge::Badge& badge, const BadgeCursor& c) const {
+  const auto& sd = badge.sd();
+  return sd.beacon_obs().size() > c.beacon_obs || sd.pings().size() > c.pings ||
+         sd.ir_contacts().size() > c.ir || sd.motion().size() > c.motion ||
+         sd.audio().size() > c.audio || sd.env().size() > c.env ||
+         sd.wear().size() > c.wear || sd.sync().size() > c.sync;
+}
+
+void MeshNetwork::tick(SimTime now) {
+  if (badges_ == nullptr) return;
+  const auto slot = now / kSecond;
+  for (const auto& b : badges_->badges()) {
+    if ((slot + 7 * b->id()) % config_.offload_period_s != 0) continue;
+    if (b->battery().depleted()) continue;  // dead badges cannot transmit
+    offload(*b, now);
+  }
+}
+
+void MeshNetwork::flush(SimTime now) {
+  if (badges_ == nullptr) return;
+  for (const auto& b : badges_->badges()) {
+    if (b->battery().depleted()) continue;
+    offload(*b, now);
+  }
+}
+
+void MeshNetwork::offload(const badge::Badge& badge, SimTime now) {
+  auto& cursor = cursors_[badge.id()];
+  if (!has_pending(badge, cursor)) return;
+
+  const auto room = habitat_->room_at(badge.position());
+  auto* target = const_cast<MeshNode*>(nearest_live_node(room, badge.position()));
+  if (target == nullptr) {
+    ++stats_.offload_deferrals;  // records stay on the SD card for next slot
+    return;
+  }
+
+  // Cut one binlog slice covering everything logged since the last offload,
+  // in the SD card's export stream order so replaying the slices in seq
+  // order rebuilds a byte-identical card.
+  const auto& sd = badge.sd();
+  io::BinLogWriter w;
+  const auto drain = [&w](const auto& stream, std::size_t& from) {
+    for (; from < stream.size(); ++from) w.append(stream[from]);
+  };
+  drain(sd.beacon_obs(), cursor.beacon_obs);
+  drain(sd.pings(), cursor.pings);
+  drain(sd.ir_contacts(), cursor.ir);
+  drain(sd.motion(), cursor.motion);
+  drain(sd.audio(), cursor.audio);
+  drain(sd.env(), cursor.env);
+  drain(sd.wear(), cursor.wear);
+  drain(sd.sync(), cursor.sync);
+
+  const OffloadVitals vitals{badge.battery().fraction(), badge.active(), badge.docked(),
+                             badge.worn()};
+  const ChunkKey key{static_cast<OriginId>(badge.id()), cursor.next_seq++};
+  MeshChunk chunk =
+      make_chunk(key, ChunkKind::kRecords, now, encode_records_payload(vitals, w.take()));
+  const std::size_t wire = chunk.wire_bytes();
+  target->insert(chunk);
+  ++stats_.offloads;
+  stats_.offload_bytes += static_cast<std::int64_t>(wire);
+  traces_[key].offloaded_at = now;
+  note_stored(key, now);
+}
+
+void MeshNetwork::run_round(SimTime now) {
+  ++round_;
+  ++stats_.rounds;
+  const std::size_t n = nodes_.size();
+  for (auto& node : nodes_) {
+    if (node.down()) continue;
+    for (int draw = 0; draw < config_.fanout; ++draw) {
+      const NodeId peer = gossip_peer(seed_, node.id(), round_, draw, n);
+      if (nodes_[peer].down() || blocked(node.id(), peer)) {
+        ++stats_.skipped_links;
+        continue;
+      }
+      exchange(node, nodes_[peer], now);
+    }
+  }
+}
+
+void MeshNetwork::exchange(MeshNode& a, MeshNode& b, SimTime now) {
+  ++stats_.exchanges;
+  for (const MeshNode* side : {&a, &b}) {
+    for (const auto& [origin, held] : side->version_vector()) {
+      (void)origin;
+      stats_.digest_bytes += static_cast<std::int64_t>(2 + held.digest_bytes());
+    }
+  }
+
+  const auto pull = [this, now](const MeshNode& src, MeshNode& dst) {
+    const std::size_t n = nodes_.size();
+    for (const auto& [origin, held] : src.version_vector()) {
+      const auto it = dst.version_vector().find(origin);
+      const SeqSet& mine = it == dst.version_vector().end() ? kEmptySeqSet : it->second;
+      for (const std::uint32_t seq : held.missing_from(mine)) {
+        const ChunkKey key{origin, seq};
+        const MeshChunk* chunk = src.find(key);
+        if (chunk == nullptr) continue;  // src knows of it but declined the copy
+        if (config_.cap_replicas && chunk->kind == ChunkKind::kRecords &&
+            !is_home(key, dst.id(), config_.replication_factor, n)) {
+          dst.decline(key);
+          continue;
+        }
+        if (dst.insert(*chunk)) {
+          ++stats_.chunks_replicated;
+          stats_.replication_bytes += static_cast<std::int64_t>(chunk->wire_bytes());
+          note_stored(key, now);
+        }
+      }
+    }
+  };
+  pull(a, b);
+  pull(b, a);
+}
+
+void MeshNetwork::note_stored(ChunkKey key, SimTime now) {
+  auto& trace = traces_[key];
+  ++trace.replicas;
+  if (trace.replicated_at < 0 &&
+      trace.replicas >= static_cast<std::size_t>(config_.replication_factor)) {
+    trace.replicated_at = now;
+  }
+}
+
+void MeshNetwork::set_node_down(NodeId id, bool down) {
+  auto& node = nodes_.at(id);
+  if (down == node.down()) return;
+  if (down) {
+    // The store is about to be wiped: those replicas no longer exist.
+    for (const auto& [key, chunk] : node.store()) {
+      (void)chunk;
+      auto it = traces_.find(key);
+      if (it != traces_.end() && it->second.replicas > 0) --it->second.replicas;
+    }
+  }
+  node.set_down(down);
+}
+
+bool MeshNetwork::node_down(NodeId id) const { return nodes_.at(id).down(); }
+
+void MeshNetwork::add_partition(std::vector<NodeId> group_a, std::vector<NodeId> group_b) {
+  partitions_.emplace_back(std::move(group_a), std::move(group_b));
+}
+
+void MeshNetwork::remove_partition(const std::vector<NodeId>& group_a,
+                                   const std::vector<NodeId>& group_b) {
+  const auto it = std::find(partitions_.begin(), partitions_.end(),
+                            std::pair(group_a, group_b));
+  if (it != partitions_.end()) partitions_.erase(it);
+}
+
+bool MeshNetwork::blocked(NodeId a, NodeId b) const {
+  const auto in = [](const std::vector<NodeId>& group, NodeId id) {
+    return std::find(group.begin(), group.end(), id) != group.end();
+  };
+  for (const auto& [ga, gb] : partitions_) {
+    if ((in(ga, a) && in(gb, b)) || (in(gb, a) && in(ga, b))) return true;
+  }
+  return false;
+}
+
+std::optional<ChunkKey> MeshNetwork::publish(NodeId at_node, ChunkKind kind,
+                                             std::vector<std::uint8_t> payload, SimTime now) {
+  auto& node = nodes_.at(at_node);
+  if (node.down()) return std::nullopt;
+  const ChunkKey key{node_origin(at_node), control_seq_[at_node]++};
+  node.insert(make_chunk(key, kind, now, std::move(payload)));
+  traces_[key].offloaded_at = now;
+  note_stored(key, now);
+  return key;
+}
+
+std::optional<ChunkKey> MeshNetwork::publish_alert(NodeId at_node, const support::Alert& alert,
+                                                   SimTime now) {
+  return publish(at_node, ChunkKind::kAlert, encode_alert(alert), now);
+}
+
+std::optional<ChunkKey> MeshNetwork::publish_proposal(NodeId at_node, const ProposalItem& item,
+                                                      SimTime now) {
+  return publish(at_node, ChunkKind::kProposal, encode_proposal(item), now);
+}
+
+std::optional<ChunkKey> MeshNetwork::publish_vote(NodeId at_node, const VoteItem& item,
+                                                  SimTime now) {
+  return publish(at_node, ChunkKind::kVote, encode_vote(item), now);
+}
+
+std::map<ChunkKey, const MeshChunk*> MeshNetwork::merged_store() const {
+  std::map<ChunkKey, const MeshChunk*> merged;
+  for (const auto& node : nodes_) {
+    if (node.down()) continue;
+    for (const auto& [key, chunk] : node.store()) merged.emplace(key, &chunk);
+  }
+  return merged;
+}
+
+bool MeshNetwork::converged() const {
+  bool any = false;
+  std::uint64_t digest = 0;
+  for (const auto& node : nodes_) {
+    if (node.down()) continue;
+    if (!any) {
+      digest = node.store_digest();
+      any = true;
+    } else if (node.store_digest() != digest) {
+      return false;
+    }
+  }
+  return any;
+}
+
+std::vector<ChunkKey> MeshNetwork::acked_keys() const {
+  std::vector<ChunkKey> keys;
+  for (const auto& [key, trace] : traces_) {
+    if (trace.replicated_at >= 0) keys.push_back(key);
+  }
+  return keys;
+}
+
+const MeshNode* MeshNetwork::nearest_live_node(habitat::RoomId room, Vec2 from) const {
+  const std::size_t slot =
+      room == habitat::RoomId::kNone ? habitat::kRoomCount : habitat::room_index(room);
+  const MeshNode* best = nullptr;
+  double best_dist = 0.0;
+  for (const NodeId id : candidates_[slot]) {
+    const MeshNode& node = nodes_[id];
+    if (node.down()) continue;
+    const double d = distance(node.position(), from);
+    if (best == nullptr || d < best_dist) {  // ties keep the lowest id
+      best = &node;
+      best_dist = d;
+    }
+  }
+  return best;
+}
+
+}  // namespace hs::mesh

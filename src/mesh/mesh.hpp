@@ -1,0 +1,150 @@
+// The distributed in-habitat data plane.
+//
+// Section VI of the paper demands an autonomous, resilient support system
+// with no single crash point; the DORI line of work runs data handling on
+// distributed field nodes rather than a central sink. MeshNetwork is that
+// layer for the habitat: every beacon (plus the base station) is a
+// MeshNode with a local replicated store, badges opportunistically
+// offload binlog chunks to the nearest live node, and nodes converge via
+// seeded, sim-kernel-scheduled push–pull gossip (per-node version
+// vectors, per-chunk checksums). Alerts and change-proposal ballots ride
+// the same store, so dissemination and consensus keep working when the
+// base station is dark or the mesh is partitioned. docs/MESH.md has the
+// protocol, invariants and tuning knobs.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "badge/network.hpp"
+#include "beacon/beacon.hpp"
+#include "habitat/habitat.hpp"
+#include "mesh/chunk.hpp"
+#include "mesh/gossip.hpp"
+#include "mesh/node.hpp"
+#include "sim/simulation.hpp"
+
+namespace hs::mesh {
+
+struct MeshConfig {
+  /// Build and run the mesh during the mission. Off by default: the
+  /// direct-feed pipeline stays the reference path, and missions that
+  /// never read the mesh do not pay for it.
+  bool enabled = false;
+  /// Seconds between a badge's offload attempts (staggered per badge).
+  int offload_period_s = 120;
+  /// Seconds between gossip rounds (every node gossips each round).
+  int gossip_period_s = 30;
+  /// Push-pull partners per node per round.
+  int fanout = 2;
+  /// Replicas a chunk needs before it counts as durably acked. With
+  /// cap_replicas, also the rendezvous home-set size per record chunk.
+  int replication_factor = 3;
+  /// Bound record-chunk storage at ~(replication_factor + 1) copies
+  /// (the k rendezvous homes plus the ingest node) instead of full
+  /// replication. Control items always replicate everywhere.
+  bool cap_replicas = false;
+};
+
+/// Durability bookkeeping per chunk (introspection for tests/benches;
+/// a real deployment would piggyback acks on the gossip exchanges).
+struct ChunkTrace {
+  SimTime offloaded_at = -1;   ///< accepted by the first node
+  SimTime replicated_at = -1;  ///< replica count first reached replication_factor
+  std::size_t replicas = 0;    ///< live replica count (drops when a node dies)
+};
+
+class MeshNetwork {
+ public:
+  /// One node per beacon (same id, position, room) plus the base-station
+  /// node at `base_station` with id == beacons.size().
+  MeshNetwork(const habitat::Habitat& habitat, const std::vector<beacon::Beacon>& beacons,
+              Vec2 base_station, MeshConfig config, std::uint64_t seed);
+
+  /// Wire the badge fleet the offload path reads. Required before tick()
+  /// or flush(); gossip and publishing work without it.
+  void attach(const badge::BadgeNetwork* network) { badges_ = network; }
+
+  /// Schedule the periodic gossip round on the simulation kernel.
+  void arm(sim::Simulation& sim);
+
+  /// Per-second offload pass: badges whose stagger slot is due and that
+  /// hold unshipped records offload one chunk to the nearest live node.
+  void tick(SimTime now);
+
+  /// Ship every badge's remaining records (end of mission, before the SD
+  /// cards are pulled). Dead badges cannot transmit and are skipped.
+  void flush(SimTime now);
+
+  /// One gossip round now (also what the armed periodic event runs).
+  void run_round(SimTime now);
+
+  // --- fault hooks (driven by hs::faults) ----------------------------------
+  /// Node power state; going down wipes the node's volatile store.
+  void set_node_down(NodeId id, bool down);
+  [[nodiscard]] bool node_down(NodeId id) const;
+  /// Sever every gossip link between the two groups (radio partition).
+  void add_partition(std::vector<NodeId> group_a, std::vector<NodeId> group_b);
+  /// Heal a partition previously added with the same groups.
+  void remove_partition(const std::vector<NodeId>& group_a, const std::vector<NodeId>& group_b);
+  [[nodiscard]] bool blocked(NodeId a, NodeId b) const;
+
+  // --- control items ---------------------------------------------------------
+  /// Publish an alert / proposal / ballot into `at_node`'s store; gossip
+  /// replicates it mesh-wide. Returns nullopt when the node is down.
+  std::optional<ChunkKey> publish_alert(NodeId at_node, const support::Alert& alert, SimTime now);
+  std::optional<ChunkKey> publish_proposal(NodeId at_node, const ProposalItem& item, SimTime now);
+  std::optional<ChunkKey> publish_vote(NodeId at_node, const VoteItem& item, SimTime now);
+
+  // --- introspection ---------------------------------------------------------
+  [[nodiscard]] const std::vector<MeshNode>& nodes() const { return nodes_; }
+  [[nodiscard]] NodeId base_station_id() const { return static_cast<NodeId>(nodes_.size() - 1); }
+  [[nodiscard]] const MeshConfig& config() const { return config_; }
+  [[nodiscard]] const GossipStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t round() const { return round_; }
+  [[nodiscard]] const std::map<ChunkKey, ChunkTrace>& traces() const { return traces_; }
+
+  /// Union of every live node's store (the mesh read view's input).
+  [[nodiscard]] std::map<ChunkKey, const MeshChunk*> merged_store() const;
+  /// All live nodes hold byte-identical stores (full-replication mode).
+  [[nodiscard]] bool converged() const;
+  /// Chunks that reached replication_factor replicas (durably acked).
+  [[nodiscard]] std::vector<ChunkKey> acked_keys() const;
+
+  /// Nearest live node audible from `room` (same or adjacent room), by
+  /// distance then lowest id; nullptr when every candidate is dark.
+  [[nodiscard]] const MeshNode* nearest_live_node(habitat::RoomId room, Vec2 from) const;
+
+ private:
+  struct BadgeCursor {
+    std::size_t beacon_obs = 0, pings = 0, ir = 0, motion = 0;
+    std::size_t audio = 0, env = 0, wear = 0, sync = 0;
+    std::uint32_t next_seq = 0;
+  };
+
+  [[nodiscard]] bool has_pending(const badge::Badge& badge, const BadgeCursor& cursor) const;
+  void offload(const badge::Badge& badge, SimTime now);
+  void exchange(MeshNode& a, MeshNode& b, SimTime now);
+  /// Replica-count bookkeeping after a successful store (ack tracking).
+  void note_stored(ChunkKey key, SimTime now);
+  std::optional<ChunkKey> publish(NodeId at_node, ChunkKind kind,
+                                  std::vector<std::uint8_t> payload, SimTime now);
+
+  const habitat::Habitat* habitat_;
+  MeshConfig config_;
+  std::uint64_t seed_;
+  const badge::BadgeNetwork* badges_ = nullptr;
+  std::vector<MeshNode> nodes_;
+  /// Candidate node indices per room (same or adjacent; kRoomCount slot =
+  /// unknown room, every node) — mirrors BadgeNetwork's audibility rule.
+  std::vector<std::vector<NodeId>> candidates_;
+  std::vector<std::pair<std::vector<NodeId>, std::vector<NodeId>>> partitions_;
+  std::map<io::BadgeId, BadgeCursor> cursors_;
+  std::map<NodeId, std::uint32_t> control_seq_;
+  std::map<ChunkKey, ChunkTrace> traces_;
+  GossipStats stats_;
+  std::uint64_t round_ = 0;
+};
+
+}  // namespace hs::mesh

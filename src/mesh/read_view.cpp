@@ -1,0 +1,108 @@
+#include "mesh/read_view.hpp"
+
+#include "io/binlog.hpp"
+
+namespace hs::mesh {
+
+std::map<io::BadgeId, badge::SdCard> MeshReadView::rebuild_cards() const {
+  std::map<io::BadgeId, badge::SdCard> cards;
+  // merged_store() iterates in ChunkKey order: per origin, ascending seq —
+  // exactly the order the slices were cut in, so stream appends replay in
+  // the original SD order.
+  for (const auto& [key, chunk] : mesh_->merged_store()) {
+    if (key.origin >= kNodeOriginBase || chunk->kind != ChunkKind::kRecords) continue;
+    OffloadVitals vitals;
+    std::vector<std::uint8_t> binlog;
+    if (chunk->payload == nullptr || !decode_records_payload(*chunk->payload, vitals, binlog)) {
+      continue;
+    }
+    auto& card = cards[static_cast<io::BadgeId>(key.origin)];
+    io::BinLogVisitor v;
+    v.on_beacon_obs = [&card](const io::BeaconObs& r) { card.log(r); };
+    v.on_proximity_ping = [&card](const io::ProximityPing& r) { card.log(r); };
+    v.on_ir_contact = [&card](const io::IrContact& r) { card.log(r); };
+    v.on_motion_frame = [&card](const io::MotionFrame& r) { card.log(r); };
+    v.on_audio_frame = [&card](const io::AudioFrame& r) { card.log(r); };
+    v.on_env_frame = [&card](const io::EnvFrame& r) { card.log(r); };
+    v.on_wear_event = [&card](const io::WearEvent& r) { card.log(r); };
+    v.on_sync_sample = [&card](const io::SyncSample& r) { card.log(r); };
+    (void)io::replay_binlog(binlog, v);
+  }
+  return cards;
+}
+
+std::vector<support::BadgeHealth> MeshReadView::health_snapshot(SimTime now,
+                                                                SimDuration stale_after) const {
+  struct Latest {
+    SimTime t = -1;
+    OffloadVitals vitals;
+  };
+  std::map<io::BadgeId, Latest> latest;
+  for (const auto& [key, chunk] : mesh_->merged_store()) {
+    if (key.origin >= kNodeOriginBase || chunk->kind != ChunkKind::kRecords) continue;
+    auto& slot = latest[static_cast<io::BadgeId>(key.origin)];
+    if (chunk->created_at < slot.t) continue;
+    OffloadVitals vitals;
+    std::vector<std::uint8_t> binlog;
+    if (decode_records_payload(*chunk->payload, vitals, binlog)) {
+      slot.t = chunk->created_at;
+      slot.vitals = vitals;
+    }
+  }
+
+  std::vector<support::BadgeHealth> out;
+  out.reserve(latest.size());
+  for (const auto& [id, slot] : latest) {
+    support::BadgeHealth h;
+    h.t = slot.t;
+    h.badge = id;
+    h.battery_fraction = slot.vitals.battery_fraction;
+    // A badge that stopped offloading is dark as far as the mesh can tell.
+    h.active = slot.vitals.active && (now - slot.t) <= stale_after;
+    h.docked = slot.vitals.docked;
+    h.worn = slot.vitals.worn;
+    out.push_back(h);
+  }
+  return out;
+}
+
+namespace {
+
+void append_alerts(const std::map<ChunkKey, const MeshChunk*>& store,
+                   std::vector<support::Alert>& out) {
+  for (const auto& [key, chunk] : store) {
+    (void)key;
+    if (chunk->kind != ChunkKind::kAlert) continue;
+    support::Alert alert;
+    if (decode_alert(*chunk->payload, alert)) out.push_back(std::move(alert));
+  }
+}
+
+}  // namespace
+
+std::vector<support::Alert> MeshReadView::alerts() const {
+  std::vector<support::Alert> out;
+  append_alerts(mesh_->merged_store(), out);
+  return out;
+}
+
+std::vector<support::Alert> MeshReadView::alerts_at(NodeId node) const {
+  std::vector<support::Alert> out;
+  for (const auto& [key, chunk] : mesh_->nodes().at(node).store()) {
+    (void)key;
+    if (chunk.kind != ChunkKind::kAlert) continue;
+    support::Alert alert;
+    if (decode_alert(*chunk.payload, alert)) out.push_back(std::move(alert));
+  }
+  return out;
+}
+
+std::size_t MeshReadView::record_chunk_count() const {
+  std::size_t count = 0;
+  for (const auto& [key, chunk] : mesh_->merged_store()) {
+    if (key.origin < kNodeOriginBase && chunk->kind == ChunkKind::kRecords) ++count;
+  }
+  return count;
+}
+
+}  // namespace hs::mesh

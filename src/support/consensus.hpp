@@ -42,10 +42,17 @@ class ChangeProposal {
   [[nodiscard]] std::uint64_t id() const { return id_; }
   [[nodiscard]] const std::string& description() const { return description_; }
   [[nodiscard]] ProposalState state() const { return state_; }
+  /// Last instant a vote still counts: the deadline is INCLUSIVE. A vote
+  /// at exactly deadline() is valid (and can approve the proposal); the
+  /// first vote arriving after it expires the proposal instead of
+  /// counting — vote() enforces this itself, no tick() needed in between.
+  /// Mesh ballot tallies (mesh/ballots.cpp) replay votes through this
+  /// same state machine, so the boundary must never drift.
   [[nodiscard]] SimTime deadline() const { return deadline_; }
 
   /// Record a vote. Votes after resolution or from non-voters are ignored
   /// (returns false). A single rejection resolves the proposal immediately.
+  /// A vote past the inclusive deadline() expires the proposal in place.
   bool vote(SimTime now, VoterId voter, bool approve);
 
   /// Advance time: expire if the deadline passed without resolution.

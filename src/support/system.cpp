@@ -36,6 +36,7 @@ void SupportSystem::route_new_alerts(std::size_t from_index) {
   for (std::size_t i = from_index; i < alerts_.size(); ++i) {
     const auto routed = adapter_.broadcast(alerts_[i]);
     deliveries_.insert(deliveries_.end(), routed.begin(), routed.end());
+    if (alert_sink_) alert_sink_(alerts_[i]);
   }
 }
 

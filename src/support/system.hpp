@@ -7,6 +7,7 @@
 // mission, as opposed to the offline AnalysisPipeline.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -56,6 +57,12 @@ class SupportSystem {
   /// Pump arrived uplink commands through the conflict monitor.
   void poll_uplink(SimTime now);
 
+  /// Forward every alert, as it is raised, to an external channel as well
+  /// (e.g. mesh::MeshNetwork::publish_alert, so dissemination keeps
+  /// working when the base station dies). The sink sees each alert once,
+  /// after local routing; it must not call back into the SupportSystem.
+  void set_alert_sink(std::function<void(const Alert&)> sink) { alert_sink_ = std::move(sink); }
+
   /// All alerts raised so far, in order.
   [[nodiscard]] const std::vector<Alert>& alerts() const { return alerts_; }
   /// Interface deliveries corresponding to the alerts.
@@ -77,6 +84,7 @@ class SupportSystem {
   BadgeHealthMonitor badge_health_;
   std::vector<Alert> alerts_;
   std::vector<Delivery> deliveries_;
+  std::function<void(const Alert&)> alert_sink_;
 };
 
 }  // namespace hs::support

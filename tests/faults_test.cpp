@@ -29,13 +29,15 @@ TEST(FaultPlanDsl, KindNamesAreStable) {
   EXPECT_STREQ(kind_name(FaultKind::kRadioDegradation), "radio-degradation");
   EXPECT_STREQ(kind_name(FaultKind::kClockStep), "clock-step");
   EXPECT_STREQ(kind_name(FaultKind::kBadgeSwap), "badge-swap");
+  EXPECT_STREQ(kind_name(FaultKind::kPartition), "partition");
 }
 
 TEST(FaultPlanDsl, PresetsRoundTripThroughTheDsl) {
   const FaultPlan presets[] = {
       FaultPlan::day9_badge_swap(),        FaultPlan::battery_stress(),
       FaultPlan::storage_stress(),         FaultPlan::infrastructure_stress(),
-      FaultPlan::clock_anomalies(),        FaultPlan::combined(123),
+      FaultPlan::clock_anomalies(),        FaultPlan::mesh_partition(),
+      FaultPlan::combined(123),
   };
   for (const FaultPlan& plan : presets) {
     const auto parsed = FaultPlan::parse(plan.to_string());
@@ -55,6 +57,27 @@ TEST(FaultPlanDsl, ParseRejectsMalformedInput) {
   EXPECT_FALSE(FaultPlan::parse("battery-death badge=1 at=nonsense").has_value());
   EXPECT_FALSE(FaultPlan::parse("binlog-truncation badge=1 at=2d00:00 frac=1.5").has_value());
   EXPECT_FALSE(FaultPlan::parse("radio-degradation band=fm at=2d00:00 for=1h db=3").has_value());
+}
+
+TEST(FaultPlanDsl, PartitionRoundTripsWithGroups) {
+  const auto plan = FaultPlan::parse(
+      "plan split\n"
+      "partition at=6d09:00 for=8h groups=0,1,2|3,4\n");
+  ASSERT_TRUE(plan.has_value()) << plan.error().message;
+  ASSERT_EQ(plan->faults().size(), 1u);
+  const FaultSpec& spec = plan->faults()[0];
+  EXPECT_EQ(spec.kind, FaultKind::kPartition);
+  EXPECT_EQ(spec.start, day_start(6) + hours(9));
+  EXPECT_EQ(spec.duration, hours(8));
+  EXPECT_EQ(spec.group_a, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(spec.group_b, (std::vector<int>{3, 4}));
+
+  const auto reparsed = FaultPlan::parse(plan->to_string());
+  ASSERT_TRUE(reparsed.has_value()) << reparsed.error().message;
+  EXPECT_EQ(*reparsed, *plan);
+
+  // A partition with no groups is meaningless, not a default.
+  EXPECT_FALSE(FaultPlan::parse("partition at=6d09:00 for=8h").has_value());
 }
 
 TEST(FaultPlanDsl, ParseAcceptsCommentsAndBlankLines) {
@@ -106,6 +129,14 @@ FaultPlan exercise_plan() {
             .badge = 2,
             .magnitude = 5000.0});
   plan.add({.kind = FaultKind::kBadgeSwap, .day = 9, .astronaut_a = 0, .astronaut_b = 3});
+  // Mesh radio partition. This mission runs meshless, so the mesh hooks
+  // no-op, but the lifecycle (activation and heal instants) must still be
+  // recorded — the plan is the contract, the mesh an optional consumer.
+  plan.add({.kind = FaultKind::kPartition,
+            .start = day_start(10) + hours(9),
+            .duration = hours(8),
+            .group_a = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13},
+            .group_b = {14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27}});
   return plan;
 }
 

@@ -1,0 +1,144 @@
+// Mesh determinism, both halves of the reproducibility contract:
+//
+//  1. The mesh itself is a pure function of (seed, fault plan): two
+//     missions with identical configs produce byte-identical node stores,
+//     traces and transfer statistics. Gossip peer choice, offload
+//     staggering and rendezvous placement never consult thread schedule
+//     or wall clock (docs/CONCURRENCY.md), so there is nothing to drift.
+//
+//  2. A mesh-collected dataset flows through the analysis pipeline with
+//     the same serial ≡ parallel guarantee as a direct-feed one: the
+//     pipeline cannot tell where the cards came from.
+//
+// Registered under both the `concurrency` and `mesh` ctest labels.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/analysis.hpp"
+#include "core/runner.hpp"
+#include "mesh/mesh.hpp"
+
+namespace hs::core {
+namespace {
+
+/// Faults that land inside a 3-day window so the plan actually exercises
+/// the mesh fault hooks (node death + partition) in both runs.
+faults::FaultPlan short_fault_plan() {
+  faults::FaultPlan plan("mesh determinism");
+  plan.add({.kind = faults::FaultKind::kBeaconOutage,
+            .start = day_start(1) + hours(10),
+            .duration = hours(4),
+            .beacon = 5});
+  faults::FaultSpec split;
+  split.kind = faults::FaultKind::kPartition;
+  split.start = day_start(2) + hours(9);
+  split.duration = hours(6);
+  for (int id = 0; id < 14; ++id) split.group_a.push_back(id);
+  for (int id = 14; id < 28; ++id) split.group_b.push_back(id);
+  plan.add(split);
+  return plan;
+}
+
+std::unique_ptr<MissionRunner> make_mesh_runner(std::uint64_t seed) {
+  MissionConfig config;
+  config.seed = seed;
+  config.fault_plan = short_fault_plan();
+  config.mesh.enabled = true;
+  config.collect_from_mesh = true;
+  return std::make_unique<MissionRunner>(config);
+}
+
+TEST(MeshDeterminism, SameSeedAndPlanYieldByteIdenticalMeshes) {
+  auto first = make_mesh_runner(17);
+  auto second = make_mesh_runner(17);
+  const Dataset ds1 = first->run_days(3);
+  const Dataset ds2 = second->run_days(3);
+
+  const auto* m1 = first->mesh();
+  const auto* m2 = second->mesh();
+  ASSERT_NE(m1, nullptr);
+  ASSERT_NE(m2, nullptr);
+
+  // Node-by-node store identity (digest folds every key and checksum).
+  ASSERT_EQ(m1->nodes().size(), m2->nodes().size());
+  for (std::size_t i = 0; i < m1->nodes().size(); ++i) {
+    EXPECT_EQ(m1->nodes()[i].chunk_count(), m2->nodes()[i].chunk_count()) << "node " << i;
+    EXPECT_EQ(m1->nodes()[i].store_digest(), m2->nodes()[i].store_digest()) << "node " << i;
+  }
+
+  // Every transfer counter: one extra exchange anywhere means gossip
+  // consulted something outside (seed, node, round).
+  const auto& s1 = m1->stats();
+  const auto& s2 = m2->stats();
+  EXPECT_EQ(s1.rounds, s2.rounds);
+  EXPECT_EQ(s1.exchanges, s2.exchanges);
+  EXPECT_EQ(s1.skipped_links, s2.skipped_links);
+  EXPECT_EQ(s1.chunks_replicated, s2.chunks_replicated);
+  EXPECT_EQ(s1.digest_bytes, s2.digest_bytes);
+  EXPECT_EQ(s1.replication_bytes, s2.replication_bytes);
+  EXPECT_EQ(s1.offload_bytes, s2.offload_bytes);
+  EXPECT_EQ(s1.offloads, s2.offloads);
+  EXPECT_EQ(s1.offload_deferrals, s2.offload_deferrals);
+
+  // Durability bookkeeping, instant by instant.
+  const auto& t1 = m1->traces();
+  const auto& t2 = m2->traces();
+  ASSERT_EQ(t1.size(), t2.size());
+  for (const auto& [key, trace] : t1) {
+    const auto it = t2.find(key);
+    ASSERT_NE(it, t2.end());
+    EXPECT_EQ(trace.offloaded_at, it->second.offloaded_at);
+    EXPECT_EQ(trace.replicated_at, it->second.replicated_at);
+    EXPECT_EQ(trace.replicas, it->second.replicas);
+  }
+  EXPECT_EQ(m1->acked_keys(), m2->acked_keys());
+
+  // And the datasets rebuilt from the two meshes match byte for byte.
+  ASSERT_EQ(ds1.logs.size(), ds2.logs.size());
+  for (std::size_t i = 0; i < ds1.logs.size(); ++i) {
+    EXPECT_EQ(ds1.logs[i].card.export_binlog(), ds2.logs[i].card.export_binlog())
+        << "badge " << int(ds1.logs[i].id);
+  }
+}
+
+TEST(MeshDeterminism, SerialAndParallelPipelinesAgreeOnMeshCollectedData) {
+  auto runner = make_mesh_runner(42);
+  const Dataset data = runner->run_days(3);
+
+  PipelineOptions serial_opts;
+  serial_opts.threads = 1;
+  PipelineOptions parallel_opts;
+  parallel_opts.threads = 4;
+  const AnalysisPipeline serial(data, serial_opts);
+  const AnalysisPipeline parallel(data, parallel_opts);
+
+  for (const auto& log : data.logs) {
+    const auto* fs = serial.clock_fit(log.id);
+    const auto* fp = parallel.clock_fit(log.id);
+    ASSERT_EQ(fs == nullptr, fp == nullptr) << "badge " << int(log.id);
+    if (fs == nullptr) continue;
+    EXPECT_EQ(fs->offset_ms, fp->offset_ms) << "badge " << int(log.id);
+    EXPECT_EQ(fs->rate, fp->rate) << "badge " << int(log.id);
+    EXPECT_EQ(fs->samples, fp->samples) << "badge " << int(log.id);
+  }
+  for (std::size_t i = 0; i < crew::kCrewSize; ++i) {
+    EXPECT_EQ(serial.track(i), parallel.track(i)) << "astronaut " << i;
+  }
+
+  const auto a = serial.artifacts();
+  const auto b = parallel.artifacts();
+  EXPECT_EQ(a.fig2.counts(), b.fig2.counts());
+  ASSERT_EQ(a.table1.size(), b.table1.size());
+  for (std::size_t i = 0; i < a.table1.size(); ++i) {
+    EXPECT_EQ(a.table1[i].talking, b.table1[i].talking) << "row " << i;
+    EXPECT_EQ(a.table1[i].walking, b.table1[i].walking) << "row " << i;
+    EXPECT_EQ(a.table1[i].company, b.table1[i].company) << "row " << i;
+  }
+  EXPECT_EQ(a.dataset.total_records, b.dataset.total_records);
+  EXPECT_EQ(a.dataset.total_gib, b.dataset.total_gib);
+  EXPECT_EQ(serial.voice_census(), parallel.voice_census());
+}
+
+}  // namespace
+}  // namespace hs::core

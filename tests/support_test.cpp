@@ -308,6 +308,33 @@ TEST_F(ConsensusTest, NonVoterAndDoubleVotesRejected) {
   EXPECT_EQ(authority_.get(id)->approvals(), 1u);
 }
 
+TEST_F(ConsensusTest, VoteAtExactDeadlineCounts) {
+  // The deadline is inclusive: the last vote landing at exactly
+  // deadline() completes the unanimous ballot.
+  const auto id = authority_.propose(0, "swap beacon battery", hours(1));
+  const SimTime deadline = authority_.get(id)->deadline();
+  authority_.vote(minutes(1), id, 0, true);
+  authority_.vote(minutes(2), id, 1, true);
+  authority_.vote(minutes(3), id, 2, true);
+  EXPECT_TRUE(authority_.vote(deadline, id, kMissionControl, true));
+  EXPECT_EQ(authority_.get(id)->state(), ProposalState::kApproved);
+}
+
+TEST_F(ConsensusTest, VotePastDeadlineExpiresInsideVote) {
+  // One microsecond late: the vote itself must flip the proposal to
+  // expired — no tick() in between — so a quiet proposal cannot be
+  // resolved by a stale ballot.
+  const auto id = authority_.propose(0, "swap beacon battery", hours(1));
+  const SimTime deadline = authority_.get(id)->deadline();
+  authority_.vote(minutes(1), id, 0, true);
+  authority_.vote(minutes(2), id, 1, true);
+  authority_.vote(minutes(3), id, 2, true);
+  EXPECT_FALSE(authority_.vote(deadline + 1, id, kMissionControl, true));
+  EXPECT_EQ(authority_.get(id)->state(), ProposalState::kExpired);
+  // And it stays expired: later votes keep bouncing.
+  EXPECT_FALSE(authority_.vote(deadline + hours(1), id, kMissionControl, true));
+}
+
 TEST_F(ConsensusTest, OpenCountTracksLifecycle) {
   const auto a = authority_.propose(0, "a");
   const auto b = authority_.propose(0, "b");
