@@ -65,7 +65,10 @@ int main(int argc, char** argv) {
 
   // Live view: the support system watches badge vitals as the mission
   // runs, so battery faults raise alerts while there is still time to act.
+  // Sharing the runner's registry and flight recorder lands the alert
+  // events in the same black box as the fault lifecycle.
   support::SupportSystem support;
+  support.set_metrics(&runner.metrics(), &runner.flight_recorder());
   runner.add_observer([&support](const core::MissionView& view) {
     for (io::BadgeId id = 0; id < 6; ++id) {
       const badge::Badge* b = view.network->badge(id);
@@ -130,5 +133,17 @@ int main(int argc, char** argv) {
 
   std::printf("\nDegradation, not collapse: %zu records still reached the pipeline.\n",
               static_cast<std::size_t>(pipeline.artifacts().dataset.total_records));
+
+  // The flight recorder's view of the same story: every armed spec, every
+  // activation/clear edge, and the alerts they triggered, one CSV row per
+  // event (docs/OBSERVABILITY.md).
+  const auto& recorder = runner.flight_recorder();
+  std::printf("\nFlight recorder: %llu events — faults %zu armed / %zu activated / %zu cleared, "
+              "%zu alerts\n",
+              static_cast<unsigned long long>(recorder.total_recorded()),
+              recorder.count(obs::EventCode::kFaultArmed),
+              recorder.count(obs::EventCode::kFaultActivated),
+              recorder.count(obs::EventCode::kFaultCleared),
+              recorder.count(obs::EventCode::kAlertRaised));
   return 0;
 }

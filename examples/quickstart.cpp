@@ -28,8 +28,11 @@ int main() {
               data.logs.size());
 
   // 3. Offline analysis: clock rectification, ownership attribution,
-  //    localization, speech/walking classification.
-  core::AnalysisPipeline pipeline(data);
+  //    localization, speech/walking classification. Sharing the runner's
+  //    metrics registry folds the pipeline.* counters into the same dump.
+  core::PipelineOptions opts;
+  opts.metrics = &runner.metrics();
+  core::AnalysisPipeline pipeline(data, opts);
 
   const auto stats = pipeline.dataset_stats();
   std::printf("Average badge: worn %.0f%% of daytime, active %.0f%% (records: %zu).\n",
@@ -60,5 +63,19 @@ int main() {
                 hs::format_fixed(row.talking, 2), hs::format_fixed(row.walking, 2)});
   }
   t1.print(std::cout);
+
+  // 6. The observability dump: every metric the mission and pipeline
+  //    touched, as one deterministic CSV (byte-identical per seed; see
+  //    docs/OBSERVABILITY.md). Headline counters below; the full report
+  //    is runner.report().metrics_csv.
+  const core::MissionReport report = runner.report();
+  std::printf("\nMission metrics (%zu registered):\n", runner.metrics().size());
+  for (const char* name : {"sim.events_fired", "badge.sd_records_written",
+                           "pipeline.records_attributed", "mission.days_run"}) {
+    if (const auto* e = report.metrics.find(name)) {
+      std::printf("  %-28s %llu\n", name,
+                  static_cast<unsigned long long>(e->kind == 'g' ? e->value : e->count));
+    }
+  }
   return 0;
 }

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: build the `default` and `asan` presets (CMakePresets.json)
+# and run the full test suite under both. Everything must pass; there is no
+# "allowed failures" list.
+#
+#   scripts/ci.sh             # default + asan, full ctest each
+#   HS_CI_PRESETS="default" scripts/ci.sh   # subset, e.g. a quick local gate
+#
+# The tsan/ubsan presets exist too but are not part of this gate (tsan is
+# run on demand against `ctest -L concurrency`; see docs/CONCURRENCY.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PRESETS=${HS_CI_PRESETS:-"default asan"}
+
+for preset in $PRESETS; do
+  echo "=== [$preset] configure ==="
+  cmake --preset "$preset"
+  echo "=== [$preset] build ==="
+  cmake --build --preset "$preset" -j
+  echo "=== [$preset] test ==="
+  ctest --preset "$preset"
+done
+
+echo "=== CI gate passed: $PRESETS ==="

@@ -81,8 +81,14 @@ class Badge {
   [[nodiscard]] const Battery& battery() const { return battery_; }
   [[nodiscard]] SdCard& sd() { return sd_; }
   [[nodiscard]] const SdCard& sd() const { return sd_; }
-  /// Remove the SD card at mission end (moves the logs out).
-  [[nodiscard]] SdCard take_sd() { return std::move(sd_); }
+  /// Remove the SD card at mission end (moves the logs out). The card is
+  /// detached from any metrics registry: the Dataset it ends up in may
+  /// outlive the registry's owner.
+  [[nodiscard]] SdCard take_sd() {
+    SdCard card = std::move(sd_);
+    card.set_metrics(nullptr, nullptr);
+    return card;
+  }
   [[nodiscard]] const BadgeParams& params() const { return params_; }
 
   // --- firmware steps (driven by BadgeNetwork) -----------------------------

@@ -14,6 +14,7 @@
 
 #include "io/binlog.hpp"
 #include "io/records.hpp"
+#include "obs/metrics.hpp"
 #include "util/expected.hpp"
 
 namespace hs::badge {
@@ -81,14 +82,25 @@ class SdCard {
   /// transfer); replayable with io::replay_binlog.
   [[nodiscard]] std::vector<std::uint8_t> export_binlog() const;
 
+  /// Attach the fleet-wide write/drop counters (shared across every card
+  /// in a mission — the metric is a fleet aggregate, not per-badge). Null
+  /// detaches; MissionRunner clears the pointers on cards it hands out so
+  /// a Dataset can outlive the runner's registry.
+  void set_metrics(obs::Counter* writes, obs::Counter* write_failures) {
+    writes_metric_ = writes;
+    write_failures_metric_ = write_failures;
+  }
+
  private:
   template <typename Record>
   void store(std::vector<Record>& stream, const Record& r) {
     if (write_fault_) {
       ++dropped_records_;
+      if (write_failures_metric_) write_failures_metric_->inc();
       return;
     }
     stream.push_back(r);
+    if (writes_metric_) writes_metric_->inc();
   }
 
   std::vector<io::BeaconObs> beacon_obs_;
@@ -104,6 +116,8 @@ class SdCard {
   std::size_t dropped_records_ = 0;
   double tail_loss_ = 0.0;
   std::size_t truncated_records_ = 0;
+  obs::Counter* writes_metric_ = nullptr;
+  obs::Counter* write_failures_metric_ = nullptr;
 };
 
 }  // namespace hs::badge

@@ -73,6 +73,20 @@ void AnalysisPipeline::assemble() {
   const std::size_t nlogs = logs.size();
   util::ThreadPool* pool = pool_.get();
 
+  // Metric folds run serially between the sharded stages, never inside a
+  // shard, so registration order and every count are thread-independent.
+  obs::Counter* worn_metric = nullptr;
+  obs::Counter* attributed_metric = nullptr;
+  obs::Histogram* stays_hist = nullptr;
+  obs::Histogram* speech_hist = nullptr;
+  if (options_.metrics != nullptr) {
+    worn_metric = &options_.metrics->counter("pipeline.worn_intervals");
+    attributed_metric = &options_.metrics->counter("pipeline.records_attributed");
+    stays_hist = &options_.metrics->histogram("pipeline.track_stays", {10, 50, 100, 500, 1000});
+    speech_hist =
+        &options_.metrics->histogram("pipeline.speech_intervals", {10, 50, 100, 500, 1000});
+  }
+
   // 1. Clock rectification per badge — each least-squares fit depends only
   // on that badge's own sync samples. Map nodes are created serially up
   // front (badge ids are unique per Dataset); shards fill the values.
@@ -123,6 +137,9 @@ void AnalysisPipeline::assemble() {
     if (worn_since != kNotOpen) worn.emplace_back(worn_since, mission_end);
     if (active_since != kNotOpen) active.emplace_back(active_since, mission_end);
   });
+  if (worn_metric) {
+    for (std::size_t i = 0; i < nlogs; ++i) worn_metric->inc(worn_slot[i]->size());
+  }
 
   // 3. Attribute records to astronauts (worn periods only). Several badges
   // can feed one astronaut (the day-9 swap, F reusing C's badge), so each
@@ -177,6 +194,9 @@ void AnalysisPipeline::assemble() {
       p.obs.insert(p.obs.end(), c.obs[who].begin(), c.obs[who].end());
       p.audio.insert(p.audio.end(), c.audio[who].begin(), c.audio[who].end());
       p.motion.insert(p.motion.end(), c.motion[who].begin(), c.motion[who].end());
+      if (attributed_metric) {
+        attributed_metric->inc(c.obs[who].size() + c.audio[who].size() + c.motion[who].size());
+      }
     }
   }
 
@@ -193,6 +213,12 @@ void AnalysisPipeline::assemble() {
     p.track = classifier.classify(p.obs);
     p.speech = speech.analyze(p.audio, 0.0);
   });
+  if (stays_hist || speech_hist) {
+    for (const auto& p : persons_) {
+      if (stays_hist) stays_hist->observe(static_cast<double>(p.track.size()));
+      if (speech_hist) speech_hist->observe(static_cast<double>(p.speech.size()));
+    }
+  }
 }
 
 locate::TransitionMatrix AnalysisPipeline::fig2_transitions(double min_dwell_s) const {

@@ -18,6 +18,7 @@
 
 #include "core/dataset.hpp"
 #include "dsp/speech.hpp"
+#include "obs/metrics.hpp"
 #include "dsp/walking.hpp"
 #include "locate/heatmap.hpp"
 #include "locate/room_classifier.hpp"
@@ -57,6 +58,11 @@ struct PipelineOptions {
   dsp::WalkingParams walking{};
   /// Room-classifier parameters (dwell filter length, RSSI smoothing).
   locate::ClassifierParams classifier{};
+  /// Metrics sink for the pipeline.* counters/histograms; null disables.
+  /// Worker shards never touch the registry — only the serial fold loops
+  /// between stages do, in slot-index order, so the snapshot stays
+  /// bit-identical for every thread count (docs/CONCURRENCY.md).
+  obs::Registry* metrics = nullptr;
 };
 
 class AnalysisPipeline {

@@ -32,6 +32,8 @@ MissionRunner::MissionRunner(MissionConfig config)
                config_.subghz_channel),
       crew_(habitat_, network_, config_.script, config_.seed),
       injector_(config_.fault_plan) {
+  // Metrics first: arming below schedules kernel events that should count.
+  sim_.set_metrics(&obs_);
   network_.set_environment(crew_.environment());
   if (config_.mesh.enabled) {
     // The base-station node sits at the charging station (where the real
@@ -41,9 +43,10 @@ MissionRunner::MissionRunner(MissionConfig config)
                                                 network_.charging_station(), config_.mesh,
                                                 config_.seed);
     mesh_->attach(&network_);
+    mesh_->set_metrics(&obs_, &recorder_);
     mesh_->arm(sim_);
   }
-  injector_.arm(sim_, network_, mesh_.get());
+  injector_.arm(sim_, network_, mesh_.get(), &obs_, &recorder_);
 
   // Crew badges 0..5: imperfect oscillators, stale counters at boot.
   Rng clock_rng = rng_.fork(0xc10c);
@@ -60,6 +63,14 @@ MissionRunner::MissionRunner(MissionConfig config)
     const auto id = static_cast<io::BadgeId>(io::kReferenceBadge + 1 + i);
     const double drift = clock_rng.normal(0.0, config_.clock_drift_sigma_ppm);
     network_.add_badge(id, timesync::DriftingClock(0, drift, 0), config_.badge_params);
+  }
+
+  // Every card feeds the same fleet-wide write/drop counters. take_sd()
+  // detaches a card before it leaves the runner.
+  obs::Counter& sd_writes = obs_.counter("badge.sd_records_written");
+  obs::Counter& sd_failures = obs_.counter("badge.sd_write_failures");
+  for (const auto& b : network_.badges()) {
+    network_.badge(b->id())->sd().set_metrics(&sd_writes, &sd_failures);
   }
 }
 
@@ -99,6 +110,8 @@ Dataset MissionRunner::run_days(int last_day) {
   ds.habitat = habitat_;
   ds.beacons = network_.beacons();
   ds.total_bytes = network_.total_bytes();
+  obs::Counter& binlog_bytes = obs_.counter("badge.binlog_bytes_collected");
+  obs::Counter& truncated = obs_.counter("badge.sd_records_truncated");
   for (const auto& b : network_.badges()) {
     BadgeLog log;
     log.id = b->id();
@@ -110,16 +123,25 @@ Dataset MissionRunner::run_days(int last_day) {
       log.card = network_.badge(b->id())->take_sd();
       // Binlog-truncation faults bite at collection: the tail of the card
       // never makes it off the badge.
-      log.card.apply_tail_loss();
+      truncated.inc(log.card.apply_tail_loss());
     }
+    binlog_bytes.inc(static_cast<std::uint64_t>(log.card.bytes_written()));
     ds.logs.push_back(std::move(log));
   }
+  obs_.gauge("mission.days_run").set(static_cast<double>(last_day));
+  obs_.gauge("mission.badge_count").set(static_cast<double>(ds.logs.size()));
   ds.ownership = crew_.corrected_ownership();
   ds.naive_ownership = crew_.naive_ownership();
   ds.script = config_.script;
   if (last_day < ds.script.mission_days) ds.script.mission_days = last_day;
   ds.surveys = crew::generate_mission_surveys(ds.script, rng_.fork(0x50b7));
   return ds;
+}
+
+MissionReport MissionRunner::report() const {
+  const obs::MetricsSnapshot snap = obs_.snapshot();
+  std::string csv = snap.to_csv();
+  return MissionReport{snap, std::move(csv), recorder_.to_csv()};
 }
 
 Dataset run_icares_mission(std::uint64_t seed) {

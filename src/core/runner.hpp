@@ -14,6 +14,7 @@
 #include "faults/fault_injector.hpp"
 #include "faults/fault_plan.hpp"
 #include "mesh/mesh.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulation.hpp"
 
 namespace hs::core {
@@ -45,6 +46,16 @@ struct MissionConfig {
   /// the surviving mesh holds — notably, binlog tail truncation cannot
   /// touch chunks that were already replicated.
   bool collect_from_mesh = false;
+};
+
+/// End-of-run observability bundle: every registered metric plus the
+/// flight recorder's event log, both as deterministic text. For one
+/// (seed, fault plan) the metrics CSV is byte-identical across thread
+/// counts and repeated runs — the determinism tests diff it directly.
+struct MissionReport {
+  obs::MetricsSnapshot metrics;
+  std::string metrics_csv;
+  std::string flight_log_csv;
 };
 
 /// Live view handed to per-tick observers (support system, examples).
@@ -83,8 +94,24 @@ class MissionRunner {
   [[nodiscard]] mesh::MeshNetwork* mesh() { return mesh_.get(); }
   [[nodiscard]] const mesh::MeshNetwork* mesh() const { return mesh_.get(); }
 
+  /// The mission's metrics registry. Mutable access so observers (e.g. a
+  /// SupportSystem via set_metrics) can register their own instruments
+  /// into the same snapshot.
+  [[nodiscard]] obs::Registry& metrics() { return obs_; }
+  [[nodiscard]] const obs::Registry& metrics() const { return obs_; }
+  [[nodiscard]] obs::FlightRecorder& flight_recorder() { return recorder_; }
+  [[nodiscard]] const obs::FlightRecorder& flight_recorder() const { return recorder_; }
+  /// Snapshot + flight log, exported. Valid at any point; callers usually
+  /// take it after run()/run_days().
+  [[nodiscard]] MissionReport report() const;
+
  private:
   MissionConfig config_;
+  /// Declared before every instrumented subsystem: members destruct in
+  /// reverse order, so nothing that might still hold a Counter* outlives
+  /// the registry it points into.
+  obs::Registry obs_;
+  obs::FlightRecorder recorder_;
   habitat::Habitat habitat_;
   Rng rng_;
   badge::BadgeNetwork network_;

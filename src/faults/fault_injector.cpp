@@ -30,12 +30,26 @@ constexpr SimDuration kCollapse = minutes(15);
 }  // namespace
 
 void FaultInjector::arm(sim::Simulation& sim, badge::BadgeNetwork& network,
-                        mesh::MeshNetwork* mesh) {
+                        mesh::MeshNetwork* mesh, obs::Registry* metrics,
+                        obs::FlightRecorder* recorder) {
+  recorder_ = recorder;
+  if (metrics != nullptr) {
+    armed_metric_ = &metrics->counter("faults.armed");
+    activated_metric_ = &metrics->counter("faults.activated");
+    cleared_metric_ = &metrics->counter("faults.cleared");
+  } else {
+    armed_metric_ = activated_metric_ = cleared_metric_ = nullptr;
+  }
   records_.clear();
   records_.reserve(plan_.faults().size());
   for (const FaultSpec& spec : plan_.faults()) {
     records_.push_back(FaultRecord{spec, -1, -1});
     const std::size_t idx = records_.size() - 1;
+    if (armed_metric_) armed_metric_->inc();
+    if (recorder_) {
+      recorder_->record(sim.now(), obs::Subsys::kFaults, obs::EventCode::kFaultArmed,
+                        static_cast<std::int64_t>(idx), static_cast<std::int64_t>(spec.kind));
+    }
     const auto badge_id = static_cast<io::BadgeId>(spec.badge);
     auto* net = &network;
 
@@ -51,7 +65,7 @@ void FaultInjector::arm(sim::Simulation& sim, badge::BadgeNetwork& network,
           // The cradle slot is flaky until recovery: docking draws RTC
           // current but does not charge, so the badge stays dark.
           if (records_[idx].spec.duration > 0) b->set_charge_inhibited(true);
-          records_[idx].activated_at = sim.now();
+          note_activated(idx, sim.now());
         });
         sim.schedule_at(spec.start + kCollapse, [net, badge_id] {
           if (badge::Badge* b = net->badge(badge_id)) b->battery().deplete();
@@ -65,7 +79,7 @@ void FaultInjector::arm(sim::Simulation& sim, badge::BadgeNetwork& network,
             // loop never docks a browned-out badge on its own, so this is
             // what restarts the overnight-recharge path.
             if (!b->docked()) b->dock(net->charging_station(), sim.now());
-            records_[idx].cleared_at = sim.now();
+            note_cleared(idx, sim.now());
           });
         }
         break;
@@ -74,13 +88,13 @@ void FaultInjector::arm(sim::Simulation& sim, badge::BadgeNetwork& network,
         sim.schedule_at(spec.start, [this, net, idx, badge_id, &sim] {
           if (badge::Badge* b = net->badge(badge_id)) {
             b->sd().set_write_fault(true);
-            records_[idx].activated_at = sim.now();
+            note_activated(idx, sim.now());
           }
         });
         sim.schedule_at(spec.start + spec.duration, [this, net, idx, badge_id, &sim] {
           if (badge::Badge* b = net->badge(badge_id)) {
             b->sd().set_write_fault(false);
-            records_[idx].cleared_at = sim.now();
+            note_cleared(idx, sim.now());
           }
         });
         break;
@@ -91,7 +105,7 @@ void FaultInjector::arm(sim::Simulation& sim, badge::BadgeNetwork& network,
         sim.schedule_at(spec.start, [this, net, idx, badge_id, &sim] {
           if (badge::Badge* b = net->badge(badge_id)) {
             b->sd().set_tail_loss(records_[idx].spec.magnitude);
-            records_[idx].activated_at = sim.now();
+            note_activated(idx, sim.now());
           }
         });
         break;
@@ -105,7 +119,7 @@ void FaultInjector::arm(sim::Simulation& sim, badge::BadgeNetwork& network,
           if (auto* m = node_target(mesh, beacon)) {
             m->set_node_down(static_cast<mesh::NodeId>(beacon), true);
           }
-          records_[idx].activated_at = sim.now();
+          note_activated(idx, sim.now());
         });
         sim.schedule_at(spec.start + spec.duration, [this, net, mesh, idx, &sim] {
           const int beacon = records_[idx].spec.beacon;
@@ -113,18 +127,18 @@ void FaultInjector::arm(sim::Simulation& sim, badge::BadgeNetwork& network,
           if (auto* m = node_target(mesh, beacon)) {
             m->set_node_down(static_cast<mesh::NodeId>(beacon), false);
           }
-          records_[idx].cleared_at = sim.now();
+          note_cleared(idx, sim.now());
         });
         break;
 
       case FaultKind::kRadioDegradation:
         sim.schedule_at(spec.start, [this, net, idx, &sim] {
           net->add_channel_loss(records_[idx].spec.band, records_[idx].spec.magnitude);
-          records_[idx].activated_at = sim.now();
+          note_activated(idx, sim.now());
         });
         sim.schedule_at(spec.start + spec.duration, [this, net, idx, &sim] {
           net->add_channel_loss(records_[idx].spec.band, -records_[idx].spec.magnitude);
-          records_[idx].cleared_at = sim.now();
+          note_cleared(idx, sim.now());
         });
         break;
 
@@ -132,7 +146,7 @@ void FaultInjector::arm(sim::Simulation& sim, badge::BadgeNetwork& network,
         sim.schedule_at(spec.start, [this, net, idx, badge_id, &sim] {
           if (badge::Badge* b = net->badge(badge_id)) {
             b->apply_clock_step(records_[idx].spec.magnitude);
-            records_[idx].activated_at = sim.now();
+            note_activated(idx, sim.now());
           }
         });
         break;
@@ -142,10 +156,10 @@ void FaultInjector::arm(sim::Simulation& sim, badge::BadgeNetwork& network,
         // apply_to_script, folded in before the crew simulator is built);
         // these markers only book-keep the window for metrics.
         sim.schedule_at(day_start(spec.day), [this, idx, &sim] {
-          records_[idx].activated_at = sim.now();
+          note_activated(idx, sim.now());
         });
         sim.schedule_at(day_start(spec.day + 1), [this, idx, &sim] {
-          records_[idx].cleared_at = sim.now();
+          note_cleared(idx, sim.now());
         });
         break;
 
@@ -155,7 +169,7 @@ void FaultInjector::arm(sim::Simulation& sim, badge::BadgeNetwork& network,
             mesh->add_partition(to_node_ids(records_[idx].spec.group_a),
                                 to_node_ids(records_[idx].spec.group_b));
           }
-          records_[idx].activated_at = sim.now();
+          note_activated(idx, sim.now());
         });
         if (spec.duration > 0) {
           sim.schedule_at(spec.start + spec.duration, [this, mesh, idx, &sim] {
@@ -163,11 +177,31 @@ void FaultInjector::arm(sim::Simulation& sim, badge::BadgeNetwork& network,
               mesh->remove_partition(to_node_ids(records_[idx].spec.group_a),
                                      to_node_ids(records_[idx].spec.group_b));
             }
-            records_[idx].cleared_at = sim.now();
+            note_cleared(idx, sim.now());
           });
         }
         break;
     }
+  }
+}
+
+void FaultInjector::note_activated(std::size_t idx, SimTime now) {
+  records_[idx].activated_at = now;
+  if (activated_metric_) activated_metric_->inc();
+  if (recorder_) {
+    recorder_->record(now, obs::Subsys::kFaults, obs::EventCode::kFaultActivated,
+                      static_cast<std::int64_t>(idx),
+                      static_cast<std::int64_t>(records_[idx].spec.kind));
+  }
+}
+
+void FaultInjector::note_cleared(std::size_t idx, SimTime now) {
+  records_[idx].cleared_at = now;
+  if (cleared_metric_) cleared_metric_->inc();
+  if (recorder_) {
+    recorder_->record(now, obs::Subsys::kFaults, obs::EventCode::kFaultCleared,
+                      static_cast<std::int64_t>(idx),
+                      static_cast<std::int64_t>(records_[idx].spec.kind));
   }
 }
 

@@ -14,6 +14,7 @@
 
 #include "badge/network.hpp"
 #include "faults/fault_plan.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulation.hpp"
 
 namespace hs::mesh {
@@ -41,8 +42,14 @@ class FaultInjector {
   /// running, pass it too: beacon outages then also take down the beacon's
   /// mesh node (one power supply), and kPartition severs gossip links; a
   /// meshless mission ignores both (records are still book-kept).
+  /// With `metrics`/`recorder`, arming registers `faults.armed` /
+  /// `.activated` / `.cleared` counters and logs one fault-armed event per
+  /// spec plus the activation/recovery transitions as they fire — the
+  /// flight recorder's event log is the coverage proof that every planned
+  /// fault was wired into the kernel (tests/faults_test.cpp).
   void arm(sim::Simulation& sim, badge::BadgeNetwork& network,
-           mesh::MeshNetwork* mesh = nullptr);
+           mesh::MeshNetwork* mesh = nullptr, obs::Registry* metrics = nullptr,
+           obs::FlightRecorder* recorder = nullptr);
 
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
   [[nodiscard]] const std::vector<FaultRecord>& records() const { return records_; }
@@ -51,8 +58,16 @@ class FaultInjector {
   [[nodiscard]] std::size_t active_count() const;
 
  private:
+  /// Record-keeping shared by every activation/recovery lambda.
+  void note_activated(std::size_t idx, SimTime now);
+  void note_cleared(std::size_t idx, SimTime now);
+
   FaultPlan plan_;
   std::vector<FaultRecord> records_;
+  obs::Counter* armed_metric_ = nullptr;
+  obs::Counter* activated_metric_ = nullptr;
+  obs::Counter* cleared_metric_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace hs::faults

@@ -30,6 +30,14 @@ bool SeqSet::insert(std::uint32_t seq) {
   return true;
 }
 
+std::size_t SeqSet::merge(const SeqSet& other) {
+  std::size_t added = 0;
+  for (std::uint32_t s : other.missing_from(*this)) {
+    if (insert(s)) ++added;
+  }
+  return added;
+}
+
 std::vector<std::uint32_t> SeqSet::missing_from(const SeqSet& other) const {
   std::vector<std::uint32_t> out;
   for (std::uint32_t s = other.next(); s < next_; ++s) {

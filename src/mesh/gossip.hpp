@@ -39,6 +39,12 @@ class SeqSet {
   /// Sequence numbers present here but missing from `other`, ascending.
   [[nodiscard]] std::vector<std::uint32_t> missing_from(const SeqSet& other) const;
 
+  /// Union `other` into this set. Returns the number of sequence numbers
+  /// newly added. Merge is commutative, associative and idempotent (it is
+  /// a set union), which is what lets gossip converge in any exchange
+  /// order — tests/seqset_property_test.cpp checks all three.
+  std::size_t merge(const SeqSet& other);
+
   friend bool operator==(const SeqSet&, const SeqSet&) = default;
 
  private:

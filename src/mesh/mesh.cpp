@@ -76,6 +76,11 @@ void MeshNetwork::offload(const badge::Badge& badge, SimTime now) {
   auto* target = const_cast<MeshNode*>(nearest_live_node(room, badge.position()));
   if (target == nullptr) {
     ++stats_.offload_deferrals;  // records stay on the SD card for next slot
+    if (metrics_.offload_deferrals) metrics_.offload_deferrals->inc();
+    if (recorder_) {
+      recorder_->record(now, obs::Subsys::kMesh, obs::EventCode::kOffloadDeferred,
+                        static_cast<std::int64_t>(badge.id()));
+    }
     return;
   }
 
@@ -105,6 +110,9 @@ void MeshNetwork::offload(const badge::Badge& badge, SimTime now) {
   target->insert(chunk);
   ++stats_.offloads;
   stats_.offload_bytes += static_cast<std::int64_t>(wire);
+  if (metrics_.offloads) metrics_.offloads->inc();
+  if (metrics_.offload_bytes) metrics_.offload_bytes->inc(wire);
+  if (metrics_.chunk_wire_bytes) metrics_.chunk_wire_bytes->observe(static_cast<double>(wire));
   traces_[key].offloaded_at = now;
   note_stored(key, now);
 }
@@ -112,6 +120,7 @@ void MeshNetwork::offload(const badge::Badge& badge, SimTime now) {
 void MeshNetwork::run_round(SimTime now) {
   ++round_;
   ++stats_.rounds;
+  if (metrics_.rounds) metrics_.rounds->inc();
   const std::size_t n = nodes_.size();
   for (auto& node : nodes_) {
     if (node.down()) continue;
@@ -119,6 +128,7 @@ void MeshNetwork::run_round(SimTime now) {
       const NodeId peer = gossip_peer(seed_, node.id(), round_, draw, n);
       if (nodes_[peer].down() || blocked(node.id(), peer)) {
         ++stats_.skipped_links;
+        if (metrics_.skipped_links) metrics_.skipped_links->inc();
         continue;
       }
       exchange(node, nodes_[peer], now);
@@ -128,10 +138,13 @@ void MeshNetwork::run_round(SimTime now) {
 
 void MeshNetwork::exchange(MeshNode& a, MeshNode& b, SimTime now) {
   ++stats_.exchanges;
+  if (metrics_.exchanges) metrics_.exchanges->inc();
   for (const MeshNode* side : {&a, &b}) {
     for (const auto& [origin, held] : side->version_vector()) {
       (void)origin;
-      stats_.digest_bytes += static_cast<std::int64_t>(2 + held.digest_bytes());
+      const auto bytes = static_cast<std::int64_t>(2 + held.digest_bytes());
+      stats_.digest_bytes += bytes;
+      if (metrics_.digest_bytes) metrics_.digest_bytes->inc(static_cast<std::uint64_t>(bytes));
     }
   }
 
@@ -152,6 +165,8 @@ void MeshNetwork::exchange(MeshNode& a, MeshNode& b, SimTime now) {
         if (dst.insert(*chunk)) {
           ++stats_.chunks_replicated;
           stats_.replication_bytes += static_cast<std::int64_t>(chunk->wire_bytes());
+          if (metrics_.chunks_replicated) metrics_.chunks_replicated->inc();
+          if (metrics_.replication_bytes) metrics_.replication_bytes->inc(chunk->wire_bytes());
           note_stored(key, now);
         }
       }
@@ -167,7 +182,34 @@ void MeshNetwork::note_stored(ChunkKey key, SimTime now) {
   if (trace.replicated_at < 0 &&
       trace.replicas >= static_cast<std::size_t>(config_.replication_factor)) {
     trace.replicated_at = now;
+    if (metrics_.replication_acks) metrics_.replication_acks->inc();
+    if (recorder_) {
+      recorder_->record(now, obs::Subsys::kMesh, obs::EventCode::kChunkAcked,
+                        static_cast<std::int64_t>(key.origin), static_cast<std::int64_t>(key.seq));
+    }
   }
+}
+
+void MeshNetwork::set_metrics(obs::Registry* registry, obs::FlightRecorder* recorder) {
+  recorder_ = recorder;
+  if (registry == nullptr) {
+    metrics_ = Instruments{};
+    return;
+  }
+  metrics_.offloads = &registry->counter("mesh.chunks_offloaded");
+  metrics_.offload_deferrals = &registry->counter("mesh.offload_deferrals");
+  metrics_.offload_bytes = &registry->counter("mesh.offload_bytes");
+  metrics_.rounds = &registry->counter("mesh.gossip_rounds");
+  metrics_.exchanges = &registry->counter("mesh.gossip_exchanges");
+  metrics_.skipped_links = &registry->counter("mesh.skipped_links");
+  metrics_.digest_bytes = &registry->counter("mesh.digest_bytes");
+  metrics_.chunks_replicated = &registry->counter("mesh.chunks_replicated");
+  metrics_.replication_bytes = &registry->counter("mesh.replication_bytes");
+  metrics_.replication_acks = &registry->counter("mesh.replication_acks");
+  // Offloaded slices run a few hundred bytes (headers + a handful of
+  // records) up to tens of KiB after a long deferral backlog.
+  metrics_.chunk_wire_bytes =
+      &registry->histogram("mesh.chunk_wire_bytes", {256, 1024, 4096, 16384, 65536});
 }
 
 void MeshNetwork::set_node_down(NodeId id, bool down) {

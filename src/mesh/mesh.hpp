@@ -23,6 +23,7 @@
 #include "mesh/chunk.hpp"
 #include "mesh/gossip.hpp"
 #include "mesh/node.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulation.hpp"
 
 namespace hs::mesh {
@@ -116,6 +117,11 @@ class MeshNetwork {
   /// distance then lowest id; nullptr when every candidate is dark.
   [[nodiscard]] const MeshNode* nearest_live_node(habitat::RoomId room, Vec2 from) const;
 
+  /// Mirror GossipStats into `registry` counters (mesh.* names) and log
+  /// rare data-plane transitions (deferred offloads, replication acks) to
+  /// `recorder`. Either may be null; both must outlive this network.
+  void set_metrics(obs::Registry* registry, obs::FlightRecorder* recorder);
+
  private:
   struct BadgeCursor {
     std::size_t beacon_obs = 0, pings = 0, ir = 0, motion = 0;
@@ -145,6 +151,24 @@ class MeshNetwork {
   std::map<ChunkKey, ChunkTrace> traces_;
   GossipStats stats_;
   std::uint64_t round_ = 0;
+
+  /// Registered counters/histograms; all null until set_metrics(). Kept
+  /// as pointers so the hot paths cost one branch when unobserved.
+  struct Instruments {
+    obs::Counter* offloads = nullptr;
+    obs::Counter* offload_deferrals = nullptr;
+    obs::Counter* offload_bytes = nullptr;
+    obs::Counter* rounds = nullptr;
+    obs::Counter* exchanges = nullptr;
+    obs::Counter* skipped_links = nullptr;
+    obs::Counter* digest_bytes = nullptr;
+    obs::Counter* chunks_replicated = nullptr;
+    obs::Counter* replication_bytes = nullptr;
+    obs::Counter* replication_acks = nullptr;
+    obs::Histogram* chunk_wire_bytes = nullptr;
+  };
+  Instruments metrics_;
+  obs::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace hs::mesh

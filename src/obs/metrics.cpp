@@ -1,0 +1,239 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace hs::obs {
+namespace {
+
+/// Split a `;`-joined list (the histogram bounds/buckets CSV columns).
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t from = 0;
+  while (from <= s.size()) {
+    const std::size_t at = s.find(sep, from);
+    if (at == std::string::npos) {
+      out.push_back(s.substr(from));
+      break;
+    }
+    out.push_back(s.substr(from, at - from));
+    from = at + 1;
+  }
+  return out;
+}
+
+Error parse_error(std::size_t line, const std::string& what) {
+  return Error{"metrics csv line " + std::to_string(line) + ": " + what};
+}
+
+}  // namespace
+
+std::string format_double(double v) {
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;  // shortest exact form wins
+  }
+  return buf;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+#if HS_OBS_ENABLED
+  // upper_bound gives the first bound > v, which is exactly the [lo, hi)
+  // convention: v below every bound indexes 0 (underflow), v == a bound
+  // lands in the bucket above it, v past the last bound indexes size()
+  // (overflow).
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), v);
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())] += 1;
+  count_ += 1;
+  sum_ += v;
+#else
+  (void)v;
+#endif
+}
+
+namespace {
+
+/// Strict numeric parses: the whole field must be consumed, so "notanint"
+/// or "12x" fail instead of silently becoming 0 or 12.
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtoull(s.c_str(), &end, 10);
+  return errno == 0 && end == s.c_str() + s.size();
+}
+
+bool parse_f64(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+}  // namespace
+
+const SnapshotEntry* MetricsSnapshot::find(std::string_view name) const {
+  for (const auto& e : entries) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::to_csv() const {
+  std::string out = "kind,name,count,value,bounds,buckets\n";
+  for (const auto& e : entries) {
+    out += e.kind;
+    out += ',';
+    out += e.name;
+    out += ',';
+    out += std::to_string(e.count);
+    out += ',';
+    out += format_double(e.value);
+    out += ',';
+    for (std::size_t i = 0; i < e.bounds.size(); ++i) {
+      if (i > 0) out += ';';
+      out += format_double(e.bounds[i]);
+    }
+    out += ',';
+    for (std::size_t i = 0; i < e.buckets.size(); ++i) {
+      if (i > 0) out += ';';
+      out += std::to_string(e.buckets[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    if (i > 0) out += ',';
+    out += "\n  {\"name\":\"" + e.name + "\",\"kind\":\"";
+    out += e.kind;
+    out += "\",\"count\":" + std::to_string(e.count) + ",\"value\":" + format_double(e.value);
+    if (e.kind == 'h') {
+      out += ",\"bounds\":[";
+      for (std::size_t k = 0; k < e.bounds.size(); ++k) {
+        if (k > 0) out += ',';
+        out += format_double(e.bounds[k]);
+      }
+      out += "],\"buckets\":[";
+      for (std::size_t k = 0; k < e.buckets.size(); ++k) {
+        if (k > 0) out += ',';
+        out += std::to_string(e.buckets[k]);
+      }
+      out += ']';
+    }
+    out += '}';
+  }
+  out += "\n]\n";
+  return out;
+}
+
+Expected<MetricsSnapshot> MetricsSnapshot::from_csv(const std::string& text) {
+  MetricsSnapshot snap;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (lineno == 1 && line.rfind("kind,", 0) == 0) continue;  // header
+    const auto cols = split(line, ',');
+    if (cols.size() != 6) return parse_error(lineno, "expected 6 columns");
+    if (cols[0].size() != 1 ||
+        (cols[0][0] != 'c' && cols[0][0] != 'g' && cols[0][0] != 'h')) {
+      return parse_error(lineno, "unknown kind '" + cols[0] + "'");
+    }
+    SnapshotEntry e;
+    e.kind = cols[0][0];
+    e.name = cols[1];
+    if (e.name.empty()) return parse_error(lineno, "empty metric name");
+    if (!parse_u64(cols[2], e.count)) return parse_error(lineno, "bad count '" + cols[2] + "'");
+    if (!parse_f64(cols[3], e.value)) return parse_error(lineno, "bad value '" + cols[3] + "'");
+    if (!cols[4].empty()) {
+      for (const auto& b : split(cols[4], ';')) {
+        double bound = 0.0;
+        if (!parse_f64(b, bound)) return parse_error(lineno, "bad bound '" + b + "'");
+        e.bounds.push_back(bound);
+      }
+    }
+    if (!cols[5].empty()) {
+      for (const auto& b : split(cols[5], ';')) {
+        std::uint64_t bucket = 0;
+        if (!parse_u64(b, bucket)) return parse_error(lineno, "bad bucket '" + b + "'");
+        e.buckets.push_back(bucket);
+      }
+    }
+    if (e.kind == 'h' && e.buckets.size() != e.bounds.size() + 1) {
+      return parse_error(lineno, "histogram bucket/bound count mismatch");
+    }
+    snap.entries.push_back(std::move(e));
+  }
+  return snap;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::vector<double> bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(std::string(name), Histogram(std::move(bounds))).first->second;
+}
+
+const Counter* Registry::find_counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* Registry::find_gauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* Registry::find_histogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.entries.reserve(size());
+  // The three maps are each name-sorted; a three-way sorted merge keeps
+  // the whole snapshot ordered by name with kind as the tiebreaker.
+  for (const auto& [name, c] : counters_) {
+    snap.entries.push_back(SnapshotEntry{name, 'c', c.value(), 0.0, {}, {}});
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.entries.push_back(SnapshotEntry{name, 'g', 0, g.value(), {}, {}});
+  }
+  for (const auto& [name, h] : histograms_) {
+    snap.entries.push_back(SnapshotEntry{name, 'h', h.count(), h.sum(), h.bounds(), h.buckets()});
+  }
+  std::sort(snap.entries.begin(), snap.entries.end(), [](const auto& a, const auto& b) {
+    return a.name != b.name ? a.name < b.name : a.kind < b.kind;
+  });
+  return snap;
+}
+
+}  // namespace hs::obs

@@ -1,0 +1,8 @@
+// Umbrella header for the hs::obs observability layer: the metrics
+// registry (counters, gauges, fixed-bucket histograms, snapshot export)
+// and the flight recorder (bounded ring of structured events). See
+// docs/OBSERVABILITY.md for the catalog and the determinism rules.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"

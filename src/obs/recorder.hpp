@@ -1,0 +1,103 @@
+// Deterministic observability: the flight recorder.
+//
+// A bounded ring buffer of structured, sim-time-stamped events — the
+// on-board "what just happened" log an autonomous habitat can consult
+// without Earth in the loop, and the substrate tests assert against
+// (e.g. "every armed fault spec left an arming event"). Storage is
+// pre-allocated at construction; record() is an index increment and a
+// struct store, never an allocation. The recorder keeps the most recent
+// `capacity` events and counts what it overwrote.
+//
+// Only rare, meaningful transitions belong here (fault lifecycle, alerts,
+// offload deferrals) — per-record or per-round traffic goes in counters,
+// not events, or the ring wraps before anyone reads it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+#ifndef HS_OBS_ENABLED
+#define HS_OBS_ENABLED 1
+#endif
+
+namespace hs::obs {
+
+/// Which layer emitted an event.
+enum class Subsys : std::uint8_t {
+  kSim = 0,
+  kBadge,
+  kMesh,
+  kSupport,
+  kFaults,
+  kPipeline,
+};
+const char* subsys_name(Subsys s);
+
+/// What happened. One flat enum across subsystems: codes are cheap and a
+/// flat table keeps export/name lookup trivial.
+enum class EventCode : std::uint16_t {
+  kFaultArmed = 1,    ///< a = plan index, b = FaultKind
+  kFaultActivated,    ///< a = plan index, b = FaultKind
+  kFaultCleared,      ///< a = plan index, b = FaultKind
+  kAlertRaised,       ///< a = AlertKind, b = astronaut (-1: habitat-wide)
+  kProposalOpened,    ///< a = proposal id
+  kVoteTallied,       ///< a = proposal id, b = voter
+  kOffloadDeferred,   ///< a = badge id (no reachable mesh node)
+  kChunkAcked,        ///< a = origin, b = seq (reached replication_factor)
+  kBadgeDepleted,     ///< a = badge id
+};
+const char* event_name(EventCode code);
+
+struct FlightEvent {
+  SimTime t = 0;
+  Subsys subsys = Subsys::kSim;
+  EventCode code = EventCode::kFaultArmed;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+
+  friend bool operator==(const FlightEvent&, const FlightEvent&) = default;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  void record(SimTime t, Subsys subsys, EventCode code, std::int64_t a = 0, std::int64_t b = 0) {
+#if HS_OBS_ENABLED
+    ring_[static_cast<std::size_t>(total_ % ring_.size())] = FlightEvent{t, subsys, code, a, b};
+    ++total_;
+#else
+    (void)t, (void)subsys, (void)code, (void)a, (void)b;
+#endif
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  /// Events recorded over the recorder's lifetime, including overwritten.
+  [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+  /// Events currently held (== min(total_recorded, capacity)).
+  [[nodiscard]] std::size_t size() const {
+    return total_ < ring_.size() ? static_cast<std::size_t>(total_) : ring_.size();
+  }
+  /// Events lost to wraparound.
+  [[nodiscard]] std::uint64_t dropped() const { return total_ - size(); }
+
+  /// The held events, oldest first (cold path; copies out of the ring).
+  [[nodiscard]] std::vector<FlightEvent> events() const;
+  /// Held events matching a code, oldest first.
+  [[nodiscard]] std::vector<FlightEvent> events(EventCode code) const;
+  [[nodiscard]] std::size_t count(EventCode code) const;
+
+  /// CSV dump: `t_us,subsys,event,a,b` per line, oldest first.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<FlightEvent> ring_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hs::obs

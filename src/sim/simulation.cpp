@@ -8,6 +8,7 @@ EventId Simulation::enqueue(SimTime t, Scheduled scheduled) {
   const EventId id = next_id_++;
   queue_.push(Entry{t, next_seq_++, id});
   callbacks_.emplace(id, std::move(scheduled));
+  if (scheduled_) scheduled_->inc();
   return id;
 }
 
@@ -27,7 +28,19 @@ EventId Simulation::schedule_periodic(SimTime first, SimDuration period, Callbac
   return enqueue(first, Scheduled{std::move(fn), period});
 }
 
-void Simulation::cancel(EventId id) { callbacks_.erase(id); }
+void Simulation::cancel(EventId id) {
+  if (callbacks_.erase(id) == 1 && cancelled_) cancelled_->inc();
+}
+
+void Simulation::set_metrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    scheduled_ = fired_ = cancelled_ = nullptr;
+    return;
+  }
+  scheduled_ = &registry->counter("sim.events_scheduled");
+  fired_ = &registry->counter("sim.events_fired");
+  cancelled_ = &registry->counter("sim.events_cancelled");
+}
 
 std::size_t Simulation::run_until(SimTime end) {
   std::size_t executed = 0;
@@ -57,6 +70,7 @@ std::size_t Simulation::run_until(SimTime end) {
       fn();
     }
     ++executed;
+    if (fired_) fired_->inc();
   }
   if (now_ < end) now_ = end;
   return executed;
@@ -83,6 +97,7 @@ std::size_t Simulation::run_all() {
       fn();
     }
     ++executed;
+    if (fired_) fired_->inc();
   }
   return executed;
 }

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/units.hpp"
 
 namespace hs::sim {
@@ -56,6 +57,12 @@ class Simulation {
   /// Number of events currently pending (including cancelled-but-queued).
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 
+  /// Register the kernel's counters (`sim.events_scheduled` / `_fired` /
+  /// `_cancelled`) in `registry`. Call before scheduling anything that
+  /// should be counted; passing nullptr detaches. The registry must
+  /// outlive the simulation's use of it (MissionRunner owns both).
+  void set_metrics(obs::Registry* registry);
+
  private:
   struct Entry {
     SimTime time;
@@ -79,6 +86,9 @@ class Simulation {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
+  obs::Counter* scheduled_ = nullptr;
+  obs::Counter* fired_ = nullptr;
+  obs::Counter* cancelled_ = nullptr;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
   std::unordered_map<EventId, Scheduled> callbacks_;
 };

@@ -53,14 +53,38 @@ std::size_t ChangeProposal::approvals() const {
 std::uint64_t ChangeAuthority::propose(SimTime now, std::string description, SimDuration ttl) {
   const auto id = next_id_++;
   proposals_.emplace_back(id, std::move(description), voters_, now, ttl);
+  if (proposals_metric_) proposals_metric_->inc();
+  if (recorder_) {
+    recorder_->record(now, obs::Subsys::kSupport, obs::EventCode::kProposalOpened,
+                      static_cast<std::int64_t>(id));
+  }
   return id;
 }
 
 bool ChangeAuthority::vote(SimTime now, std::uint64_t proposal, VoterId voter, bool approve) {
   for (auto& p : proposals_) {
-    if (p.id() == proposal) return p.vote(now, voter, approve);
+    if (p.id() != proposal) continue;
+    const bool counted = p.vote(now, voter, approve);
+    if (counted) {
+      if (ballots_metric_) ballots_metric_->inc();
+      if (recorder_) {
+        recorder_->record(now, obs::Subsys::kSupport, obs::EventCode::kVoteTallied,
+                          static_cast<std::int64_t>(proposal), static_cast<std::int64_t>(voter));
+      }
+    }
+    return counted;
   }
   return false;
+}
+
+void ChangeAuthority::set_metrics(obs::Registry* registry, obs::FlightRecorder* recorder) {
+  recorder_ = recorder;
+  if (registry == nullptr) {
+    proposals_metric_ = ballots_metric_ = nullptr;
+    return;
+  }
+  proposals_metric_ = &registry->counter("support.proposals_opened");
+  ballots_metric_ = &registry->counter("support.ballots_tallied");
 }
 
 void ChangeAuthority::tick(SimTime now) {

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/units.hpp"
 
 namespace hs::support {
@@ -93,10 +94,19 @@ class ChangeAuthority {
   [[nodiscard]] std::vector<const ChangeProposal*> applied() const;
   [[nodiscard]] std::size_t open_count() const;
 
+  /// Register `support.proposals_opened` / `support.ballots_tallied` in
+  /// `registry` and log proposal/ballot events to `recorder`. Callers vote
+  /// through this authority directly (support.changes().vote(...)), so
+  /// the hooks live here rather than on SupportSystem. Null detaches.
+  void set_metrics(obs::Registry* registry, obs::FlightRecorder* recorder);
+
  private:
   std::vector<VoterId> voters_;
   std::uint64_t next_id_ = 1;
   std::vector<ChangeProposal> proposals_;
+  obs::Counter* proposals_metric_ = nullptr;
+  obs::Counter* ballots_metric_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace hs::support

@@ -34,9 +34,17 @@ SupportSystem::SupportSystem(SupportConfig config)
 
 void SupportSystem::route_new_alerts(std::size_t from_index) {
   for (std::size_t i = from_index; i < alerts_.size(); ++i) {
-    const auto routed = adapter_.broadcast(alerts_[i]);
+    const Alert& alert = alerts_[i];
+    const auto routed = adapter_.broadcast(alert);
     deliveries_.insert(deliveries_.end(), routed.begin(), routed.end());
-    if (alert_sink_) alert_sink_(alerts_[i]);
+    if (alerts_metric_) alerts_metric_->inc();
+    if (deliveries_metric_) deliveries_metric_->inc(routed.size());
+    if (recorder_) {
+      recorder_->record(alert.time, obs::Subsys::kSupport, obs::EventCode::kAlertRaised,
+                        static_cast<std::int64_t>(alert.kind),
+                        alert.astronaut ? static_cast<std::int64_t>(*alert.astronaut) : -1);
+    }
+    if (alert_sink_) alert_sink_(alert);
   }
 }
 
@@ -49,6 +57,9 @@ void SupportSystem::ingest(const CrewFeature& feature) {
 void SupportSystem::ingest_badge(const BadgeHealth& health) {
   const std::size_t before = alerts_.size();
   badge_health_.observe(health, alerts_);
+  // Every alert the health monitor emits marks a badge state transition
+  // (healthy -> battery-low / sensor-loss and the recovery edges).
+  if (health_transitions_metric_) health_transitions_metric_->inc(alerts_.size() - before);
   route_new_alerts(before);
 }
 
@@ -72,6 +83,19 @@ void SupportSystem::poll_uplink(SimTime now) {
     conflicts_.process(now, command, alerts_);
   }
   route_new_alerts(before);
+}
+
+void SupportSystem::set_metrics(obs::Registry* registry, obs::FlightRecorder* recorder) {
+  recorder_ = recorder;
+  if (registry == nullptr) {
+    alerts_metric_ = deliveries_metric_ = health_transitions_metric_ = nullptr;
+    changes_.set_metrics(nullptr, nullptr);
+    return;
+  }
+  alerts_metric_ = &registry->counter("support.alerts_raised");
+  deliveries_metric_ = &registry->counter("support.deliveries");
+  health_transitions_metric_ = &registry->counter("support.health_transitions");
+  changes_.set_metrics(registry, recorder);
 }
 
 std::size_t SupportSystem::alert_count(AlertKind kind) const {

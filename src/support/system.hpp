@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "support/ability.hpp"
 #include "support/anomaly.hpp"
 #include "support/badge_health.hpp"
@@ -70,6 +71,12 @@ class SupportSystem {
 
   [[nodiscard]] std::size_t alert_count(AlertKind kind) const;
 
+  /// Register the support counters (`support.alerts_raised`, `.deliveries`,
+  /// `.health_transitions`) plus the ChangeAuthority's ballot counters, and
+  /// log each raised alert to `recorder`. Either may be null; both must
+  /// outlive this system.
+  void set_metrics(obs::Registry* registry, obs::FlightRecorder* recorder);
+
  private:
   void route_new_alerts(std::size_t from_index);
 
@@ -85,6 +92,10 @@ class SupportSystem {
   std::vector<Alert> alerts_;
   std::vector<Delivery> deliveries_;
   std::function<void(const Alert&)> alert_sink_;
+  obs::Counter* alerts_metric_ = nullptr;
+  obs::Counter* deliveries_metric_ = nullptr;
+  obs::Counter* health_transitions_metric_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace hs::support

@@ -10,11 +10,50 @@
 // divergence. A tolerance here would only hide a broken shard boundary.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <thread>
+#include <utility>
+
 #include "core/analysis.hpp"
 #include "core/runner.hpp"
+#include "support/system.hpp"
 
 namespace hs::core {
 namespace {
+
+unsigned hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 1 ? hw : 4;  // a 1-core box must still exercise the pool
+}
+
+/// Run the full mission and the analysis (which folds its pipeline.*
+/// metrics into the same registry), then dump every metric as CSV. The
+/// obs contract: this string is a pure function of (seed, plan, threads)
+/// — and independent of `threads` entirely.
+std::string mission_metrics_csv(std::uint64_t seed, faults::FaultPlan plan, unsigned threads) {
+  MissionConfig config;
+  config.seed = seed;
+  config.fault_plan = std::move(plan);
+  MissionRunner runner(config);
+  // A live support system sharing the runner's registry, so the dump also
+  // covers the support.* counters (alerts, health transitions).
+  support::SupportSystem support;
+  support.set_metrics(&runner.metrics(), &runner.flight_recorder());
+  runner.add_observer([&support](const MissionView& view) {
+    for (io::BadgeId id = 0; id < 6; ++id) {
+      const badge::Badge* b = view.network->badge(id);
+      support.ingest_badge(support::BadgeHealth{view.now, id, b->battery().fraction(),
+                                                b->active(), b->docked(), b->worn()});
+    }
+  });
+  const Dataset data = runner.run();
+  PipelineOptions opts;
+  opts.threads = threads;
+  opts.metrics = &runner.metrics();
+  const AnalysisPipeline pipeline(data, opts);
+  (void)pipeline.artifacts();  // artifacts() shards too; it must not register drift
+  return runner.report().metrics_csv;
+}
 
 void expect_same_series(const AnalysisPipeline::DailySeries& a,
                         const AnalysisPipeline::DailySeries& b) {
@@ -127,6 +166,54 @@ TEST(DeterminismTest, SerialAndParallelPipelinesAreBitIdenticalSeed42) {
 
 TEST(DeterminismTest, SerialAndParallelPipelinesAreBitIdenticalSeed7) {
   expect_identical(run_icares_mission(7));
+}
+
+TEST(DeterminismTest, MetricsDumpByteIdenticalAcrossThreadsSeed42) {
+  const std::string serial = mission_metrics_csv(42, {}, 1);
+  const std::string parallel = mission_metrics_csv(42, {}, hardware_threads());
+  EXPECT_EQ(serial, parallel);
+  // Same seed, same thread count, fresh run: repeatability, not just
+  // thread independence.
+  EXPECT_EQ(parallel, mission_metrics_csv(42, {}, hardware_threads()));
+
+#if HS_OBS_ENABLED
+  // The dump must be real data, not an agreement on emptiness. (The
+  // kernel counters and alert counts are legitimately 0 on the happy
+  // path — no faults and no mesh means nothing is ever enqueued — so
+  // only presence is required for those; the I/O and pipeline counters
+  // must show traffic.)
+  const auto snap = obs::MetricsSnapshot::from_csv(serial);
+  ASSERT_TRUE(snap.has_value());
+  for (const char* name : {"sim.events_fired", "badge.sd_records_written",
+                           "pipeline.records_attributed", "support.alerts_raised"}) {
+    ASSERT_NE(snap->find(name), nullptr) << name;
+  }
+  EXPECT_GT(snap->find("badge.sd_records_written")->count, 0U);
+  EXPECT_GT(snap->find("pipeline.records_attributed")->count, 0U);
+#endif
+}
+
+TEST(DeterminismTest, MetricsDumpByteIdenticalAcrossThreadsSeed7) {
+  EXPECT_EQ(mission_metrics_csv(7, {}, 1), mission_metrics_csv(7, {}, hardware_threads()));
+}
+
+TEST(DeterminismTest, MetricsDumpKeepsTheContractUnderCombinedFaults) {
+  // The kitchen-sink preset fires every fault kind; fault bookkeeping,
+  // alert storms and degraded-I/O counters all land in the dump, and it
+  // still may not depend on the pipeline's thread count.
+  const std::string csv = mission_metrics_csv(42, faults::FaultPlan::combined(42), 1);
+  EXPECT_EQ(csv, mission_metrics_csv(42, faults::FaultPlan::combined(42), hardware_threads()));
+
+#if HS_OBS_ENABLED
+  // Under a real plan the event kernel is busy (activations, recoveries)
+  // and the fault counters show the whole lifecycle.
+  const auto snap = obs::MetricsSnapshot::from_csv(csv);
+  ASSERT_TRUE(snap.has_value());
+  ASSERT_NE(snap->find("sim.events_fired"), nullptr);
+  EXPECT_GT(snap->find("sim.events_fired")->count, 0U);
+  ASSERT_NE(snap->find("faults.armed"), nullptr);
+  EXPECT_GT(snap->find("faults.armed")->count, 0U);
+#endif
 }
 
 TEST(DeterminismTest, FaultedMissionKeepsTheContract) {

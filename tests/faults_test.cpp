@@ -345,5 +345,72 @@ TEST(FaultReproducibility, SameSeedSamePlanIsByteIdentical) {
   }
 }
 
+// --- Flight-recorder coverage (hs::obs) -------------------------------------
+
+TEST(FaultObservability, EveryArmedSpecLandsInTheFlightRecorder) {
+#if !HS_OBS_ENABLED
+  GTEST_SKIP() << "metrics compiled out (HS_OBS_ENABLED=0)";
+#else
+  // Arming happens in the MissionRunner constructor, so no run is needed.
+  // One-to-one coverage: every spec in the plan leaves exactly one arming
+  // event carrying its plan index and kind, and the counter agrees.
+  const FaultPlan plans[] = {FaultPlan::battery_stress(), FaultPlan::mesh_partition(),
+                             FaultPlan::combined(42)};
+  for (const FaultPlan& plan : plans) {
+    core::MissionConfig config;
+    config.seed = 42;
+    config.fault_plan = plan;
+    config.mesh.enabled = true;  // partitions only arm against a live mesh
+    const core::MissionRunner runner(config);
+
+    const auto armed = runner.flight_recorder().events(obs::EventCode::kFaultArmed);
+    const auto& specs = runner.faults().plan().faults();
+    ASSERT_EQ(armed.size(), specs.size()) << plan.name();
+    for (std::size_t i = 0; i < armed.size(); ++i) {
+      EXPECT_EQ(armed[i].a, static_cast<std::int64_t>(i)) << plan.name() << " spec " << i;
+      EXPECT_EQ(armed[i].b, static_cast<std::int64_t>(specs[i].kind))
+          << plan.name() << " spec " << i;
+      EXPECT_EQ(armed[i].subsys, obs::Subsys::kFaults);
+    }
+    const obs::Counter* counter = runner.metrics().find_counter("faults.armed");
+    ASSERT_NE(counter, nullptr) << plan.name();
+    EXPECT_EQ(counter->value(), specs.size()) << plan.name();
+  }
+#endif
+}
+
+TEST(FaultObservability, LifecycleTransitionsAreLogged) {
+#if !HS_OBS_ENABLED
+  GTEST_SKIP() << "metrics compiled out (HS_OBS_ENABLED=0)";
+#else
+  // A windowed fault inside a 2-day run must log both edges of its
+  // lifecycle, with the counters mirroring the recorder's view.
+  FaultPlan plan("lifecycle");
+  plan.add({.kind = FaultKind::kBeaconOutage,
+            .start = day_start(1) + hours(9),
+            .duration = hours(3),
+            .beacon = 2});
+  core::MissionConfig config;
+  config.seed = 7;
+  config.fault_plan = plan;
+  core::MissionRunner runner(config);
+  (void)runner.run_days(2);
+
+  const auto& rec = runner.flight_recorder();
+  EXPECT_EQ(rec.count(obs::EventCode::kFaultArmed), 1U);
+  ASSERT_EQ(rec.count(obs::EventCode::kFaultActivated), 1U);
+  ASSERT_EQ(rec.count(obs::EventCode::kFaultCleared), 1U);
+  const auto activated = rec.events(obs::EventCode::kFaultActivated);
+  const auto cleared = rec.events(obs::EventCode::kFaultCleared);
+  EXPECT_EQ(activated[0].t, day_start(1) + hours(9));
+  EXPECT_EQ(cleared[0].t, day_start(1) + hours(12));
+  EXPECT_EQ(activated[0].b, static_cast<std::int64_t>(FaultKind::kBeaconOutage));
+
+  ASSERT_NE(runner.metrics().find_counter("faults.activated"), nullptr);
+  EXPECT_EQ(runner.metrics().find_counter("faults.activated")->value(), 1U);
+  EXPECT_EQ(runner.metrics().find_counter("faults.cleared")->value(), 1U);
+#endif
+}
+
 }  // namespace
 }  // namespace hs::faults

@@ -100,6 +100,59 @@ TEST(MeshDeterminism, SameSeedAndPlanYieldByteIdenticalMeshes) {
     EXPECT_EQ(ds1.logs[i].card.export_binlog(), ds2.logs[i].card.export_binlog())
         << "badge " << int(ds1.logs[i].id);
   }
+
+  // The observability layer sits on top of all of the above, so its dumps
+  // inherit the same guarantee: metrics CSV and flight log, byte for byte.
+  const auto r1 = first->report();
+  const auto r2 = second->report();
+  EXPECT_EQ(r1.metrics_csv, r2.metrics_csv);
+  EXPECT_EQ(r1.flight_log_csv, r2.flight_log_csv);
+
+#if HS_OBS_ENABLED
+  // The mirrored mesh.* counters must agree exactly with GossipStats —
+  // same increment sites, so any split means a missed instrumentation.
+  const obs::Registry& metrics = first->metrics();
+  ASSERT_NE(metrics.find_counter("mesh.gossip_rounds"), nullptr);
+  EXPECT_EQ(metrics.find_counter("mesh.gossip_rounds")->value(), s1.rounds);
+  EXPECT_EQ(metrics.find_counter("mesh.gossip_exchanges")->value(), s1.exchanges);
+  EXPECT_EQ(metrics.find_counter("mesh.skipped_links")->value(), s1.skipped_links);
+  EXPECT_EQ(metrics.find_counter("mesh.chunks_replicated")->value(), s1.chunks_replicated);
+  EXPECT_EQ(metrics.find_counter("mesh.chunks_offloaded")->value(), s1.offloads);
+  EXPECT_EQ(metrics.find_counter("mesh.offload_deferrals")->value(), s1.offload_deferrals);
+  EXPECT_EQ(metrics.find_counter("mesh.digest_bytes")->value(),
+            static_cast<std::uint64_t>(s1.digest_bytes));
+  EXPECT_EQ(metrics.find_counter("mesh.replication_bytes")->value(),
+            static_cast<std::uint64_t>(s1.replication_bytes));
+  EXPECT_EQ(metrics.find_counter("mesh.offload_bytes")->value(),
+            static_cast<std::uint64_t>(s1.offload_bytes));
+  // Replication acks in the counter match the trace-level view.
+  EXPECT_EQ(metrics.find_counter("mesh.replication_acks")->value(), m1->acked_keys().size());
+#endif
+}
+
+TEST(MeshDeterminism, MetricsDumpByteIdenticalUnderPartition) {
+  // Two fresh missions under the beacon-outage + mesh-partition plan, one
+  // analyzed serially and one with the pool: the combined mission +
+  // pipeline metrics dump may depend on neither run identity nor thread
+  // count. Seeds 7 and 42 per the determinism regression matrix.
+  for (const std::uint64_t seed : {7ULL, 42ULL}) {
+    auto r1 = make_mesh_runner(seed);
+    auto r2 = make_mesh_runner(seed);
+    const Dataset d1 = r1->run_days(3);
+    const Dataset d2 = r2->run_days(3);
+
+    PipelineOptions serial_opts;
+    serial_opts.threads = 1;
+    serial_opts.metrics = &r1->metrics();
+    PipelineOptions parallel_opts;
+    parallel_opts.threads = 4;
+    parallel_opts.metrics = &r2->metrics();
+    const AnalysisPipeline serial(d1, serial_opts);
+    const AnalysisPipeline parallel(d2, parallel_opts);
+
+    EXPECT_EQ(r1->report().metrics_csv, r2->report().metrics_csv) << "seed " << seed;
+    EXPECT_EQ(r1->report().flight_log_csv, r2->report().flight_log_csv) << "seed " << seed;
+  }
 }
 
 TEST(MeshDeterminism, SerialAndParallelPipelinesAgreeOnMeshCollectedData) {
