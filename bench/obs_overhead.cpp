@@ -44,10 +44,12 @@ std::pair<double, std::size_t> run_workload(std::uint64_t seed) {
   const hs::core::Dataset data = runner.run();
   hs::core::PipelineOptions opts;
   opts.metrics = &runner.metrics();
+  opts.tracer = &runner.tracer();
   const hs::core::AnalysisPipeline pipeline(data, opts);
   (void)pipeline.artifacts();
   const hs::core::MissionReport report = runner.report();
-  return {now_s() - t0, report.metrics_csv.size() + report.flight_log_csv.size()};
+  return {now_s() - t0,
+          report.metrics_csv.size() + report.flight_log_csv.size() + report.trace_csv.size()};
 }
 
 /// Hot-path micro-costs, per operation. A volatile sink keeps the loop
@@ -75,10 +77,24 @@ void micro_costs() {
   }
   const double obs_ns = (now_s() - t0) * 1e9 / kObs;
 
-  volatile std::uint64_t sink = c.value() + h.count();
+  // Span emission: id mix + struct push into pre-reserved storage. Far
+  // heavier than inc(), but it runs per mission event, not per record.
+  hs::obs::Tracer tracer(42);
+  const hs::obs::TraceId trace = tracer.chunk_trace(0, 0);
+  constexpr int kEmits = 5'000'000;
+  t0 = now_s();
+  for (int i = 0; i < kEmits; ++i) {
+    tracer.emit(trace, hs::obs::SpanKind::kChunkOffload, hs::obs::Subsys::kMesh, i, i, 0, 0, i);
+    asm volatile("" ::: "memory");
+  }
+  const double emit_ns = (now_s() - t0) * 1e9 / kEmits;
+
+  volatile std::uint64_t sink = c.value() + h.count() + tracer.total_emitted();
   (void)sink;
   std::printf("counter.inc():        %7.2f ns/op (%d ops)\n", inc_ns, kIncs);
   std::printf("histogram.observe():  %7.2f ns/op (%d ops)\n", obs_ns, kObs);
+  std::printf("tracer.emit():        %7.2f ns/op (%d ops, cap at %zu spans)\n", emit_ns, kEmits,
+              tracer.max_spans());
 }
 
 }  // namespace
@@ -89,7 +105,8 @@ int main(int argc, char** argv) {
 
   std::printf("# hs::obs overhead harness — HS_OBS_ENABLED=%d, seed %llu, %d reps\n",
               HS_OBS_ENABLED, static_cast<unsigned long long>(seed), reps);
-  std::printf("# workload: 14-day mission (mesh on) + full analysis pipeline + metrics dump\n");
+  std::printf(
+      "# workload: 14-day mission (mesh on) + full analysis pipeline + metrics/trace dumps\n");
 
   double best = 0.0;
   std::size_t dump_bytes = 0;

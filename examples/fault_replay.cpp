@@ -16,6 +16,7 @@
 #include "core/analysis.hpp"
 #include "core/runner.hpp"
 #include "faults/fault_plan.hpp"
+#include "obs/trace_query.hpp"
 #include "support/system.hpp"
 
 namespace {
@@ -65,10 +66,10 @@ int main(int argc, char** argv) {
 
   // Live view: the support system watches badge vitals as the mission
   // runs, so battery faults raise alerts while there is still time to act.
-  // Sharing the runner's registry and flight recorder lands the alert
-  // events in the same black box as the fault lifecycle.
+  // Sharing the runner's registry, flight recorder and tracer lands the
+  // alert events in the same black box as the fault lifecycle.
   support::SupportSystem support;
-  support.set_metrics(&runner.metrics(), &runner.flight_recorder());
+  support.set_metrics(&runner.metrics(), &runner.flight_recorder(), &runner.tracer());
   runner.add_observer([&support](const core::MissionView& view) {
     for (io::BadgeId id = 0; id < 6; ++id) {
       const badge::Badge* b = view.network->badge(id);
@@ -145,5 +146,12 @@ int main(int argc, char** argv) {
               recorder.count(obs::EventCode::kFaultActivated),
               recorder.count(obs::EventCode::kFaultCleared),
               recorder.count(obs::EventCode::kAlertRaised));
+
+  // And the causal trace ties them together: each fault's arming and
+  // active window, each alert's raise and deliveries, as linked spans.
+  // Save runner.report().trace_csv and query it with the hs_trace CLI
+  // (docs/TRACING.md).
+  const obs::TraceIndex trace(runner.tracer().spans());
+  std::printf("\nCausal trace:\n%s", obs::format_summary(trace.summarize()).c_str());
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "core/analysis.hpp"
 #include "core/runner.hpp"
 #include "io/table.hpp"
+#include "obs/trace_query.hpp"
 #include "util/strings.hpp"
 
 #include <iostream>
@@ -29,9 +30,11 @@ int main() {
 
   // 3. Offline analysis: clock rectification, ownership attribution,
   //    localization, speech/walking classification. Sharing the runner's
-  //    metrics registry folds the pipeline.* counters into the same dump.
+  //    metrics registry and tracer folds the pipeline.* counters and the
+  //    pipeline's stage/shard spans into the same dumps.
   core::PipelineOptions opts;
   opts.metrics = &runner.metrics();
+  opts.tracer = &runner.tracer();
   core::AnalysisPipeline pipeline(data, opts);
 
   const auto stats = pipeline.dataset_stats();
@@ -77,5 +80,11 @@ int main() {
                   static_cast<unsigned long long>(e->kind == 'g' ? e->value : e->count));
     }
   }
+
+  // 7. The causal trace: every kernel event, badge slice, and pipeline
+  //    shard as a span (docs/TRACING.md). The same dump feeds the
+  //    hs_trace CLI: `hs_trace --input trace.csv --summarize`.
+  const obs::TraceIndex trace(runner.tracer().spans());
+  std::printf("\nCausal trace:\n%s", obs::format_summary(trace.summarize()).c_str());
   return 0;
 }

@@ -1,17 +1,21 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: build the `default` and `asan` presets (CMakePresets.json)
-# and run the full test suite under both. Everything must pass; there is no
-# "allowed failures" list.
+# Tier-1 CI gate: build and test the matrix in CMakePresets.json. Everything
+# must pass; there is no "allowed failures" list.
 #
-#   scripts/ci.sh             # default + asan, full ctest each
-#   HS_CI_PRESETS="default" scripts/ci.sh   # subset, e.g. a quick local gate
+#   default  RelWithDebInfo, no instrumentation — the baseline suite
+#   asan     AddressSanitizer across every target, full suite
+#   tsan     ThreadSanitizer, `ctest -L concurrency` (the preset filters)
+#   ubsan    UndefinedBehaviorSanitizer across every target, full suite
+#   noobs    HS_OBS_ENABLED=OFF — metrics/recorder/tracer compiled out,
+#            proving the unconditional call sites build and the suite
+#            passes without the observability layer
 #
-# The tsan/ubsan presets exist too but are not part of this gate (tsan is
-# run on demand against `ctest -L concurrency`; see docs/CONCURRENCY.md).
+#   scripts/ci.sh                             # full matrix
+#   HS_CI_PRESETS="default" scripts/ci.sh     # subset, e.g. a quick local gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PRESETS=${HS_CI_PRESETS:-"default asan"}
+PRESETS=${HS_CI_PRESETS:-"default asan tsan ubsan noobs"}
 
 for preset in $PRESETS; do
   echo "=== [$preset] configure ==="

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <functional>
 
+#include "obs/trace.hpp"
 #include "util/stats.hpp"
 
 namespace hs::core {
@@ -73,6 +74,33 @@ void AnalysisPipeline::assemble() {
   const std::size_t nlogs = logs.size();
   util::ThreadPool* pool = pool_.get();
 
+  // Tracing mirrors the metric-fold rule: the run root and every stage /
+  // shard span are emitted serially between the barriers. Spans carry no
+  // sim time (the pipeline is offline) — start == end == 0; causality is
+  // the parent chain. Stage indices: 0 rectify, 1 wear, 2 attribute,
+  // 3 derive (artifacts() adds stage 4).
+  obs::Tracer* tracer = options_.tracer;
+  if (tracer != nullptr) {
+    trace_ = tracer->pipeline_trace(tracer->next_pipeline_run());
+    trace_root_ = tracer->emit(trace_, obs::SpanKind::kPipelineRun, obs::Subsys::kPipeline, 0, 0,
+                               0, static_cast<std::int64_t>(nlogs));
+  }
+  std::int64_t stage_index = 0;
+  auto trace_stage = [&](std::size_t shards) {
+    if (tracer == nullptr || trace_root_ == 0) {
+      ++stage_index;
+      return;
+    }
+    const obs::SpanId stage =
+        tracer->emit(trace_, obs::SpanKind::kPipelineStage, obs::Subsys::kPipeline, 0, 0,
+                     trace_root_, stage_index, static_cast<std::int64_t>(shards));
+    for (std::size_t j = 0; j < shards; ++j) {
+      tracer->emit(trace_, obs::SpanKind::kPipelineShard, obs::Subsys::kPipeline, 0, 0, stage,
+                   stage_index, static_cast<std::int64_t>(j));
+    }
+    ++stage_index;
+  };
+
   // Metric folds run serially between the sharded stages, never inside a
   // shard, so registration order and every count are thread-independent.
   obs::Counter* worn_metric = nullptr;
@@ -92,16 +120,20 @@ void AnalysisPipeline::assemble() {
   // front (badge ids are unique per Dataset); shards fill the values.
   std::vector<timesync::ClockFit*> fit_slot(nlogs);
   for (std::size_t i = 0; i < nlogs; ++i) fit_slot[i] = &fits_[logs[i].id];
-  util::parallel_for(pool, nlogs, [&](std::size_t i) {
-    const auto& log = logs[i];
-    timesync::ClockFit fit;  // identity (rate 1, offset 0)
-    if (options_.rectify_clocks) {
-      timesync::OffsetEstimator est;
-      est.add_samples(log.card.sync());
-      if (auto fitted = est.fit(log.id)) fit = *fitted;
-    }
-    *fit_slot[i] = fit;
-  });
+  {
+    obs::ProfileScope prof(tracer, "pipeline.rectify");
+    util::parallel_for(pool, nlogs, [&](std::size_t i) {
+      const auto& log = logs[i];
+      timesync::ClockFit fit;  // identity (rate 1, offset 0)
+      if (options_.rectify_clocks) {
+        timesync::OffsetEstimator est;
+        est.add_samples(log.card.sync());
+        if (auto fitted = est.fit(log.id)) fit = *fitted;
+      }
+      *fit_slot[i] = fit;
+    });
+  }
+  trace_stage(nlogs);
 
   // 2. Worn/active intervals per badge from its wear events.
   std::vector<std::vector<std::pair<double, double>>*> worn_slot(nlogs);
@@ -110,33 +142,37 @@ void AnalysisPipeline::assemble() {
     worn_slot[i] = &worn_[logs[i].id];
     active_slot[i] = &active_[logs[i].id];
   }
-  util::parallel_for(pool, nlogs, [&](std::size_t i) {
-    const auto& log = logs[i];
-    const auto& fit = *fit_slot[i];
-    auto& worn = *worn_slot[i];
-    auto& active = *active_slot[i];
-    constexpr double kNotOpen = -1.0;
-    double worn_since = kNotOpen;
-    double active_since = kNotOpen;
-    for (const auto& ev : log.card.wear()) {
-      const double t = fit.rectify(ev.t) / 1000.0;
-      const bool is_worn = ev.state == io::WearState::kWorn;
-      const bool is_active = ev.state != io::WearState::kOff;
-      if (is_worn && worn_since == kNotOpen) worn_since = t;
-      if (!is_worn && worn_since != kNotOpen) {
-        worn.emplace_back(worn_since, t);
-        worn_since = kNotOpen;
+  {
+    obs::ProfileScope prof(tracer, "pipeline.wear");
+    util::parallel_for(pool, nlogs, [&](std::size_t i) {
+      const auto& log = logs[i];
+      const auto& fit = *fit_slot[i];
+      auto& worn = *worn_slot[i];
+      auto& active = *active_slot[i];
+      constexpr double kNotOpen = -1.0;
+      double worn_since = kNotOpen;
+      double active_since = kNotOpen;
+      for (const auto& ev : log.card.wear()) {
+        const double t = fit.rectify(ev.t) / 1000.0;
+        const bool is_worn = ev.state == io::WearState::kWorn;
+        const bool is_active = ev.state != io::WearState::kOff;
+        if (is_worn && worn_since == kNotOpen) worn_since = t;
+        if (!is_worn && worn_since != kNotOpen) {
+          worn.emplace_back(worn_since, t);
+          worn_since = kNotOpen;
+        }
+        if (is_active && active_since == kNotOpen) active_since = t;
+        if (!is_active && active_since != kNotOpen) {
+          active.emplace_back(active_since, t);
+          active_since = kNotOpen;
+        }
       }
-      if (is_active && active_since == kNotOpen) active_since = t;
-      if (!is_active && active_since != kNotOpen) {
-        active.emplace_back(active_since, t);
-        active_since = kNotOpen;
-      }
-    }
-    const double mission_end = static_cast<double>(day_start(dataset_->last_day() + 1)) / 1e6;
-    if (worn_since != kNotOpen) worn.emplace_back(worn_since, mission_end);
-    if (active_since != kNotOpen) active.emplace_back(active_since, mission_end);
-  });
+      const double mission_end = static_cast<double>(day_start(dataset_->last_day() + 1)) / 1e6;
+      if (worn_since != kNotOpen) worn.emplace_back(worn_since, mission_end);
+      if (active_since != kNotOpen) active.emplace_back(active_since, mission_end);
+    });
+  }
+  trace_stage(nlogs);
   if (worn_metric) {
     for (std::size_t i = 0; i < nlogs; ++i) worn_metric->inc(worn_slot[i]->size());
   }
@@ -152,42 +188,46 @@ void AnalysisPipeline::assemble() {
     std::array<std::vector<TimedMotion>, crew::kCrewSize> motion;
   };
   std::vector<Contribution> contrib(nlogs);
-  util::parallel_for(pool, nlogs, [&](std::size_t i) {
-    const auto& log = logs[i];
-    const auto& fit = *fit_slot[i];
-    Contribution& c = contrib[i];
-    IntervalCursor worn_cursor(*worn_slot[i]);
+  {
+    obs::ProfileScope prof(tracer, "pipeline.attribute");
+    util::parallel_for(pool, nlogs, [&](std::size_t i) {
+      const auto& log = logs[i];
+      const auto& fit = *fit_slot[i];
+      Contribution& c = contrib[i];
+      IntervalCursor worn_cursor(*worn_slot[i]);
 
-    auto owner_at = [&](double t_s) -> std::optional<std::size_t> {
-      const int day = mission_day(static_cast<SimTime>(t_s * 1e6));
-      return ownership.owner(log.id, day);
-    };
+      auto owner_at = [&](double t_s) -> std::optional<std::size_t> {
+        const int day = mission_day(static_cast<SimTime>(t_s * 1e6));
+        return ownership.owner(log.id, day);
+      };
 
-    for (const auto& r : log.card.beacon_obs()) {
-      const double t = fit.rectify(r.t) / 1000.0;
-      if (!worn_cursor.contains(t)) continue;
-      if (const auto who = owner_at(t)) {
-        c.obs[*who].push_back(locate::TimedRssi{t, r.beacon, r.rssi_dbm});
+      for (const auto& r : log.card.beacon_obs()) {
+        const double t = fit.rectify(r.t) / 1000.0;
+        if (!worn_cursor.contains(t)) continue;
+        if (const auto who = owner_at(t)) {
+          c.obs[*who].push_back(locate::TimedRssi{t, r.beacon, r.rssi_dbm});
+        }
       }
-    }
-    IntervalCursor worn_audio(*worn_slot[i]);
-    for (const auto& r : log.card.audio()) {
-      const double t = fit.rectify(r.t) / 1000.0;
-      if (!worn_audio.contains(t)) continue;
-      if (const auto who = owner_at(t)) {
-        c.audio[*who].push_back(
-            dsp::TimedAudio{t, r.level_db, r.voiced_fraction, r.dominant_f0_hz});
+      IntervalCursor worn_audio(*worn_slot[i]);
+      for (const auto& r : log.card.audio()) {
+        const double t = fit.rectify(r.t) / 1000.0;
+        if (!worn_audio.contains(t)) continue;
+        if (const auto who = owner_at(t)) {
+          c.audio[*who].push_back(
+              dsp::TimedAudio{t, r.level_db, r.voiced_fraction, r.dominant_f0_hz});
+        }
       }
-    }
-    IntervalCursor worn_motion(*worn_slot[i]);
-    for (const auto& r : log.card.motion()) {
-      const double t = fit.rectify(r.t) / 1000.0;
-      if (!worn_motion.contains(t)) continue;
-      if (const auto who = owner_at(t)) {
-        c.motion[*who].push_back(TimedMotion{t, r.accel_var, r.step_freq_hz});
+      IntervalCursor worn_motion(*worn_slot[i]);
+      for (const auto& r : log.card.motion()) {
+        const double t = fit.rectify(r.t) / 1000.0;
+        if (!worn_motion.contains(t)) continue;
+        if (const auto who = owner_at(t)) {
+          c.motion[*who].push_back(TimedMotion{t, r.accel_var, r.step_freq_hz});
+        }
       }
-    }
-  });
+    });
+  }
+  trace_stage(nlogs);
   for (auto& c : contrib) {
     for (std::size_t who = 0; who < crew::kCrewSize; ++who) {
       auto& p = persons_[who];
@@ -204,15 +244,19 @@ void AnalysisPipeline::assemble() {
   // independent per astronaut; classifier and detector are shared const.
   const locate::RoomClassifier classifier(dataset_->beacons, options_.classifier);
   const dsp::SpeechDetector speech(options_.speech);
-  util::parallel_for(pool, crew::kCrewSize, [&](std::size_t i) {
-    auto& p = persons_[i];
-    auto by_time = [](const auto& a, const auto& b) { return a.t_s < b.t_s; };
-    std::sort(p.obs.begin(), p.obs.end(), by_time);
-    std::sort(p.audio.begin(), p.audio.end(), by_time);
-    std::sort(p.motion.begin(), p.motion.end(), by_time);
-    p.track = classifier.classify(p.obs);
-    p.speech = speech.analyze(p.audio, 0.0);
-  });
+  {
+    obs::ProfileScope prof(tracer, "pipeline.derive");
+    util::parallel_for(pool, crew::kCrewSize, [&](std::size_t i) {
+      auto& p = persons_[i];
+      auto by_time = [](const auto& a, const auto& b) { return a.t_s < b.t_s; };
+      std::sort(p.obs.begin(), p.obs.end(), by_time);
+      std::sort(p.audio.begin(), p.audio.end(), by_time);
+      std::sort(p.motion.begin(), p.motion.end(), by_time);
+      p.track = classifier.classify(p.obs);
+      p.speech = speech.analyze(p.audio, 0.0);
+    });
+  }
+  trace_stage(crew::kCrewSize);
   if (stays_hist || speech_hist) {
     for (const auto& p : persons_) {
       if (stays_hist) stays_hist->observe(static_cast<double>(p.track.size()));
@@ -660,7 +704,23 @@ AnalysisPipeline::Artifacts AnalysisPipeline::artifacts() const {
   shards.emplace_back([&] { out.dwell = dwell_stats(); });
   shards.emplace_back([&] { out.pairs = pair_stats(); });
   shards.emplace_back([&] { out.survey = survey_validation(); });
-  util::parallel_for(pool_.get(), shards.size(), [&](std::size_t i) { shards[i](); });
+  {
+    obs::ProfileScope prof(options_.tracer, "pipeline.artifacts");
+    util::parallel_for(pool_.get(), shards.size(), [&](std::size_t i) { shards[i](); });
+  }
+  // Stage 4 of the assembly trace (emitted serially after the barrier,
+  // like the assemble() stages). Repeated artifacts() calls append
+  // further stage-4 spans to the same run trace.
+  if (options_.tracer != nullptr && trace_root_ != 0) {
+    obs::Tracer& tracer = *options_.tracer;
+    const obs::SpanId stage =
+        tracer.emit(trace_, obs::SpanKind::kPipelineStage, obs::Subsys::kPipeline, 0, 0,
+                    trace_root_, 4, static_cast<std::int64_t>(shards.size()));
+    for (std::size_t j = 0; j < shards.size(); ++j) {
+      tracer.emit(trace_, obs::SpanKind::kPipelineShard, obs::Subsys::kPipeline, 0, 0, stage, 4,
+                  static_cast<std::int64_t>(j));
+    }
+  }
   return out;
 }
 

@@ -30,6 +30,10 @@
 #include "timesync/estimator.hpp"
 #include "util/thread_pool.hpp"
 
+namespace hs::obs {
+class Tracer;
+}
+
 namespace hs::core {
 
 /// Motion frame on the rectified timeline.
@@ -63,6 +67,14 @@ struct PipelineOptions {
   /// between stages do, in slot-index order, so the snapshot stays
   /// bit-identical for every thread count (docs/CONCURRENCY.md).
   obs::Registry* metrics = nullptr;
+  /// Causal tracer for the pipeline.* spans (one kPipelineRun trace per
+  /// assembly, a stage span per barrier, a shard span per work item);
+  /// null disables. Same rule as metrics: spans are emitted only from
+  /// the serial code between the sharded stages, never inside a shard,
+  /// so the dump is byte-identical for every thread count. With
+  /// HS_OBS_PROFILE set, stages additionally record wall-clock profile
+  /// scopes (kept out of the deterministic dump).
+  obs::Tracer* tracer = nullptr;
 };
 
 class AnalysisPipeline {
@@ -222,6 +234,10 @@ class AnalysisPipeline {
 
   const Dataset* dataset_;
   PipelineOptions options_;
+  /// This assembly's trace and root span (0 when options_.tracer is null
+  /// or tracing is compiled out); artifacts() parents its stage to them.
+  std::uint64_t trace_ = 0;
+  std::uint64_t trace_root_ = 0;
   /// Shared worker pool for assemble() and artifacts(); null on the
   /// serial path (threads == 1). shared_ptr keeps the pipeline copyable.
   std::shared_ptr<util::ThreadPool> pool_;

@@ -25,6 +25,7 @@ MissionConfig with_fault_plan_applied(MissionConfig config) {
 
 MissionRunner::MissionRunner(MissionConfig config)
     : config_(with_fault_plan_applied(std::move(config))),
+      tracer_(config_.seed),
       habitat_(habitat::Habitat::lunares()),
       rng_(config_.seed),
       network_(habitat_, beacon::deploy_lunares_beacons(habitat_, config_.beacon_count),
@@ -34,6 +35,9 @@ MissionRunner::MissionRunner(MissionConfig config)
       injector_(config_.fault_plan) {
   // Metrics first: arming below schedules kernel events that should count.
   sim_.set_metrics(&obs_);
+  sim_.set_trace(&tracer_);
+  recorder_.set_dropped_counter(&obs_.counter("hs.obs.flight_dropped_total"));
+  tracer_.set_dropped_counter(&obs_.counter("hs.obs.trace_dropped_total"));
   network_.set_environment(crew_.environment());
   if (config_.mesh.enabled) {
     // The base-station node sits at the charging station (where the real
@@ -44,9 +48,10 @@ MissionRunner::MissionRunner(MissionConfig config)
                                                 config_.seed);
     mesh_->attach(&network_);
     mesh_->set_metrics(&obs_, &recorder_);
+    mesh_->set_trace(&tracer_);
     mesh_->arm(sim_);
   }
-  injector_.arm(sim_, network_, mesh_.get(), &obs_, &recorder_);
+  injector_.arm(sim_, network_, mesh_.get(), &obs_, &recorder_, &tracer_);
 
   // Crew badges 0..5: imperfect oscillators, stale counters at boot.
   Rng clock_rng = rng_.fork(0xc10c);
@@ -103,7 +108,7 @@ Dataset MissionRunner::run_days(int last_day) {
 
   std::map<io::BadgeId, badge::SdCard> mesh_cards;
   if (mesh_ && config_.collect_from_mesh) {
-    mesh_cards = mesh::MeshReadView(*mesh_).rebuild_cards();
+    mesh_cards = mesh::MeshReadView(*mesh_, &tracer_, sim_.now()).rebuild_cards();
   }
 
   Dataset ds;
@@ -141,7 +146,7 @@ Dataset MissionRunner::run_days(int last_day) {
 MissionReport MissionRunner::report() const {
   const obs::MetricsSnapshot snap = obs_.snapshot();
   std::string csv = snap.to_csv();
-  return MissionReport{snap, std::move(csv), recorder_.to_csv()};
+  return MissionReport{snap, std::move(csv), recorder_.to_csv(), tracer_.to_csv()};
 }
 
 Dataset run_icares_mission(std::uint64_t seed) {

@@ -56,6 +56,9 @@ struct MissionReport {
   obs::MetricsSnapshot metrics;
   std::string metrics_csv;
   std::string flight_log_csv;
+  /// Causal trace dump (obs::Tracer::to_csv). Same determinism contract
+  /// as metrics_csv; empty under HS_OBS_ENABLED=OFF.
+  std::string trace_csv;
 };
 
 /// Live view handed to per-tick observers (support system, examples).
@@ -101,6 +104,12 @@ class MissionRunner {
   [[nodiscard]] const obs::Registry& metrics() const { return obs_; }
   [[nodiscard]] obs::FlightRecorder& flight_recorder() { return recorder_; }
   [[nodiscard]] const obs::FlightRecorder& flight_recorder() const { return recorder_; }
+  /// The mission's causal tracer (seeded with config.seed). Mutable so
+  /// observers (SupportSystem::set_metrics, pipeline options) can join
+  /// the same trace; spans may only be emitted from the mission loop or
+  /// serial post-barrier folds (docs/TRACING.md).
+  [[nodiscard]] obs::Tracer& tracer() { return tracer_; }
+  [[nodiscard]] const obs::Tracer& tracer() const { return tracer_; }
   /// Snapshot + flight log, exported. Valid at any point; callers usually
   /// take it after run()/run_days().
   [[nodiscard]] MissionReport report() const;
@@ -112,6 +121,9 @@ class MissionRunner {
   /// the registry it points into.
   obs::Registry obs_;
   obs::FlightRecorder recorder_;
+  /// Seeded from config_.seed (config_ is initialized first); destructs
+  /// after every subsystem that emits into it.
+  obs::Tracer tracer_;
   habitat::Habitat habitat_;
   Rng rng_;
   badge::BadgeNetwork network_;

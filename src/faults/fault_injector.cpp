@@ -31,8 +31,10 @@ constexpr SimDuration kCollapse = minutes(15);
 
 void FaultInjector::arm(sim::Simulation& sim, badge::BadgeNetwork& network,
                         mesh::MeshNetwork* mesh, obs::Registry* metrics,
-                        obs::FlightRecorder* recorder) {
+                        obs::FlightRecorder* recorder, obs::Tracer* tracer) {
   recorder_ = recorder;
+  tracer_ = tracer;
+  active_spans_.assign(plan_.faults().size(), 0);
   if (metrics != nullptr) {
     armed_metric_ = &metrics->counter("faults.armed");
     activated_metric_ = &metrics->counter("faults.activated");
@@ -49,6 +51,11 @@ void FaultInjector::arm(sim::Simulation& sim, badge::BadgeNetwork& network,
     if (recorder_) {
       recorder_->record(sim.now(), obs::Subsys::kFaults, obs::EventCode::kFaultArmed,
                         static_cast<std::int64_t>(idx), static_cast<std::int64_t>(spec.kind));
+    }
+    if (tracer_) {
+      tracer_->emit(tracer_->fault_trace(idx), obs::SpanKind::kFaultArmed, obs::Subsys::kFaults,
+                    sim.now(), sim.now(), 0, static_cast<std::int64_t>(idx),
+                    static_cast<std::int64_t>(spec.kind));
     }
     const auto badge_id = static_cast<io::BadgeId>(spec.badge);
     auto* net = &network;
@@ -193,6 +200,14 @@ void FaultInjector::note_activated(std::size_t idx, SimTime now) {
                       static_cast<std::int64_t>(idx),
                       static_cast<std::int64_t>(records_[idx].spec.kind));
   }
+  if (tracer_) {
+    // Open span across the fault window; permanent faults never close it,
+    // which exports as an instant event (dur 0) with end_us = -1 in CSV.
+    active_spans_[idx] = tracer_->begin(tracer_->fault_trace(idx), obs::SpanKind::kFaultActive,
+                                        obs::Subsys::kFaults, now, 0,
+                                        static_cast<std::int64_t>(idx),
+                                        static_cast<std::int64_t>(records_[idx].spec.kind));
+  }
 }
 
 void FaultInjector::note_cleared(std::size_t idx, SimTime now) {
@@ -202,6 +217,10 @@ void FaultInjector::note_cleared(std::size_t idx, SimTime now) {
     recorder_->record(now, obs::Subsys::kFaults, obs::EventCode::kFaultCleared,
                       static_cast<std::int64_t>(idx),
                       static_cast<std::int64_t>(records_[idx].spec.kind));
+  }
+  if (tracer_ && active_spans_[idx] != 0) {
+    tracer_->close(active_spans_[idx], now);
+    active_spans_[idx] = 0;
   }
 }
 

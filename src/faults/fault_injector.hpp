@@ -46,10 +46,13 @@ class FaultInjector {
   /// `.activated` / `.cleared` counters and logs one fault-armed event per
   /// spec plus the activation/recovery transitions as they fire — the
   /// flight recorder's event log is the coverage proof that every planned
-  /// fault was wired into the kernel (tests/faults_test.cpp).
+  /// fault was wired into the kernel (tests/faults_test.cpp). With a
+  /// `tracer`, each fault also gets one trace: a fault-armed span at arm
+  /// time and an open fault-active span across the activation..recovery
+  /// window (left open forever for permanent faults).
   void arm(sim::Simulation& sim, badge::BadgeNetwork& network,
            mesh::MeshNetwork* mesh = nullptr, obs::Registry* metrics = nullptr,
-           obs::FlightRecorder* recorder = nullptr);
+           obs::FlightRecorder* recorder = nullptr, obs::Tracer* tracer = nullptr);
 
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
   [[nodiscard]] const std::vector<FaultRecord>& records() const { return records_; }
@@ -68,6 +71,9 @@ class FaultInjector {
   obs::Counter* activated_metric_ = nullptr;
   obs::Counter* cleared_metric_ = nullptr;
   obs::FlightRecorder* recorder_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  /// Open kFaultActive span per fault index (0 when not yet activated).
+  std::vector<obs::SpanId> active_spans_;
 };
 
 }  // namespace hs::faults

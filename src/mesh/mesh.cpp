@@ -89,8 +89,9 @@ void MeshNetwork::offload(const badge::Badge& badge, SimTime now) {
   // order rebuilds a byte-identical card.
   const auto& sd = badge.sd();
   io::BinLogWriter w;
-  const auto drain = [&w](const auto& stream, std::size_t& from) {
-    for (; from < stream.size(); ++from) w.append(stream[from]);
+  std::size_t sliced = 0;
+  const auto drain = [&w, &sliced](const auto& stream, std::size_t& from) {
+    for (; from < stream.size(); ++from, ++sliced) w.append(stream[from]);
   };
   drain(sd.beacon_obs(), cursor.beacon_obs);
   drain(sd.pings(), cursor.pings);
@@ -113,7 +114,20 @@ void MeshNetwork::offload(const badge::Badge& badge, SimTime now) {
   if (metrics_.offloads) metrics_.offloads->inc();
   if (metrics_.offload_bytes) metrics_.offload_bytes->inc(wire);
   if (metrics_.chunk_wire_bytes) metrics_.chunk_wire_bytes->observe(static_cast<double>(wire));
-  traces_[key].offloaded_at = now;
+  auto& trace = traces_[key];
+  trace.offloaded_at = now;
+  if (tracer_) {
+    // Root the chunk's trace: the badge-side slice, then the mesh-side
+    // offload it parents. Replica/ack/read spans attach to the offload.
+    const obs::TraceId tr = tracer_->chunk_trace(key.origin, key.seq);
+    const obs::SpanId slice =
+        tracer_->emit(tr, obs::SpanKind::kBadgeSlice, obs::Subsys::kBadge, now, now, 0,
+                      static_cast<std::int64_t>(badge.id()), static_cast<std::int64_t>(sliced));
+    trace.offload_span =
+        tracer_->emit(tr, obs::SpanKind::kChunkOffload, obs::Subsys::kMesh, now, now, slice,
+                      static_cast<std::int64_t>(key.origin), static_cast<std::int64_t>(key.seq),
+                      static_cast<std::int64_t>(target->id()));
+  }
   note_stored(key, now);
 }
 
@@ -167,6 +181,19 @@ void MeshNetwork::exchange(MeshNode& a, MeshNode& b, SimTime now) {
           stats_.replication_bytes += static_cast<std::int64_t>(chunk->wire_bytes());
           if (metrics_.chunks_replicated) metrics_.chunks_replicated->inc();
           if (metrics_.replication_bytes) metrics_.replication_bytes->inc(chunk->wire_bytes());
+          if (tracer_) {
+            // Trace the durability path only: copies before the ack. The
+            // steady-state anti-entropy after it stays in the counters
+            // (tens of copies per chunk would drown every dump). The span
+            // links (via kernel context) to the gossip round that ran it.
+            const auto& trace = traces_[key];
+            if (trace.replicated_at < 0) {
+              tracer_->emit(tracer_->chunk_trace(key.origin, key.seq),
+                            obs::SpanKind::kChunkReplicate, obs::Subsys::kMesh, now, now,
+                            trace.offload_span, static_cast<std::int64_t>(src.id()),
+                            static_cast<std::int64_t>(dst.id()));
+            }
+          }
           note_stored(key, now);
         }
       }
@@ -186,6 +213,12 @@ void MeshNetwork::note_stored(ChunkKey key, SimTime now) {
     if (recorder_) {
       recorder_->record(now, obs::Subsys::kMesh, obs::EventCode::kChunkAcked,
                         static_cast<std::int64_t>(key.origin), static_cast<std::int64_t>(key.seq));
+    }
+    if (tracer_) {
+      tracer_->emit(tracer_->chunk_trace(key.origin, key.seq), obs::SpanKind::kChunkAck,
+                    obs::Subsys::kMesh, now, now, trace.offload_span,
+                    static_cast<std::int64_t>(key.origin), static_cast<std::int64_t>(key.seq),
+                    static_cast<std::int64_t>(trace.replicas));
     }
   }
 }
@@ -255,7 +288,17 @@ std::optional<ChunkKey> MeshNetwork::publish(NodeId at_node, ChunkKind kind,
   if (node.down()) return std::nullopt;
   const ChunkKey key{node_origin(at_node), control_seq_[at_node]++};
   node.insert(make_chunk(key, kind, now, std::move(payload)));
-  traces_[key].offloaded_at = now;
+  auto& trace = traces_[key];
+  trace.offloaded_at = now;
+  if (tracer_) {
+    // Control items root their trace at the publish. When the publish
+    // happens inside a pushed causal context (e.g. the support system's
+    // alert-raise span), emit() records the cross-trace link itself.
+    trace.offload_span = tracer_->emit(
+        tracer_->chunk_trace(key.origin, key.seq), obs::SpanKind::kControlPublish,
+        obs::Subsys::kMesh, now, now, 0, static_cast<std::int64_t>(at_node),
+        static_cast<std::int64_t>(kind), static_cast<std::int64_t>(key.seq));
+  }
   note_stored(key, now);
   return key;
 }

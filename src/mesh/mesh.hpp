@@ -54,6 +54,9 @@ struct ChunkTrace {
   SimTime offloaded_at = -1;   ///< accepted by the first node
   SimTime replicated_at = -1;  ///< replica count first reached replication_factor
   std::size_t replicas = 0;    ///< live replica count (drops when a node dies)
+  /// Root span of the chunk's causal trace (the offload / publish); 0
+  /// when no tracer is attached. Replica and ack spans parent to it.
+  obs::SpanId offload_span = 0;
 };
 
 class MeshNetwork {
@@ -122,6 +125,15 @@ class MeshNetwork {
   /// `recorder`. Either may be null; both must outlive this network.
   void set_metrics(obs::Registry* registry, obs::FlightRecorder* recorder);
 
+  /// Register the causal tracer. Every chunk gets one trace (a pure
+  /// function of seed + its key): the badge slice and offload root it,
+  /// pre-ack gossip copies add replica spans (post-ack anti-entropy is
+  /// counted in mesh.chunks_replicated, not traced — it would dwarf the
+  /// dump), the replication ack closes the durability question, and the
+  /// read view appends read spans. Null detaches; must outlive this
+  /// network. docs/TRACING.md has the span model.
+  void set_trace(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct BadgeCursor {
     std::size_t beacon_obs = 0, pings = 0, ir = 0, motion = 0;
@@ -169,6 +181,7 @@ class MeshNetwork {
   };
   Instruments metrics_;
   obs::FlightRecorder* recorder_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace hs::mesh

@@ -17,16 +17,25 @@ std::map<io::BadgeId, badge::SdCard> MeshReadView::rebuild_cards() const {
       continue;
     }
     auto& card = cards[static_cast<io::BadgeId>(key.origin)];
+    std::size_t replayed = 0;
     io::BinLogVisitor v;
-    v.on_beacon_obs = [&card](const io::BeaconObs& r) { card.log(r); };
-    v.on_proximity_ping = [&card](const io::ProximityPing& r) { card.log(r); };
-    v.on_ir_contact = [&card](const io::IrContact& r) { card.log(r); };
-    v.on_motion_frame = [&card](const io::MotionFrame& r) { card.log(r); };
-    v.on_audio_frame = [&card](const io::AudioFrame& r) { card.log(r); };
-    v.on_env_frame = [&card](const io::EnvFrame& r) { card.log(r); };
-    v.on_wear_event = [&card](const io::WearEvent& r) { card.log(r); };
-    v.on_sync_sample = [&card](const io::SyncSample& r) { card.log(r); };
+    v.on_beacon_obs = [&](const io::BeaconObs& r) { card.log(r), ++replayed; };
+    v.on_proximity_ping = [&](const io::ProximityPing& r) { card.log(r), ++replayed; };
+    v.on_ir_contact = [&](const io::IrContact& r) { card.log(r), ++replayed; };
+    v.on_motion_frame = [&](const io::MotionFrame& r) { card.log(r), ++replayed; };
+    v.on_audio_frame = [&](const io::AudioFrame& r) { card.log(r), ++replayed; };
+    v.on_env_frame = [&](const io::EnvFrame& r) { card.log(r), ++replayed; };
+    v.on_wear_event = [&](const io::WearEvent& r) { card.log(r), ++replayed; };
+    v.on_sync_sample = [&](const io::SyncSample& r) { card.log(r), ++replayed; };
     (void)io::replay_binlog(binlog, v);
+    if (tracer_ != nullptr) {
+      const auto tit = mesh_->traces().find(key);
+      const obs::SpanId parent = tit == mesh_->traces().end() ? 0 : tit->second.offload_span;
+      tracer_->emit(tracer_->chunk_trace(key.origin, key.seq), obs::SpanKind::kChunkRead,
+                    obs::Subsys::kMesh, now_, now_, parent,
+                    static_cast<std::int64_t>(key.origin), static_cast<std::int64_t>(key.seq),
+                    static_cast<std::int64_t>(replayed));
+    }
   }
   return cards;
 }
@@ -36,6 +45,7 @@ std::vector<support::BadgeHealth> MeshReadView::health_snapshot(SimTime now,
   struct Latest {
     SimTime t = -1;
     OffloadVitals vitals;
+    ChunkKey key;
   };
   std::map<io::BadgeId, Latest> latest;
   for (const auto& [key, chunk] : mesh_->merged_store()) {
@@ -47,6 +57,7 @@ std::vector<support::BadgeHealth> MeshReadView::health_snapshot(SimTime now,
     if (decode_records_payload(*chunk->payload, vitals, binlog)) {
       slot.t = chunk->created_at;
       slot.vitals = vitals;
+      slot.key = key;
     }
   }
 
@@ -61,6 +72,8 @@ std::vector<support::BadgeHealth> MeshReadView::health_snapshot(SimTime now,
     h.active = slot.vitals.active && (now - slot.t) <= stale_after;
     h.docked = slot.vitals.docked;
     h.worn = slot.vitals.worn;
+    h.source_origin = static_cast<std::int64_t>(slot.key.origin);
+    h.source_seq = static_cast<std::int64_t>(slot.key.seq);
     out.push_back(h);
   }
   return out;

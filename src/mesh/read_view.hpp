@@ -22,7 +22,14 @@ namespace hs::mesh {
 
 class MeshReadView {
  public:
-  explicit MeshReadView(const MeshNetwork& mesh) : mesh_(&mesh) {}
+  /// With a tracer, rebuild_cards() appends one kChunkRead span per record
+  /// chunk it replays (parented to the chunk's offload span, closing the
+  /// badge -> node -> replicas -> read-view lineage); `now` stamps those
+  /// spans. health_snapshot() needs no tracer: it carries its provenance
+  /// in BadgeHealth::source_origin/seq instead, so the support system can
+  /// cite the exact chunk behind an alert.
+  explicit MeshReadView(const MeshNetwork& mesh, obs::Tracer* tracer = nullptr, SimTime now = 0)
+      : mesh_(&mesh), tracer_(tracer), now_(now) {}
 
   /// Rebuild each badge's SD card from the merged store: record chunks
   /// replayed in (origin, seq) order, streams appended in export order.
@@ -51,6 +58,8 @@ class MeshReadView {
 
  private:
   const MeshNetwork* mesh_;
+  obs::Tracer* tracer_;
+  SimTime now_;
 };
 
 }  // namespace hs::mesh

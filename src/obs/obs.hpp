@@ -1,8 +1,12 @@
 // Umbrella header for the hs::obs observability layer: the metrics
-// registry (counters, gauges, fixed-bucket histograms, snapshot export)
-// and the flight recorder (bounded ring of structured events). See
-// docs/OBSERVABILITY.md for the catalog and the determinism rules.
+// registry (counters, gauges, fixed-bucket histograms, snapshot export),
+// the flight recorder (bounded ring of structured events) and the causal
+// tracer (deterministic spans + the query layer over a dump). See
+// docs/OBSERVABILITY.md for the catalog and determinism rules, and
+// docs/TRACING.md for the span model.
 #pragma once
 
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_query.hpp"

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/units.hpp"
 
 #ifndef HS_OBS_ENABLED
@@ -69,6 +70,7 @@ class FlightRecorder {
 
   void record(SimTime t, Subsys subsys, EventCode code, std::int64_t a = 0, std::int64_t b = 0) {
 #if HS_OBS_ENABLED
+    if (total_ >= ring_.size() && dropped_counter_ != nullptr) dropped_counter_->inc();
     ring_[static_cast<std::size_t>(total_ % ring_.size())] = FlightEvent{t, subsys, code, a, b};
     ++total_;
 #else
@@ -85,6 +87,12 @@ class FlightRecorder {
   }
   /// Events lost to wraparound.
   [[nodiscard]] std::uint64_t dropped() const { return total_ - size(); }
+  [[nodiscard]] std::uint64_t dropped_count() const { return dropped(); }
+  /// Counter (`hs.obs.flight_dropped_total`) bumped every time record()
+  /// overwrites an event nobody read — silent wraparound loss made
+  /// visible in the metrics dump. Null detaches. docs/OBSERVABILITY.md
+  /// has the sizing rule this counter polices.
+  void set_dropped_counter(Counter* counter) { dropped_counter_ = counter; }
 
   /// The held events, oldest first (cold path; copies out of the ring).
   [[nodiscard]] std::vector<FlightEvent> events() const;
@@ -98,6 +106,7 @@ class FlightRecorder {
  private:
   std::vector<FlightEvent> ring_;
   std::uint64_t total_ = 0;
+  Counter* dropped_counter_ = nullptr;
 };
 
 }  // namespace hs::obs

@@ -1,0 +1,339 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string_view>
+
+namespace hs::obs {
+namespace {
+
+/// splitmix64 finalizer: a bijection on u64, so distinct emission indices
+/// (same salt) can never collide, and good avalanche keeps unrelated
+/// (origin, seq) pairs from producing adjacent ids.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t kTraceSalt = 0x74726163653a6964ULL;  // "trace:id"
+constexpr std::uint64_t kSpanSalt = 0x7370616e3a696473ULL;   // "span:ids"
+
+constexpr SimTime kOpenEnd = -1;
+
+struct KindName {
+  SpanKind kind;
+  const char* name;
+};
+
+constexpr KindName kKindNames[] = {
+    {SpanKind::kSimEvent, "sim_event"},
+    {SpanKind::kBadgeSlice, "badge_slice"},
+    {SpanKind::kChunkOffload, "chunk_offload"},
+    {SpanKind::kChunkReplicate, "chunk_replicate"},
+    {SpanKind::kChunkAck, "chunk_ack"},
+    {SpanKind::kChunkRead, "chunk_read"},
+    {SpanKind::kControlPublish, "control_publish"},
+    {SpanKind::kAlertRaised, "alert_raised"},
+    {SpanKind::kAlertEvidence, "alert_evidence"},
+    {SpanKind::kAlertDelivered, "alert_delivered"},
+    {SpanKind::kProposalOpened, "proposal_opened"},
+    {SpanKind::kVoteCast, "vote_cast"},
+    {SpanKind::kProposalResolved, "proposal_resolved"},
+    {SpanKind::kFaultArmed, "fault_armed"},
+    {SpanKind::kFaultActive, "fault_active"},
+    {SpanKind::kPipelineRun, "pipeline_run"},
+    {SpanKind::kPipelineStage, "pipeline_stage"},
+    {SpanKind::kPipelineShard, "pipeline_shard"},
+};
+
+std::optional<SpanKind> parse_kind(std::string_view name) {
+  for (const auto& [kind, n] : kKindNames) {
+    if (name == n) return kind;
+  }
+  return std::nullopt;
+}
+
+constexpr Subsys kAllSubsys[] = {Subsys::kSim,     Subsys::kBadge,  Subsys::kMesh,
+                                 Subsys::kSupport, Subsys::kFaults, Subsys::kPipeline};
+
+std::optional<Subsys> parse_subsys(std::string_view name) {
+  for (const Subsys s : kAllSubsys) {
+    if (name == subsys_name(s)) return s;
+  }
+  return std::nullopt;
+}
+
+void append_hex_id(std::string& out, std::uint64_t id) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(id));
+  out += buf;
+}
+
+std::optional<std::uint64_t> parse_hex_id(std::string_view field) {
+  if (field.size() != 16) return std::nullopt;
+  std::uint64_t v = 0;
+  for (const char ch : field) {
+    v <<= 4;
+    if (ch >= '0' && ch <= '9') {
+      v |= static_cast<std::uint64_t>(ch - '0');
+    } else if (ch >= 'a' && ch <= 'f') {
+      v |= static_cast<std::uint64_t>(ch - 'a' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return v;
+}
+
+std::optional<std::int64_t> parse_int(std::string_view field) {
+  if (field.empty()) return std::nullopt;
+  char* end = nullptr;
+  const std::string tmp(field);
+  const long long v = std::strtoll(tmp.c_str(), &end, 10);
+  if (end != tmp.c_str() + tmp.size()) return std::nullopt;
+  return static_cast<std::int64_t>(v);
+}
+
+Error parse_error(std::size_t line, const char* what) {
+  return Error{"trace csv line " + std::to_string(line) + ": " + what};
+}
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+}  // namespace
+
+const char* span_kind_name(SpanKind k) {
+  for (const auto& [kind, name] : kKindNames) {
+    if (kind == k) return name;
+  }
+  return "?";
+}
+
+Tracer::Tracer(std::uint64_t seed, std::size_t max_spans)
+    : seed_(seed), span_salt_(mix64(seed ^ kSpanSalt)), max_spans_(max_spans) {
+  const char* env = std::getenv("HS_OBS_PROFILE");
+  profiling_ = env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
+
+TraceId Tracer::trace_id(TraceOrigin origin, std::uint64_t hi, std::uint64_t lo) const {
+  std::uint64_t h = mix64(seed_ ^ kTraceSalt);
+  h = mix64(h ^ (static_cast<std::uint64_t>(origin) << 56) ^ hi);
+  h = mix64(h ^ lo);
+  return h == 0 ? 1 : h;
+}
+
+SpanId Tracer::next_span_id() {
+  const SpanId id = mix64(span_salt_ ^ emitted_);
+  ++emitted_;
+  return id == 0 ? 1 : id;
+}
+
+SpanId Tracer::emit_impl(TraceId trace, SpanKind kind, Subsys subsys, SimTime start, SimTime end,
+                         SpanId parent, std::int64_t a, std::int64_t b, std::int64_t c) {
+  const SpanId id = next_span_id();
+  const SpanId ctx = context();
+  const SpanId link = (ctx != 0 && ctx != parent) ? ctx : 0;
+  if (spans_.size() >= max_spans_) {
+    if (dropped_counter_) dropped_counter_->inc();
+    return id;
+  }
+  spans_.push_back(TraceSpan{trace, id, parent, link, kind, subsys, start, end, a, b, c});
+  return id;
+}
+
+SpanId Tracer::begin_impl(TraceId trace, SpanKind kind, Subsys subsys, SimTime start,
+                          SpanId parent, std::int64_t a, std::int64_t b, std::int64_t c) {
+  const SpanId id = next_span_id();
+  const SpanId ctx = context();
+  const SpanId link = (ctx != 0 && ctx != parent) ? ctx : 0;
+  if (spans_.size() >= max_spans_) {
+    if (dropped_counter_) dropped_counter_->inc();
+    return id;
+  }
+  open_.emplace(id, spans_.size());
+  spans_.push_back(TraceSpan{trace, id, parent, link, kind, subsys, start, kOpenEnd, a, b, c});
+  return id;
+}
+
+void Tracer::close_impl(SpanId id, SimTime end) {
+  const auto it = open_.find(id);
+  if (it == open_.end()) return;  // unknown, already closed, or dropped
+  spans_[it->second].end = end;
+  open_.erase(it);
+}
+
+std::string Tracer::to_csv() const {
+  std::string out = "trace,span,parent,link,kind,subsys,start_us,end_us,a,b,c\n";
+  out.reserve(out.size() + spans_.size() * 112);
+  for (const TraceSpan& s : spans_) {
+    append_hex_id(out, s.trace);
+    out += ',';
+    append_hex_id(out, s.id);
+    out += ',';
+    append_hex_id(out, s.parent);
+    out += ',';
+    append_hex_id(out, s.link);
+    out += ',';
+    out += span_kind_name(s.kind);
+    out += ',';
+    out += subsys_name(s.subsys);
+    out += ',';
+    out += std::to_string(s.start);
+    out += ',';
+    out += std::to_string(s.end);
+    out += ',';
+    out += std::to_string(s.a);
+    out += ',';
+    out += std::to_string(s.b);
+    out += ',';
+    out += std::to_string(s.c);
+    out += '\n';
+  }
+  return out;
+}
+
+Expected<std::vector<TraceSpan>> Tracer::from_csv(const std::string& text) {
+  constexpr std::string_view kHeader = "trace,span,parent,link,kind,subsys,start_us,end_us,a,b,c";
+  std::vector<TraceSpan> spans;
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) return Error{"trace csv: missing trailing newline"};
+    const std::string_view line(text.data() + pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line_no == 1) {
+      if (line != kHeader) return Error{"trace csv: bad header"};
+      continue;
+    }
+
+    std::string_view fields[11];
+    std::size_t nfields = 0;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= line.size(); ++i) {
+      if (i == line.size() || line[i] == ',') {
+        if (nfields >= 11) return parse_error(line_no, "too many fields");
+        fields[nfields++] = line.substr(start, i - start);
+        start = i + 1;
+      }
+    }
+    if (nfields != 11) return parse_error(line_no, "expected 11 fields");
+
+    TraceSpan s;
+    const auto trace = parse_hex_id(fields[0]);
+    const auto id = parse_hex_id(fields[1]);
+    const auto parent = parse_hex_id(fields[2]);
+    const auto link = parse_hex_id(fields[3]);
+    if (!trace || !id || !parent || !link) return parse_error(line_no, "bad id field");
+    const auto kind = parse_kind(fields[4]);
+    if (!kind) return parse_error(line_no, "unknown span kind");
+    const auto subsys = parse_subsys(fields[5]);
+    if (!subsys) return parse_error(line_no, "unknown subsystem");
+    const auto t0 = parse_int(fields[6]);
+    const auto t1 = parse_int(fields[7]);
+    const auto a = parse_int(fields[8]);
+    const auto b = parse_int(fields[9]);
+    const auto c = parse_int(fields[10]);
+    if (!t0 || !t1 || !a || !b || !c) return parse_error(line_no, "bad integer field");
+    s.trace = *trace;
+    s.id = *id;
+    s.parent = *parent;
+    s.link = *link;
+    s.kind = *kind;
+    s.subsys = *subsys;
+    s.start = *t0;
+    s.end = *t1;
+    s.a = *a;
+    s.b = *b;
+    s.c = *c;
+    spans.push_back(s);
+  }
+  if (line_no == 0) return Error{"trace csv: empty input"};
+  return spans;
+}
+
+std::string spans_to_chrome_json(const std::vector<TraceSpan>& spans) {
+  std::string out = "{\"traceEvents\":[";
+  // One Perfetto process row per subsystem, named up front.
+  bool first = true;
+  for (const Subsys s : kAllSubsys) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+    out += std::to_string(static_cast<int>(s));
+    out += ",\"tid\":0,\"args\":{\"name\":\"";
+    out += subsys_name(s);
+    out += "\"}}";
+  }
+  for (const TraceSpan& s : spans) {
+    const SimTime dur = s.end >= s.start ? s.end - s.start : 0;
+    out += ",{\"name\":\"";
+    out += span_kind_name(s.kind);
+    out += "\",\"cat\":\"";
+    out += subsys_name(s.subsys);
+    out += "\",\"ph\":\"X\",\"ts\":";
+    out += std::to_string(s.start);
+    out += ",\"dur\":";
+    out += std::to_string(dur);
+    out += ",\"pid\":";
+    out += std::to_string(static_cast<int>(s.subsys));
+    // Thread row = trace: every span of one causal chain shares a track.
+    out += ",\"tid\":";
+    out += std::to_string(s.trace % 1'000'000);
+    out += ",\"args\":{\"trace\":\"";
+    append_hex_id(out, s.trace);
+    out += "\",\"span\":\"";
+    append_hex_id(out, s.id);
+    out += "\",\"parent\":\"";
+    append_hex_id(out, s.parent);
+    out += "\",\"link\":\"";
+    append_hex_id(out, s.link);
+    out += "\",\"a\":";
+    out += std::to_string(s.a);
+    out += ",\"b\":";
+    out += std::to_string(s.b);
+    out += ",\"c\":";
+    out += std::to_string(s.c);
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+std::string Tracer::to_chrome_json() const { return spans_to_chrome_json(spans_); }
+
+void Tracer::note_profile(const char* name, std::uint64_t wall_ns) {
+  profile_.push_back(ProfileEntry{name, wall_ns});
+}
+
+std::string Tracer::profile_csv() const {
+  std::string out = "name,wall_ns\n";
+  for (const ProfileEntry& e : profile_) {
+    out += e.name;
+    out += ',';
+    out += std::to_string(e.wall_ns);
+    out += '\n';
+  }
+  return out;
+}
+
+ProfileScope::ProfileScope(Tracer* tracer, const char* name)
+    : tracer_(tracer != nullptr && tracer->profiling_enabled() ? tracer : nullptr), name_(name) {
+  if (tracer_) t0_ns_ = steady_ns();
+}
+
+ProfileScope::~ProfileScope() {
+  if (tracer_) tracer_->note_profile(name_, steady_ns() - t0_ns_);
+}
+
+}  // namespace hs::obs

@@ -1,0 +1,281 @@
+// Deterministic causal tracing: spans across kernel, badge, mesh, support
+// and pipeline.
+//
+// PR 4's metrics answer "how much happened"; the flight recorder answers
+// "what rare transitions happened". Neither answers causal questions —
+// "what happened to chunk X end-to-end?", "which record fed this alert?"
+// — which is what an autonomous habitat needs when the crew, not ground
+// control, has to reconstruct a failure. hs::obs::trace fills that gap
+// with the same determinism contract as the rest of the layer:
+//
+//  * Every trace id is a pure function of (seed, origin class, origin,
+//    sequence); every span id is a pure function of (seed, emission
+//    index). No wall clock, no randomness: the same (seed, fault plan)
+//    produces a byte-identical trace dump at any thread count.
+//  * Spans are only emitted from the single-threaded mission loop or from
+//    serial index-ordered folds after a parallel_for barrier — the same
+//    rule docs/CONCURRENCY.md imposes on metric updates.
+//  * `HS_OBS_ENABLED=OFF` compiles the hot-path bodies out: call sites
+//    stay unconditional, emit() collapses to `return 0`.
+//
+// Two exports: canonical CSV (strict round-trip, like MetricsSnapshot)
+// and Chrome trace-event JSON that loads in Perfetto / chrome://tracing.
+// Sim-time spans carry mission causality; wall-clock profiling scopes
+// (opt-in via the HS_OBS_PROFILE environment variable) are kept in a
+// separate buffer so they can never leak nondeterminism into the dumps.
+// docs/TRACING.md has the span model and the how-to.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/recorder.hpp"
+#include "util/expected.hpp"
+#include "util/units.hpp"
+
+#ifndef HS_OBS_ENABLED
+#define HS_OBS_ENABLED 1
+#endif
+
+namespace hs::obs {
+
+/// 64-bit ids; 0 is reserved for "none" (no parent, no link, no context).
+using TraceId = std::uint64_t;
+using SpanId = std::uint64_t;
+
+/// What a span records. One flat enum across subsystems, like EventCode.
+/// The a/b/c argument meaning per kind (comments) is part of the dump
+/// contract — the trace-query layer finds chunks and alerts by scanning
+/// these arguments, never by re-deriving ids from the seed.
+enum class SpanKind : std::uint16_t {
+  kSimEvent = 1,      ///< a = EventId, b = period (0: one-shot)
+  kBadgeSlice,        ///< a = badge id, b = records in the slice
+  kChunkOffload,      ///< a = origin, b = seq, c = node stored at
+  kChunkReplicate,    ///< a = src node, b = dst node (pre-ack copies only)
+  kChunkAck,          ///< a = origin, b = seq, c = replicas at ack
+  kChunkRead,         ///< a = origin, b = seq, c = records replayed
+  kControlPublish,    ///< a = node, b = ChunkKind, c = seq
+  kAlertRaised,       ///< a = alert index, b = AlertKind, c = astronaut (-1: habitat)
+  kAlertEvidence,     ///< a = origin, b = seq of the chunk whose vitals fed it
+  kAlertDelivered,    ///< a = astronaut, b = Modality (-1: none)
+  kProposalOpened,    ///< a = proposal id
+  kVoteCast,          ///< a = proposal id, b = voter, c = approve (0/1)
+  kProposalResolved,  ///< a = proposal id, b = ProposalState
+  kFaultArmed,        ///< a = plan index, b = FaultKind
+  kFaultActive,       ///< open span activation -> clear; a = plan index, b = kind
+  kPipelineRun,       ///< a = run index
+  kPipelineStage,     ///< a = stage index, b = shard count
+  kPipelineShard,     ///< a = stage index, b = shard index
+};
+const char* span_kind_name(SpanKind k);
+
+/// One traced operation on the sim timeline. `start == end` for instant
+/// spans (most mission events are); kFaultActive stays open (end == -1)
+/// until the recovery fires. `parent` is the lineage edge inside the same
+/// trace; `link` is a cross-trace causal edge (e.g. a replicate span links
+/// to the gossip-round kernel event that carried it).
+struct TraceSpan {
+  TraceId trace = 0;
+  SpanId id = 0;
+  SpanId parent = 0;
+  SpanId link = 0;
+  SpanKind kind = SpanKind::kSimEvent;
+  Subsys subsys = Subsys::kSim;
+  SimTime start = 0;
+  SimTime end = 0;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::int64_t c = 0;
+
+  friend bool operator==(const TraceSpan&, const TraceSpan&) = default;
+};
+
+/// Namespaces for trace-id derivation: one per kind of root cause, so a
+/// chunk and an alert with the same ordinal can never collide.
+enum class TraceOrigin : std::uint8_t {
+  kSimEvent = 1,
+  kChunk,
+  kAlert,
+  kProposal,
+  kFault,
+  kPipeline,
+};
+
+/// One wall-clock profiling measurement (HS_OBS_PROFILE only). Kept out
+/// of the deterministic spans on purpose: wall time is not a function of
+/// (seed, plan).
+struct ProfileEntry {
+  std::string name;
+  std::uint64_t wall_ns = 0;
+};
+
+/// Owns every span for one run (MissionRunner owns one per mission, like
+/// the Registry). Bounded: after `max_spans` emissions further spans are
+/// counted and dropped — the cap is a span *count*, so what gets dropped
+/// is itself deterministic.
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultMaxSpans = std::size_t{1} << 20;
+
+  explicit Tracer(std::uint64_t seed = 0, std::size_t max_spans = kDefaultMaxSpans);
+
+  // --- id derivation (pure; no state consulted beyond the seed) -----------
+  [[nodiscard]] TraceId trace_id(TraceOrigin origin, std::uint64_t hi,
+                                 std::uint64_t lo = 0) const;
+  [[nodiscard]] TraceId chunk_trace(std::uint64_t origin, std::uint64_t seq) const {
+    return trace_id(TraceOrigin::kChunk, origin, seq);
+  }
+  [[nodiscard]] TraceId alert_trace(std::uint64_t alert_index) const {
+    return trace_id(TraceOrigin::kAlert, alert_index);
+  }
+  [[nodiscard]] TraceId proposal_trace(std::uint64_t proposal_id) const {
+    return trace_id(TraceOrigin::kProposal, proposal_id);
+  }
+  [[nodiscard]] TraceId sim_event_trace(std::uint64_t event_id) const {
+    return trace_id(TraceOrigin::kSimEvent, event_id);
+  }
+  [[nodiscard]] TraceId fault_trace(std::uint64_t plan_index) const {
+    return trace_id(TraceOrigin::kFault, plan_index);
+  }
+  [[nodiscard]] TraceId pipeline_trace(std::uint64_t run_index) const {
+    return trace_id(TraceOrigin::kPipeline, run_index);
+  }
+  /// Serial per-tracer pipeline-run ordinal (each AnalysisPipeline
+  /// assembly takes one, so repeated analyses stay distinguishable).
+  [[nodiscard]] std::uint64_t next_pipeline_run() { return pipeline_runs_++; }
+
+  // --- emission (hot path; compiled out under HS_OBS_ENABLED=OFF) ---------
+  /// Record a closed span. Returns its id (assigned even when the span is
+  /// dropped over the cap, so id assignment never depends on the cap).
+  /// When a context is pushed and `parent` is 0 or from another trace,
+  /// the context becomes the span's `link` (cross-trace causality).
+  SpanId emit(TraceId trace, SpanKind kind, Subsys subsys, SimTime start, SimTime end,
+              SpanId parent = 0, std::int64_t a = 0, std::int64_t b = 0, std::int64_t c = 0) {
+#if HS_OBS_ENABLED
+    return emit_impl(trace, kind, subsys, start, end, parent, a, b, c);
+#else
+    (void)trace, (void)kind, (void)subsys, (void)start, (void)end, (void)parent;
+    (void)a, (void)b, (void)c;
+    return 0;
+#endif
+  }
+
+  /// Open a span (kFaultActive-style: the end instant is not known yet).
+  SpanId begin(TraceId trace, SpanKind kind, Subsys subsys, SimTime start, SpanId parent = 0,
+               std::int64_t a = 0, std::int64_t b = 0, std::int64_t c = 0) {
+#if HS_OBS_ENABLED
+    return begin_impl(trace, kind, subsys, start, parent, a, b, c);
+#else
+    (void)trace, (void)kind, (void)subsys, (void)start, (void)parent;
+    (void)a, (void)b, (void)c;
+    return 0;
+#endif
+  }
+
+  /// Close a span opened with begin(). Unknown/dropped ids are a no-op.
+  void close(SpanId id, SimTime end) {
+#if HS_OBS_ENABLED
+    close_impl(id, end);
+#else
+    (void)id, (void)end;
+#endif
+  }
+
+  // --- causal context (a stack; the kernel pushes around each callback) ----
+  void push_context(SpanId id) {
+#if HS_OBS_ENABLED
+    context_.push_back(id);
+#else
+    (void)id;
+#endif
+  }
+  void pop_context() {
+#if HS_OBS_ENABLED
+    if (!context_.empty()) context_.pop_back();
+#endif
+  }
+  [[nodiscard]] SpanId context() const {
+#if HS_OBS_ENABLED
+    return context_.empty() ? 0 : context_.back();
+#else
+    return 0;
+#endif
+  }
+
+  // --- introspection -------------------------------------------------------
+  [[nodiscard]] const std::vector<TraceSpan>& spans() const { return spans_; }
+  [[nodiscard]] std::size_t size() const { return spans_.size(); }
+  [[nodiscard]] std::uint64_t total_emitted() const { return emitted_; }
+  /// Spans lost to the cap (emitted - stored).
+  [[nodiscard]] std::uint64_t dropped_count() const { return emitted_ - spans_.size(); }
+  [[nodiscard]] std::size_t max_spans() const { return max_spans_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  /// Counter bumped on every span dropped over the cap; null detaches.
+  void set_dropped_counter(Counter* counter) { dropped_counter_ = counter; }
+
+  // --- export --------------------------------------------------------------
+  /// CSV dump: `trace,span,parent,link,kind,subsys,start_us,end_us,a,b,c`
+  /// per line, ids as 16-digit lowercase hex, in emission order. Pure
+  /// function of (seed, plan); the determinism tests diff it directly.
+  [[nodiscard]] std::string to_csv() const;
+  /// Strict inverse of to_csv(): exact header, exact field count, every
+  /// value parseable; the first malformed line aborts with its number.
+  static Expected<std::vector<TraceSpan>> from_csv(const std::string& text);
+  /// Chrome trace-event JSON ("traceEvents" of ph:"X" complete events in
+  /// sim-µs, one process row per subsystem) — loadable in Perfetto and
+  /// chrome://tracing. Same export for a parsed dump via the free
+  /// function below.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+  // --- wall-clock profiling (HS_OBS_PROFILE=1; never in the dumps) --------
+  [[nodiscard]] bool profiling_enabled() const { return profiling_; }
+  void note_profile(const char* name, std::uint64_t wall_ns);
+  [[nodiscard]] const std::vector<ProfileEntry>& profile_entries() const { return profile_; }
+  /// `name,wall_ns` per scope, emission order. Wall clock: NOT byte-stable.
+  [[nodiscard]] std::string profile_csv() const;
+
+ private:
+  SpanId emit_impl(TraceId trace, SpanKind kind, Subsys subsys, SimTime start, SimTime end,
+                   SpanId parent, std::int64_t a, std::int64_t b, std::int64_t c);
+  SpanId begin_impl(TraceId trace, SpanKind kind, Subsys subsys, SimTime start, SpanId parent,
+                    std::int64_t a, std::int64_t b, std::int64_t c);
+  void close_impl(SpanId id, SimTime end);
+  [[nodiscard]] SpanId next_span_id();
+
+  std::uint64_t seed_;
+  std::uint64_t span_salt_;
+  std::size_t max_spans_;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t pipeline_runs_ = 0;
+  bool profiling_ = false;
+  std::vector<TraceSpan> spans_;
+  std::vector<SpanId> context_;
+  std::unordered_map<SpanId, std::size_t> open_;  ///< begin()-ed, not yet closed
+  Counter* dropped_counter_ = nullptr;
+  std::vector<ProfileEntry> profile_;
+};
+
+/// Chrome trace-event JSON for an already-parsed dump (what hs_trace's
+/// --export-perfetto uses on a CSV input).
+[[nodiscard]] std::string spans_to_chrome_json(const std::vector<TraceSpan>& spans);
+
+/// RAII wall-clock scope: measures steady-clock nanoseconds and records
+/// them via note_profile() on destruction. No-op unless the tracer is
+/// non-null and was constructed with HS_OBS_PROFILE set — so scopes can
+/// wrap pipeline stages unconditionally.
+class ProfileScope {
+ public:
+  ProfileScope(Tracer* tracer, const char* name);
+  ~ProfileScope();
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  std::uint64_t t0_ns_ = 0;
+};
+
+}  // namespace hs::obs

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace hs::sim {
 
 EventId Simulation::enqueue(SimTime t, Scheduled scheduled) {
@@ -42,35 +44,49 @@ void Simulation::set_metrics(obs::Registry* registry) {
   cancelled_ = &registry->counter("sim.events_cancelled");
 }
 
+bool Simulation::run_one(const Entry& entry) {
+  auto it = callbacks_.find(entry.id);
+  if (it == callbacks_.end()) return false;  // cancelled
+  now_ = entry.time;
+  const SimDuration period = it->second.period;
+  if (tracer_) {
+    // One span per firing; a periodic event's firings share one trace.
+    // Pushed as context so everything the callback emits links back here.
+    const obs::SpanId span = tracer_->emit(
+        tracer_->sim_event_trace(entry.id), obs::SpanKind::kSimEvent, obs::Subsys::kSim,
+        entry.time, entry.time, 0, static_cast<std::int64_t>(entry.id),
+        static_cast<std::int64_t>(period));
+    tracer_->push_context(span);
+  }
+  if (period > 0) {
+    // Copy the fn: the callback may cancel its own id, erasing the map
+    // slot out from under the call.
+    auto fn = it->second.fn;
+    fn();
+    // Re-arm only after the callback returns, and only if the event
+    // survived its own firing: cancel() from inside the callback makes
+    // the in-flight firing the last one, with no stale queue entry left
+    // behind. Re-find the slot — the callback may have scheduled events
+    // and rehashed the map, invalidating `it`.
+    if (callbacks_.find(entry.id) != callbacks_.end()) {
+      queue_.push(Entry{entry.time + period, next_seq_++, entry.id});
+    }
+  } else {
+    auto fn = std::move(it->second.fn);
+    callbacks_.erase(it);
+    fn();
+  }
+  if (tracer_) tracer_->pop_context();
+  if (fired_) fired_->inc();
+  return true;
+}
+
 std::size_t Simulation::run_until(SimTime end) {
   std::size_t executed = 0;
   while (!queue_.empty() && queue_.top().time <= end) {
     const Entry entry = queue_.top();
     queue_.pop();
-    auto it = callbacks_.find(entry.id);
-    if (it == callbacks_.end()) continue;  // cancelled
-    now_ = entry.time;
-    if (it->second.period > 0) {
-      const SimDuration period = it->second.period;
-      // Copy the fn: the callback may cancel its own id, erasing the map
-      // slot out from under the call.
-      auto fn = it->second.fn;
-      fn();
-      // Re-arm only after the callback returns, and only if the event
-      // survived its own firing: cancel() from inside the callback makes
-      // the in-flight firing the last one, with no stale queue entry left
-      // behind. Re-find the slot — the callback may have scheduled events
-      // and rehashed the map, invalidating `it`.
-      if (callbacks_.find(entry.id) != callbacks_.end()) {
-        queue_.push(Entry{entry.time + period, next_seq_++, entry.id});
-      }
-    } else {
-      auto fn = std::move(it->second.fn);
-      callbacks_.erase(it);
-      fn();
-    }
-    ++executed;
-    if (fired_) fired_->inc();
+    if (run_one(entry)) ++executed;
   }
   if (now_ < end) now_ = end;
   return executed;
@@ -81,23 +97,7 @@ std::size_t Simulation::run_all() {
   while (!queue_.empty()) {
     const Entry entry = queue_.top();
     queue_.pop();
-    auto it = callbacks_.find(entry.id);
-    if (it == callbacks_.end()) continue;
-    now_ = entry.time;
-    if (it->second.period > 0) {
-      const SimDuration period = it->second.period;
-      auto fn = it->second.fn;
-      fn();
-      if (callbacks_.find(entry.id) != callbacks_.end()) {
-        queue_.push(Entry{entry.time + period, next_seq_++, entry.id});
-      }
-    } else {
-      auto fn = std::move(it->second.fn);
-      callbacks_.erase(it);
-      fn();
-    }
-    ++executed;
-    if (fired_) fired_->inc();
+    if (run_one(entry)) ++executed;
   }
   return executed;
 }

@@ -17,6 +17,10 @@
 #include "obs/metrics.hpp"
 #include "util/units.hpp"
 
+namespace hs::obs {
+class Tracer;
+}
+
 namespace hs::sim {
 
 /// Identifies a scheduled event for cancellation. 0 is never a valid id.
@@ -63,6 +67,14 @@ class Simulation {
   /// outlive the simulation's use of it (MissionRunner owns both).
   void set_metrics(obs::Registry* registry);
 
+  /// Register the causal tracer: every executed callback gets a kSimEvent
+  /// span (trace = pure fn of the event id, so a periodic event's firings
+  /// share one trace), and the span is pushed as causal context around
+  /// the callback — anything emitted from inside (gossip replication,
+  /// fault activation) links back to the kernel event that carried it.
+  /// Null detaches; the tracer must outlive the simulation's use of it.
+  void set_trace(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct Entry {
     SimTime time;
@@ -82,10 +94,14 @@ class Simulation {
   };
 
   EventId enqueue(SimTime t, Scheduled scheduled);
+  /// Execute one dequeued entry (shared by run_until/run_all). Returns
+  /// false when the entry was a cancelled event's stale queue slot.
+  bool run_one(const Entry& entry);
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
+  obs::Tracer* tracer_ = nullptr;
   obs::Counter* scheduled_ = nullptr;
   obs::Counter* fired_ = nullptr;
   obs::Counter* cancelled_ = nullptr;

@@ -26,6 +26,12 @@ struct BadgeHealth {
   bool active = false;            ///< powered and sampling
   bool docked = false;            ///< on the charging station
   bool worn = false;              ///< on someone's neck
+  /// Provenance: the mesh chunk (origin, seq) this sample was decoded
+  /// from, or -1/-1 when the sample came straight off the badge (direct
+  /// feed). Lets badge-health alerts cite the exact chunk as causal
+  /// evidence in the trace (docs/TRACING.md).
+  std::int64_t source_origin = -1;
+  std::int64_t source_seq = -1;
 };
 
 class BadgeHealthMonitor {

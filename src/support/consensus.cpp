@@ -58,12 +58,25 @@ std::uint64_t ChangeAuthority::propose(SimTime now, std::string description, Sim
     recorder_->record(now, obs::Subsys::kSupport, obs::EventCode::kProposalOpened,
                       static_cast<std::int64_t>(id));
   }
+  if (tracer_) {
+    opened_spans_[id] = tracer_->emit(tracer_->proposal_trace(id), obs::SpanKind::kProposalOpened,
+                                      obs::Subsys::kSupport, now, now, 0,
+                                      static_cast<std::int64_t>(id));
+  }
   return id;
+}
+
+void ChangeAuthority::trace_resolution(const ChangeProposal& p, SimTime now) {
+  if (tracer_ == nullptr) return;
+  tracer_->emit(tracer_->proposal_trace(p.id()), obs::SpanKind::kProposalResolved,
+                obs::Subsys::kSupport, now, now, opened_spans_[p.id()],
+                static_cast<std::int64_t>(p.id()), static_cast<std::int64_t>(p.state()));
 }
 
 bool ChangeAuthority::vote(SimTime now, std::uint64_t proposal, VoterId voter, bool approve) {
   for (auto& p : proposals_) {
     if (p.id() != proposal) continue;
+    const ProposalState before = p.state();
     const bool counted = p.vote(now, voter, approve);
     if (counted) {
       if (ballots_metric_) ballots_metric_->inc();
@@ -71,14 +84,27 @@ bool ChangeAuthority::vote(SimTime now, std::uint64_t proposal, VoterId voter, b
         recorder_->record(now, obs::Subsys::kSupport, obs::EventCode::kVoteTallied,
                           static_cast<std::int64_t>(proposal), static_cast<std::int64_t>(voter));
       }
+      if (tracer_) {
+        tracer_->emit(tracer_->proposal_trace(proposal), obs::SpanKind::kVoteCast,
+                      obs::Subsys::kSupport, now, now, opened_spans_[proposal],
+                      static_cast<std::int64_t>(proposal), static_cast<std::int64_t>(voter),
+                      approve ? 1 : 0);
+      }
+    }
+    // A vote can resolve the ballot (unanimity / first rejection) or — when
+    // it arrives past the deadline — expire it without counting.
+    if (before == ProposalState::kPending && p.state() != ProposalState::kPending) {
+      trace_resolution(p, now);
     }
     return counted;
   }
   return false;
 }
 
-void ChangeAuthority::set_metrics(obs::Registry* registry, obs::FlightRecorder* recorder) {
+void ChangeAuthority::set_metrics(obs::Registry* registry, obs::FlightRecorder* recorder,
+                                  obs::Tracer* tracer) {
   recorder_ = recorder;
+  tracer_ = tracer;
   if (registry == nullptr) {
     proposals_metric_ = ballots_metric_ = nullptr;
     return;
@@ -88,7 +114,13 @@ void ChangeAuthority::set_metrics(obs::Registry* registry, obs::FlightRecorder* 
 }
 
 void ChangeAuthority::tick(SimTime now) {
-  for (auto& p : proposals_) p.tick(now);
+  for (auto& p : proposals_) {
+    const ProposalState before = p.state();
+    p.tick(now);
+    if (before == ProposalState::kPending && p.state() != ProposalState::kPending) {
+      trace_resolution(p, now);
+    }
+  }
 }
 
 const ChangeProposal* ChangeAuthority::get(std::uint64_t id) const {

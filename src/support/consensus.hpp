@@ -97,16 +97,26 @@ class ChangeAuthority {
   /// Register `support.proposals_opened` / `support.ballots_tallied` in
   /// `registry` and log proposal/ballot events to `recorder`. Callers vote
   /// through this authority directly (support.changes().vote(...)), so
-  /// the hooks live here rather than on SupportSystem. Null detaches.
-  void set_metrics(obs::Registry* registry, obs::FlightRecorder* recorder);
+  /// the hooks live here rather than on SupportSystem. With a `tracer`,
+  /// each proposal gets one trace: opened root span, a vote span per
+  /// counted ballot, and a resolved span when the ballot reaches a
+  /// terminal state (by vote or by expiry). Null detaches.
+  void set_metrics(obs::Registry* registry, obs::FlightRecorder* recorder,
+                   obs::Tracer* tracer = nullptr);
 
  private:
+  /// Emit the kProposalResolved span for a freshly terminal proposal.
+  void trace_resolution(const ChangeProposal& p, SimTime now);
+
   std::vector<VoterId> voters_;
   std::uint64_t next_id_ = 1;
   std::vector<ChangeProposal> proposals_;
   obs::Counter* proposals_metric_ = nullptr;
   obs::Counter* ballots_metric_ = nullptr;
   obs::FlightRecorder* recorder_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  /// Root span per proposal id (vote/resolved spans parent to it).
+  std::map<std::uint64_t, obs::SpanId> opened_spans_;
 };
 
 }  // namespace hs::support

@@ -44,7 +44,33 @@ void SupportSystem::route_new_alerts(std::size_t from_index) {
                         static_cast<std::int64_t>(alert.kind),
                         alert.astronaut ? static_cast<std::int64_t>(*alert.astronaut) : -1);
     }
-    if (alert_sink_) alert_sink_(alert);
+    obs::SpanId raised = 0;
+    if (tracer_) {
+      const obs::TraceId trace = tracer_->alert_trace(i);
+      raised = tracer_->emit(trace, obs::SpanKind::kAlertRaised, obs::Subsys::kSupport,
+                             alert.time, alert.time, 0, static_cast<std::int64_t>(i),
+                             static_cast<std::int64_t>(alert.kind),
+                             alert.astronaut ? static_cast<std::int64_t>(*alert.astronaut) : -1);
+      // Badge-health alerts were tripped by one specific offloaded chunk;
+      // cite it so hs_trace --critical-path can walk record -> alert.
+      if ((alert.kind == AlertKind::kBatteryLow || alert.kind == AlertKind::kSensorLoss) &&
+          pending_evidence_.first >= 0) {
+        tracer_->emit(trace, obs::SpanKind::kAlertEvidence, obs::Subsys::kSupport, alert.time,
+                      alert.time, raised, pending_evidence_.first, pending_evidence_.second);
+      }
+      for (const auto& d : routed) {
+        tracer_->emit(trace, obs::SpanKind::kAlertDelivered, obs::Subsys::kSupport, alert.time,
+                      alert.time, raised, static_cast<std::int64_t>(d.astronaut),
+                      d.modality ? static_cast<std::int64_t>(*d.modality) : -1);
+      }
+    }
+    if (alert_sink_) {
+      // The raise is the causal context of whatever the sink does (mesh
+      // publishes pick it up as their cross-trace link).
+      if (tracer_) tracer_->push_context(raised);
+      alert_sink_(alert);
+      if (tracer_) tracer_->pop_context();
+    }
   }
 }
 
@@ -60,7 +86,9 @@ void SupportSystem::ingest_badge(const BadgeHealth& health) {
   // Every alert the health monitor emits marks a badge state transition
   // (healthy -> battery-low / sensor-loss and the recovery edges).
   if (health_transitions_metric_) health_transitions_metric_->inc(alerts_.size() - before);
+  pending_evidence_ = {health.source_origin, health.source_seq};
   route_new_alerts(before);
+  pending_evidence_ = {-1, -1};
 }
 
 void SupportSystem::end_of_second(SimTime now) {
@@ -85,17 +113,19 @@ void SupportSystem::poll_uplink(SimTime now) {
   route_new_alerts(before);
 }
 
-void SupportSystem::set_metrics(obs::Registry* registry, obs::FlightRecorder* recorder) {
+void SupportSystem::set_metrics(obs::Registry* registry, obs::FlightRecorder* recorder,
+                                obs::Tracer* tracer) {
   recorder_ = recorder;
+  tracer_ = tracer;
   if (registry == nullptr) {
     alerts_metric_ = deliveries_metric_ = health_transitions_metric_ = nullptr;
-    changes_.set_metrics(nullptr, nullptr);
+    changes_.set_metrics(nullptr, nullptr, tracer);
     return;
   }
   alerts_metric_ = &registry->counter("support.alerts_raised");
   deliveries_metric_ = &registry->counter("support.deliveries");
   health_transitions_metric_ = &registry->counter("support.health_transitions");
-  changes_.set_metrics(registry, recorder);
+  changes_.set_metrics(registry, recorder, tracer);
 }
 
 std::size_t SupportSystem::alert_count(AlertKind kind) const {

@@ -73,9 +73,15 @@ class SupportSystem {
 
   /// Register the support counters (`support.alerts_raised`, `.deliveries`,
   /// `.health_transitions`) plus the ChangeAuthority's ballot counters, and
-  /// log each raised alert to `recorder`. Either may be null; both must
-  /// outlive this system.
-  void set_metrics(obs::Registry* registry, obs::FlightRecorder* recorder);
+  /// log each raised alert to `recorder`. With a `tracer`, every alert
+  /// additionally opens a causal trace: an alert-raised root span, one
+  /// evidence span per badge-health alert citing the mesh chunk whose
+  /// vitals tripped the monitor, one delivery span per routed modality,
+  /// and the root pushed as context around the alert sink so external
+  /// publishes (mesh dissemination) link back to the alert that caused
+  /// them. Any argument may be null; all must outlive this system.
+  void set_metrics(obs::Registry* registry, obs::FlightRecorder* recorder,
+                   obs::Tracer* tracer = nullptr);
 
  private:
   void route_new_alerts(std::size_t from_index);
@@ -96,6 +102,11 @@ class SupportSystem {
   obs::Counter* deliveries_metric_ = nullptr;
   obs::Counter* health_transitions_metric_ = nullptr;
   obs::FlightRecorder* recorder_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  /// Mesh chunk (origin, seq) behind the badge-health sample currently
+  /// being ingested; (-1, -1) outside ingest_badge or for direct-feed
+  /// samples. Evidence spans for kBatteryLow/kSensorLoss read this.
+  std::pair<std::int64_t, std::int64_t> pending_evidence_{-1, -1};
 };
 
 }  // namespace hs::support

@@ -26,19 +26,28 @@ unsigned hardware_threads() {
   return hw > 1 ? hw : 4;  // a 1-core box must still exercise the pool
 }
 
+/// Everything a mission dumps as deterministic text: the metrics
+/// snapshot, the flight recorder's event log, and the causal trace.
+struct MissionDumps {
+  std::string metrics_csv;
+  std::string flight_log_csv;
+  std::string trace_csv;
+};
+
 /// Run the full mission and the analysis (which folds its pipeline.*
-/// metrics into the same registry), then dump every metric as CSV. The
-/// obs contract: this string is a pure function of (seed, plan, threads)
-/// — and independent of `threads` entirely.
-std::string mission_metrics_csv(std::uint64_t seed, faults::FaultPlan plan, unsigned threads) {
+/// metrics and trace spans into the same registry/tracer), then dump
+/// every deterministic text export. The obs contract: each string is a
+/// pure function of (seed, plan, threads) — and independent of
+/// `threads` entirely.
+MissionDumps mission_dumps(std::uint64_t seed, faults::FaultPlan plan, unsigned threads) {
   MissionConfig config;
   config.seed = seed;
   config.fault_plan = std::move(plan);
   MissionRunner runner(config);
-  // A live support system sharing the runner's registry, so the dump also
-  // covers the support.* counters (alerts, health transitions).
+  // A live support system sharing the runner's registry and tracer, so
+  // the dumps also cover the support.* counters and alert traces.
   support::SupportSystem support;
-  support.set_metrics(&runner.metrics(), &runner.flight_recorder());
+  support.set_metrics(&runner.metrics(), &runner.flight_recorder(), &runner.tracer());
   runner.add_observer([&support](const MissionView& view) {
     for (io::BadgeId id = 0; id < 6; ++id) {
       const badge::Badge* b = view.network->badge(id);
@@ -50,9 +59,12 @@ std::string mission_metrics_csv(std::uint64_t seed, faults::FaultPlan plan, unsi
   PipelineOptions opts;
   opts.threads = threads;
   opts.metrics = &runner.metrics();
+  opts.tracer = &runner.tracer();
   const AnalysisPipeline pipeline(data, opts);
   (void)pipeline.artifacts();  // artifacts() shards too; it must not register drift
-  return runner.report().metrics_csv;
+  MissionReport report = runner.report();
+  return MissionDumps{std::move(report.metrics_csv), std::move(report.flight_log_csv),
+                      std::move(report.trace_csv)};
 }
 
 void expect_same_series(const AnalysisPipeline::DailySeries& a,
@@ -169,12 +181,17 @@ TEST(DeterminismTest, SerialAndParallelPipelinesAreBitIdenticalSeed7) {
 }
 
 TEST(DeterminismTest, MetricsDumpByteIdenticalAcrossThreadsSeed42) {
-  const std::string serial = mission_metrics_csv(42, {}, 1);
-  const std::string parallel = mission_metrics_csv(42, {}, hardware_threads());
-  EXPECT_EQ(serial, parallel);
+  const MissionDumps serial = mission_dumps(42, {}, 1);
+  const MissionDumps parallel = mission_dumps(42, {}, hardware_threads());
+  EXPECT_EQ(serial.metrics_csv, parallel.metrics_csv);
+  EXPECT_EQ(serial.flight_log_csv, parallel.flight_log_csv);
+  EXPECT_EQ(serial.trace_csv, parallel.trace_csv);
   // Same seed, same thread count, fresh run: repeatability, not just
   // thread independence.
-  EXPECT_EQ(parallel, mission_metrics_csv(42, {}, hardware_threads()));
+  const MissionDumps again = mission_dumps(42, {}, hardware_threads());
+  EXPECT_EQ(parallel.metrics_csv, again.metrics_csv);
+  EXPECT_EQ(parallel.flight_log_csv, again.flight_log_csv);
+  EXPECT_EQ(parallel.trace_csv, again.trace_csv);
 
 #if HS_OBS_ENABLED
   // The dump must be real data, not an agreement on emptiness. (The
@@ -182,7 +199,7 @@ TEST(DeterminismTest, MetricsDumpByteIdenticalAcrossThreadsSeed42) {
   // path — no faults and no mesh means nothing is ever enqueued — so
   // only presence is required for those; the I/O and pipeline counters
   // must show traffic.)
-  const auto snap = obs::MetricsSnapshot::from_csv(serial);
+  const auto snap = obs::MetricsSnapshot::from_csv(serial.metrics_csv);
   ASSERT_TRUE(snap.has_value());
   for (const char* name : {"sim.events_fired", "badge.sd_records_written",
                            "pipeline.records_attributed", "support.alerts_raised"}) {
@@ -190,24 +207,52 @@ TEST(DeterminismTest, MetricsDumpByteIdenticalAcrossThreadsSeed42) {
   }
   EXPECT_GT(snap->find("badge.sd_records_written")->count, 0U);
   EXPECT_GT(snap->find("pipeline.records_attributed")->count, 0U);
+
+  // The trace dump is real too, and survives a parse round-trip. On the
+  // happy path (no faults, no mesh) the mission loop emits nothing — the
+  // kernel never enqueues, badges never offload — so the guaranteed
+  // spans are the pipeline's: one run root, a stage per phase, a shard
+  // per unit of parallel work, all emitted serially after each barrier.
+  const auto spans = obs::Tracer::from_csv(serial.trace_csv);
+  ASSERT_TRUE(spans.has_value()) << spans.error().message;
+  EXPECT_FALSE(spans->empty());
+  const obs::TraceIndex index(std::move(*spans));
+  const auto summary = index.summarize();
+  const auto count_of = [&summary](obs::SpanKind kind) {
+    for (const auto& [k, n] : summary.by_kind) {
+      if (k == kind) return n;
+    }
+    return std::size_t{0};
+  };
+  EXPECT_GT(count_of(obs::SpanKind::kPipelineRun), 0U);
+  EXPECT_GT(count_of(obs::SpanKind::kPipelineStage), 0U);
+  EXPECT_GT(count_of(obs::SpanKind::kPipelineShard), 0U);
 #endif
 }
 
 TEST(DeterminismTest, MetricsDumpByteIdenticalAcrossThreadsSeed7) {
-  EXPECT_EQ(mission_metrics_csv(7, {}, 1), mission_metrics_csv(7, {}, hardware_threads()));
+  const MissionDumps serial = mission_dumps(7, {}, 1);
+  const MissionDumps parallel = mission_dumps(7, {}, hardware_threads());
+  EXPECT_EQ(serial.metrics_csv, parallel.metrics_csv);
+  EXPECT_EQ(serial.flight_log_csv, parallel.flight_log_csv);
+  EXPECT_EQ(serial.trace_csv, parallel.trace_csv);
 }
 
 TEST(DeterminismTest, MetricsDumpKeepsTheContractUnderCombinedFaults) {
   // The kitchen-sink preset fires every fault kind; fault bookkeeping,
   // alert storms and degraded-I/O counters all land in the dump, and it
   // still may not depend on the pipeline's thread count.
-  const std::string csv = mission_metrics_csv(42, faults::FaultPlan::combined(42), 1);
-  EXPECT_EQ(csv, mission_metrics_csv(42, faults::FaultPlan::combined(42), hardware_threads()));
+  const MissionDumps serial = mission_dumps(42, faults::FaultPlan::combined(42), 1);
+  const MissionDumps parallel =
+      mission_dumps(42, faults::FaultPlan::combined(42), hardware_threads());
+  EXPECT_EQ(serial.metrics_csv, parallel.metrics_csv);
+  EXPECT_EQ(serial.flight_log_csv, parallel.flight_log_csv);
+  EXPECT_EQ(serial.trace_csv, parallel.trace_csv);
 
 #if HS_OBS_ENABLED
   // Under a real plan the event kernel is busy (activations, recoveries)
   // and the fault counters show the whole lifecycle.
-  const auto snap = obs::MetricsSnapshot::from_csv(csv);
+  const auto snap = obs::MetricsSnapshot::from_csv(serial.metrics_csv);
   ASSERT_TRUE(snap.has_value());
   ASSERT_NE(snap->find("sim.events_fired"), nullptr);
   EXPECT_GT(snap->find("sim.events_fired")->count, 0U);

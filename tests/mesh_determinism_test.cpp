@@ -102,11 +102,13 @@ TEST(MeshDeterminism, SameSeedAndPlanYieldByteIdenticalMeshes) {
   }
 
   // The observability layer sits on top of all of the above, so its dumps
-  // inherit the same guarantee: metrics CSV and flight log, byte for byte.
+  // inherit the same guarantee: metrics CSV, flight log, and the causal
+  // trace — byte for byte.
   const auto r1 = first->report();
   const auto r2 = second->report();
   EXPECT_EQ(r1.metrics_csv, r2.metrics_csv);
   EXPECT_EQ(r1.flight_log_csv, r2.flight_log_csv);
+  EXPECT_EQ(r1.trace_csv, r2.trace_csv);
 
 #if HS_OBS_ENABLED
   // The mirrored mesh.* counters must agree exactly with GossipStats —
@@ -133,8 +135,9 @@ TEST(MeshDeterminism, SameSeedAndPlanYieldByteIdenticalMeshes) {
 TEST(MeshDeterminism, MetricsDumpByteIdenticalUnderPartition) {
   // Two fresh missions under the beacon-outage + mesh-partition plan, one
   // analyzed serially and one with the pool: the combined mission +
-  // pipeline metrics dump may depend on neither run identity nor thread
-  // count. Seeds 7 and 42 per the determinism regression matrix.
+  // pipeline metrics and trace dumps may depend on neither run identity
+  // nor thread count. Seeds 7 and 42 per the determinism regression
+  // matrix.
   for (const std::uint64_t seed : {7ULL, 42ULL}) {
     auto r1 = make_mesh_runner(seed);
     auto r2 = make_mesh_runner(seed);
@@ -144,14 +147,17 @@ TEST(MeshDeterminism, MetricsDumpByteIdenticalUnderPartition) {
     PipelineOptions serial_opts;
     serial_opts.threads = 1;
     serial_opts.metrics = &r1->metrics();
+    serial_opts.tracer = &r1->tracer();
     PipelineOptions parallel_opts;
     parallel_opts.threads = 4;
     parallel_opts.metrics = &r2->metrics();
+    parallel_opts.tracer = &r2->tracer();
     const AnalysisPipeline serial(d1, serial_opts);
     const AnalysisPipeline parallel(d2, parallel_opts);
 
     EXPECT_EQ(r1->report().metrics_csv, r2->report().metrics_csv) << "seed " << seed;
     EXPECT_EQ(r1->report().flight_log_csv, r2->report().flight_log_csv) << "seed " << seed;
+    EXPECT_EQ(r1->report().trace_csv, r2->report().trace_csv) << "seed " << seed;
   }
 }
 

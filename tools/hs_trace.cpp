@@ -1,0 +1,263 @@
+// hs_trace: query a deterministic causal trace dump.
+//
+// Two input modes:
+//   --input trace.csv            parse a dump written earlier (report()
+//                                .trace_csv saved to disk), or
+//   --scenario mesh-partition    run the canonical partitioned-mesh
+//                                mission in-process and query its trace
+//                                (the dump round-trips through CSV first,
+//                                so both modes exercise the same parser).
+//
+// Queries (any combination; default --summarize):
+//   --summarize                  span census per layer
+//   --follow-chunk ORIGIN:SEQ    badge -> node -> replicas -> read-view
+//   --follow-chunk auto          ... for the first durably acked chunk
+//   --critical-path INDEX|auto   sensor record -> evidence -> alert ->
+//                                deliveries -> mesh publish
+//   --export-perfetto out.json   Chrome trace-event JSON (open in
+//                                Perfetto / chrome://tracing)
+//
+// Exit status: 0 on success; 1 on usage/parse errors, a lineage that is
+// not durably complete, or a missing alert — so CI can assert causality
+// end-to-end by just running the tool (tests/CMakeLists.txt does).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "faults/fault_plan.hpp"
+#include "mesh/read_view.hpp"
+#include "obs/obs.hpp"
+#include "support/system.hpp"
+
+namespace {
+
+using namespace hs;
+
+struct Options {
+  std::string input;
+  std::string scenario;
+  std::uint64_t seed = 42;
+  int days = 7;
+  bool summarize = false;
+  std::string follow_chunk;  ///< "ORIGIN:SEQ" or "auto"
+  std::string critical_path; ///< alert index or "auto"
+  std::string perfetto_out;
+};
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: hs_trace (--input trace.csv | --scenario mesh-partition|baseline)\n"
+               "                [--seed N] [--days D] [--summarize]\n"
+               "                [--follow-chunk ORIGIN:SEQ|auto] [--critical-path INDEX|auto]\n"
+               "                [--export-perfetto out.json]\n");
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  auto value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "hs_trace: %s needs a value\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* v = nullptr;
+    if (std::strcmp(arg, "--input") == 0) {
+      if ((v = value(i)) == nullptr) return false;
+      opt.input = v;
+    } else if (std::strcmp(arg, "--scenario") == 0) {
+      if ((v = value(i)) == nullptr) return false;
+      opt.scenario = v;
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      if ((v = value(i)) == nullptr) return false;
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--days") == 0) {
+      if ((v = value(i)) == nullptr) return false;
+      opt.days = std::atoi(v);
+    } else if (std::strcmp(arg, "--summarize") == 0) {
+      opt.summarize = true;
+    } else if (std::strcmp(arg, "--follow-chunk") == 0) {
+      if ((v = value(i)) == nullptr) return false;
+      opt.follow_chunk = v;
+    } else if (std::strcmp(arg, "--critical-path") == 0) {
+      if ((v = value(i)) == nullptr) return false;
+      opt.critical_path = v;
+    } else if (std::strcmp(arg, "--export-perfetto") == 0) {
+      if ((v = value(i)) == nullptr) return false;
+      opt.perfetto_out = v;
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      usage(stdout);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "hs_trace: unknown argument %s\n", arg);
+      return false;
+    }
+  }
+  if (opt.input.empty() == opt.scenario.empty()) {
+    std::fprintf(stderr, "hs_trace: exactly one of --input / --scenario is required\n");
+    return false;
+  }
+  if (!opt.summarize && opt.follow_chunk.empty() && opt.critical_path.empty() &&
+      opt.perfetto_out.empty()) {
+    opt.summarize = true;
+  }
+  return true;
+}
+
+/// Run the named scenario and return its trace dump (CSV). The wiring is
+/// the canonical mesh-mission shape: support system fed from the mesh
+/// read view every five minutes, alerts published back over the mesh.
+bool run_scenario(const Options& opt, std::string& trace_csv, int& replication_factor) {
+  core::MissionConfig config;
+  config.seed = opt.seed;
+  config.mesh.enabled = true;
+  config.collect_from_mesh = true;
+  if (opt.scenario == "mesh-partition") {
+    config.fault_plan = faults::FaultPlan::mesh_partition();
+  } else if (opt.scenario != "baseline") {
+    std::fprintf(stderr, "hs_trace: unknown scenario %s (mesh-partition|baseline)\n",
+                 opt.scenario.c_str());
+    return false;
+  }
+  replication_factor = config.mesh.replication_factor;
+
+  core::MissionRunner runner(config);
+  support::SupportSystem support;
+  support.set_metrics(&runner.metrics(), &runner.flight_recorder(), &runner.tracer());
+  // Every 15 minutes, not every second: health_snapshot scans the merged
+  // store (which grows all mission), and a support check a few times an
+  // hour is all the battery/sensor-loss monitors need.
+  runner.add_observer([&support](const core::MissionView& view) {
+    if (view.now % minutes(15) != 0 || view.now == 0) return;
+    support.set_alert_sink([&view](const support::Alert& alert) {
+      (void)view.mesh->publish_alert(view.mesh->base_station_id(), alert, view.now);
+    });
+    const mesh::MeshReadView mesh_view(*view.mesh);
+    for (const auto& health : mesh_view.health_snapshot(view.now, minutes(10))) {
+      support.ingest_badge(health);
+    }
+    support.set_alert_sink(nullptr);
+  });
+  std::fprintf(stderr, "hs_trace: running %s, seed %llu, days 1-%d...\n", opt.scenario.c_str(),
+               static_cast<unsigned long long>(opt.seed), opt.days);
+  (void)runner.run_days(opt.days);
+  trace_csv = runner.report().trace_csv;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    usage(stderr);
+    return 1;
+  }
+
+  // Expected storage-span count per durable chunk (root + replicas). In
+  // --input mode the dump itself tells us: the ack span's `c` argument is
+  // the replica count at ack time.
+  int replication_factor = 0;
+  std::string csv;
+  if (!opt.input.empty()) {
+    std::ifstream in(opt.input, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "hs_trace: cannot read %s\n", opt.input.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    csv = text.str();
+  } else if (!run_scenario(opt, csv, replication_factor)) {
+    return 1;
+  }
+
+  auto parsed = obs::Tracer::from_csv(csv);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "hs_trace: %s\n", parsed.error().message.c_str());
+    return 1;
+  }
+  const obs::TraceIndex index(std::move(*parsed));
+
+  int status = 0;
+
+  if (opt.summarize) {
+    std::fputs(obs::format_summary(index.summarize()).c_str(), stdout);
+  }
+
+  if (!opt.follow_chunk.empty()) {
+    std::int64_t origin = -1;
+    std::int64_t seq = -1;
+    if (opt.follow_chunk == "auto") {
+      if (const auto first = index.first_acked_chunk()) {
+        origin = first->first;
+        seq = first->second;
+      } else {
+        std::fprintf(stderr, "hs_trace: no acked chunk in the trace\n");
+        return 1;
+      }
+    } else if (std::sscanf(opt.follow_chunk.c_str(), "%lld:%lld",
+                           reinterpret_cast<long long*>(&origin),
+                           reinterpret_cast<long long*>(&seq)) != 2) {
+      std::fprintf(stderr, "hs_trace: --follow-chunk wants ORIGIN:SEQ or auto\n");
+      return 1;
+    }
+    const obs::ChunkLineage lineage = index.follow_chunk(origin, seq);
+    std::fputs(obs::format_lineage(lineage).c_str(), stdout);
+    const std::size_t expect = replication_factor > 0 ? static_cast<std::size_t>(replication_factor)
+                              : lineage.ack != nullptr ? static_cast<std::size_t>(lineage.ack->c)
+                                                       : 1;
+    if (!lineage.complete(expect)) {
+      std::fprintf(stderr, "hs_trace: lineage incomplete (want %zu storage spans)\n", expect);
+      status = 1;
+    }
+  }
+
+  if (!opt.critical_path.empty()) {
+    std::int64_t alert = -1;
+    if (opt.critical_path == "auto") {
+      // Prefer an alert with chunk evidence (a badge-health raise): it has
+      // the full record -> raise chain worth printing.
+      const auto indices = index.alert_indices();
+      for (const std::int64_t i : indices) {
+        if (!index.critical_path(i).evidence.empty()) {
+          alert = i;
+          break;
+        }
+      }
+      if (alert < 0 && !indices.empty()) alert = indices.front();
+      if (alert < 0) {
+        std::fprintf(stderr, "hs_trace: no alert in the trace\n");
+        return 1;
+      }
+    } else {
+      alert = std::atoll(opt.critical_path.c_str());
+    }
+    const obs::AlertPath path = index.critical_path(alert);
+    std::fputs(obs::format_alert_path(path).c_str(), stdout);
+    if (!path.found) {
+      std::fprintf(stderr, "hs_trace: alert %lld has no raise span\n",
+                   static_cast<long long>(alert));
+      status = 1;
+    }
+  }
+
+  if (!opt.perfetto_out.empty()) {
+    std::ofstream out(opt.perfetto_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "hs_trace: cannot write %s\n", opt.perfetto_out.c_str());
+      return 1;
+    }
+    out << obs::spans_to_chrome_json(index.spans());
+    std::fprintf(stderr, "hs_trace: wrote %s (%zu spans); open in https://ui.perfetto.dev\n",
+                 opt.perfetto_out.c_str(), index.spans().size());
+  }
+
+  return status;
+}
