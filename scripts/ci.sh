@@ -26,4 +26,14 @@ for preset in $PRESETS; do
   ctest --preset "$preset"
 done
 
+# Fleet campaign smoke on the default build: an 8-habitat campaign must
+# run and produce a byte-identical aggregate dump for threads=1 vs
+# threads=hw (fleet_scale exits non-zero otherwise).
+case " $PRESETS " in
+  *" default "*)
+    echo "=== [default] fleet_scale smoke (8 habitats) ==="
+    ./build/bench/fleet_scale 8 1 42
+    ;;
+esac
+
 echo "=== CI gate passed: $PRESETS ==="

@@ -1,0 +1,121 @@
+#include "fleet/aggregator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hs::fleet {
+namespace {
+
+/// Nearest-rank percentile over sorted samples: the smallest sample with
+/// at least q% of the population at or below it.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace
+
+DistStats dist_stats(std::vector<double> samples) {
+  DistStats out;
+  out.count = samples.size();
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  out.p50 = percentile(samples, 50.0);
+  out.p90 = percentile(samples, 90.0);
+  out.p99 = percentile(samples, 99.0);
+  out.max = samples.back();
+  return out;
+}
+
+std::size_t FleetAggregator::pump(SimTime now) {
+  auto arrived = link_.receive(now);
+  const std::size_t n = arrived.size();
+  for (auto& summary : arrived) received_.push_back(std::move(summary));
+  return n;
+}
+
+FleetReport FleetAggregator::report(const std::string& campaign_name) const {
+  // Index order, not arrival order: the fold must not depend on how the
+  // link interleaved deliveries (docs/FLEET.md determinism contract).
+  std::vector<const HabitatSummary*> ordered;
+  ordered.reserve(received_.size());
+  for (const auto& s : received_) ordered.push_back(&s);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const HabitatSummary* a, const HabitatSummary* b) { return a->index < b->index; });
+
+  FleetReport report;
+  report.campaign = campaign_name;
+  report.habitats = ordered.size();
+  std::vector<double> ack_all;
+  std::vector<double> gap_all;
+  for (const HabitatSummary* s : ordered) {
+    report.habitat_days += static_cast<std::uint64_t>(s->days);
+    for (std::size_t k = 0; k < kAlertKindCount; ++k) {
+      report.alert_counts[k] += s->alert_counts[k];
+      report.alerts_total += s->alert_counts[k];
+    }
+    report.records_written += s->records_written;
+    report.chunks_offloaded += s->chunks_offloaded;
+    report.chunks_acked += s->chunks_acked;
+    report.dark_badges += s->dark_badges;
+    if (s->dark_badges > 0) ++report.habitats_with_dark;
+    ack_all.insert(ack_all.end(), s->ack_latencies_s.begin(), s->ack_latencies_s.end());
+    gap_all.insert(gap_all.end(), s->offload_gaps_s.begin(), s->offload_gaps_s.end());
+    // accumulate only errors on kind/bounds clashes, which same-build
+    // registries cannot produce; drop the status rather than crash the
+    // fold Earth-side.
+    (void)report.metrics.accumulate(s->metrics);
+  }
+  report.ack_latency = dist_stats(std::move(ack_all));
+  report.offload_gap = dist_stats(std::move(gap_all));
+  return report;
+}
+
+std::string FleetReport::to_csv() const {
+  using obs::format_double;
+  std::string out = "section,key,value\n";
+  auto row = [&out](const char* section, const std::string& key, const std::string& value) {
+    out += section;
+    out += ',';
+    out += key;
+    out += ',';
+    out += value;
+    out += '\n';
+  };
+  row("campaign", "name", campaign);
+  row("campaign", "habitats", std::to_string(habitats));
+  row("campaign", "habitat_days", std::to_string(habitat_days));
+  const double days = habitat_days > 0 ? static_cast<double>(habitat_days) : 1.0;
+  for (std::size_t k = 0; k < kAlertKindCount; ++k) {
+    const char* name = support::alert_kind_name(static_cast<support::AlertKind>(k));
+    row("alerts", std::string(name) + ".count", std::to_string(alert_counts[k]));
+    row("alerts", std::string(name) + ".per_habitat_day",
+        format_double(static_cast<double>(alert_counts[k]) / days));
+  }
+  row("alerts", "total", std::to_string(alerts_total));
+  row("records", "sd_records_written", std::to_string(records_written));
+  row("records", "chunks_offloaded", std::to_string(chunks_offloaded));
+  row("records", "chunks_acked", std::to_string(chunks_acked));
+  row("badges", "dark_total", std::to_string(dark_badges));
+  row("badges", "habitats_with_dark", std::to_string(habitats_with_dark));
+  auto dist_rows = [&](const char* section, const DistStats& d) {
+    row(section, "count", std::to_string(d.count));
+    row(section, "p50_s", format_double(d.p50));
+    row(section, "p90_s", format_double(d.p90));
+    row(section, "p99_s", format_double(d.p99));
+    row(section, "max_s", format_double(d.max));
+  };
+  dist_rows("ack_latency", ack_latency);
+  dist_rows("offload_gap", offload_gap);
+  // The rolled-up metric catalog, one row per metric: counters/histograms
+  // print their count, gauges their (summed) value.
+  for (const auto& e : metrics.entries) {
+    row("metrics", e.name,
+        e.kind == 'g' ? format_double(e.value) : std::to_string(e.count));
+  }
+  return out;
+}
+
+}  // namespace hs::fleet

@@ -114,6 +114,7 @@ void MeshNetwork::offload(const badge::Badge& badge, SimTime now) {
   if (metrics_.offloads) metrics_.offloads->inc();
   if (metrics_.offload_bytes) metrics_.offload_bytes->inc(wire);
   if (metrics_.chunk_wire_bytes) metrics_.chunk_wire_bytes->observe(static_cast<double>(wire));
+  vitals_index_[badge.id()].push_back(VitalsEntry{now, key, vitals});
   auto& trace = traces_[key];
   trace.offloaded_at = now;
   if (tracer_) {

@@ -48,6 +48,18 @@ struct MeshConfig {
   bool cap_replicas = false;
 };
 
+/// One entry of the incremental newest-chunk index: the vitals a badge
+/// piggybacked on a record chunk, noted at offload time. Entries append
+/// in seq order (offload seq is monotone per badge), so "newest chunk"
+/// is the back of the vector and MeshReadView::health_snapshot is
+/// O(badges) per call instead of a merged-store scan that grows
+/// quadratic over the mission.
+struct VitalsEntry {
+  SimTime t = 0;        ///< offload instant (== the chunk's created_at)
+  ChunkKey key{};       ///< provenance for BadgeHealth::source_origin/seq
+  OffloadVitals vitals{};
+};
+
 /// Durability bookkeeping per chunk (introspection for tests/benches;
 /// a real deployment would piggyback acks on the gossip exchanges).
 struct ChunkTrace {
@@ -109,6 +121,21 @@ class MeshNetwork {
   [[nodiscard]] std::uint64_t round() const { return round_; }
   [[nodiscard]] const std::map<ChunkKey, ChunkTrace>& traces() const { return traces_; }
 
+  /// The incremental newest-chunk index: per badge, every record chunk's
+  /// offload vitals in seq order. Maintained by offload()/flush(); the
+  /// read view's health_snapshot consumes this instead of scanning the
+  /// merged store.
+  [[nodiscard]] const std::map<io::BadgeId, std::vector<VitalsEntry>>& vitals_index() const {
+    return vitals_index_;
+  }
+  /// Live replica count of `key` right now (0 after every holder went
+  /// dark — the chunk is gone until anti-entropy re-heals nothing, i.e.
+  /// the data is lost and the index must fall back to an older entry).
+  [[nodiscard]] std::size_t live_replicas(ChunkKey key) const {
+    const auto it = traces_.find(key);
+    return it == traces_.end() ? 0 : it->second.replicas;
+  }
+
   /// Union of every live node's store (the mesh read view's input).
   [[nodiscard]] std::map<ChunkKey, const MeshChunk*> merged_store() const;
   /// All live nodes hold byte-identical stores (full-replication mode).
@@ -159,6 +186,7 @@ class MeshNetwork {
   std::vector<std::vector<NodeId>> candidates_;
   std::vector<std::pair<std::vector<NodeId>, std::vector<NodeId>>> partitions_;
   std::map<io::BadgeId, BadgeCursor> cursors_;
+  std::map<io::BadgeId, std::vector<VitalsEntry>> vitals_index_;
   std::map<NodeId, std::uint32_t> control_seq_;
   std::map<ChunkKey, ChunkTrace> traces_;
   GossipStats stats_;

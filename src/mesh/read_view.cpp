@@ -42,38 +42,33 @@ std::map<io::BadgeId, badge::SdCard> MeshReadView::rebuild_cards() const {
 
 std::vector<support::BadgeHealth> MeshReadView::health_snapshot(SimTime now,
                                                                 SimDuration stale_after) const {
-  struct Latest {
-    SimTime t = -1;
-    OffloadVitals vitals;
-    ChunkKey key;
-  };
-  std::map<io::BadgeId, Latest> latest;
-  for (const auto& [key, chunk] : mesh_->merged_store()) {
-    if (key.origin >= kNodeOriginBase || chunk->kind != ChunkKind::kRecords) continue;
-    auto& slot = latest[static_cast<io::BadgeId>(key.origin)];
-    if (chunk->created_at < slot.t) continue;
-    OffloadVitals vitals;
-    std::vector<std::uint8_t> binlog;
-    if (decode_records_payload(*chunk->payload, vitals, binlog)) {
-      slot.t = chunk->created_at;
-      slot.vitals = vitals;
-      slot.key = key;
-    }
-  }
-
+  // Served from the mesh's incremental newest-chunk index: per badge,
+  // walk back from the newest entry to the first chunk that still has a
+  // live replica (a chunk whose every copy died with its nodes is gone,
+  // exactly as a merged-store scan would have concluded). The common case
+  // touches only the back entry, so a per-tick support observer costs
+  // O(badges) instead of O(nodes x chunks).
   std::vector<support::BadgeHealth> out;
-  out.reserve(latest.size());
-  for (const auto& [id, slot] : latest) {
+  out.reserve(mesh_->vitals_index().size());
+  for (const auto& [id, entries] : mesh_->vitals_index()) {
+    const VitalsEntry* newest = nullptr;
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+      if (mesh_->live_replicas(it->key) > 0) {
+        newest = &*it;
+        break;
+      }
+    }
+    if (newest == nullptr) continue;  // every copy of every chunk is dark
     support::BadgeHealth h;
-    h.t = slot.t;
+    h.t = newest->t;
     h.badge = id;
-    h.battery_fraction = slot.vitals.battery_fraction;
+    h.battery_fraction = newest->vitals.battery_fraction;
     // A badge that stopped offloading is dark as far as the mesh can tell.
-    h.active = slot.vitals.active && (now - slot.t) <= stale_after;
-    h.docked = slot.vitals.docked;
-    h.worn = slot.vitals.worn;
-    h.source_origin = static_cast<std::int64_t>(slot.key.origin);
-    h.source_seq = static_cast<std::int64_t>(slot.key.seq);
+    h.active = newest->vitals.active && (now - newest->t) <= stale_after;
+    h.docked = newest->vitals.docked;
+    h.worn = newest->vitals.worn;
+    h.source_origin = static_cast<std::int64_t>(newest->key.origin);
+    h.source_seq = static_cast<std::int64_t>(newest->key.seq);
     out.push_back(h);
   }
   return out;

@@ -42,7 +42,10 @@ class MeshReadView {
   /// BadgeHealth feed. `t` is the chunk's offload instant. A badge whose
   /// newest chunk is older than `stale_after` reads as active=false: from
   /// the mesh's vantage point a silent badge is a dark badge, which is
-  /// precisely what should trip the kSensorLoss monitor.
+  /// precisely what should trip the kSensorLoss monitor. Served from
+  /// MeshNetwork::vitals_index() in O(badges) per call — cheap enough for
+  /// a per-tick support observer; chunks whose every replica died with
+  /// its node are skipped, so the answer matches a merged-store scan.
   [[nodiscard]] std::vector<support::BadgeHealth> health_snapshot(
       SimTime now, SimDuration stale_after) const;
 

@@ -183,6 +183,47 @@ Expected<MetricsSnapshot> MetricsSnapshot::from_csv(const std::string& text) {
   return snap;
 }
 
+Status MetricsSnapshot::accumulate(const MetricsSnapshot& other) {
+  // Validate before mutating: a half-applied roll-up would be worse than
+  // a refused one.
+  for (const auto& e : other.entries) {
+    const SnapshotEntry* mine = find(e.name);
+    if (mine == nullptr) continue;
+    if (mine->kind != e.kind) {
+      return Error{"metric '" + e.name + "' kind mismatch: '" + mine->kind + "' vs '" + e.kind +
+                   "'"};
+    }
+    if (e.kind == 'h' && mine->bounds != e.bounds) {
+      return Error{"histogram '" + e.name + "' bounds mismatch"};
+    }
+  }
+
+  // Merge-join the two name-sorted entry lists.
+  std::vector<SnapshotEntry> merged;
+  merged.reserve(entries.size() + other.entries.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < entries.size() || j < other.entries.size()) {
+    if (j == other.entries.size() ||
+        (i < entries.size() && entries[i].name < other.entries[j].name)) {
+      merged.push_back(std::move(entries[i++]));
+      continue;
+    }
+    if (i == entries.size() || other.entries[j].name < entries[i].name) {
+      merged.push_back(other.entries[j++]);
+      continue;
+    }
+    SnapshotEntry e = std::move(entries[i++]);
+    const SnapshotEntry& add = other.entries[j++];
+    e.count += add.count;
+    e.value += add.value;
+    for (std::size_t k = 0; k < e.buckets.size(); ++k) e.buckets[k] += add.buckets[k];
+    merged.push_back(std::move(e));
+  }
+  entries = std::move(merged);
+  return Status::success();
+}
+
 Counter& Registry::counter(std::string_view name) {
   const auto it = counters_.find(name);
   if (it != counters_.end()) return it->second;

@@ -121,6 +121,16 @@ struct MetricsSnapshot {
   [[nodiscard]] std::string to_json() const;
   [[nodiscard]] static Expected<MetricsSnapshot> from_csv(const std::string& text);
 
+  /// Fold `other` into this snapshot (the fleet roll-up): counters and
+  /// histogram counts/sums/buckets add, gauges add (fleet totals — divide
+  /// by habitat count for means), and names present in only one side are
+  /// kept/inserted. Errors (and leaves *this untouched) when a shared
+  /// name disagrees on kind or histogram bounds. Both snapshots must be
+  /// name-sorted, as Registry::snapshot() and from_csv() produce; the
+  /// result stays sorted, so rolled-up dumps keep the byte-stability
+  /// contract.
+  [[nodiscard]] Status accumulate(const MetricsSnapshot& other);
+
   friend bool operator==(const MetricsSnapshot&, const MetricsSnapshot&) = default;
 };
 

@@ -1,0 +1,64 @@
+// Campaign-level determinism: the fleet aggregate dump is a pure
+// function of the CampaignSpec. One habitat per parallel_for shard,
+// summaries written into per-index slots only, Earth-side fold serial in
+// habitat-index order — so per docs/CONCURRENCY.md the report must be
+// byte-identical across thread counts and across independent runs (the
+// in-process stand-in for two process runs; every run builds fresh
+// runners, pools and aggregators from scratch).
+//
+// Registered under the `concurrency` and `fleet` ctest labels; the TSan
+// preset picks it up via `concurrency`.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fleet/fleet_runner.hpp"
+
+namespace hs::fleet {
+namespace {
+
+/// A small but heterogeneous fleet: mixed crew sizes, beacon densities
+/// and fault presets (including per-seed combined chaos), so the dump
+/// covers alert counts, ack latencies, gaps and dark badges.
+CampaignSpec campaign(std::uint64_t base_seed) {
+  CampaignSpec spec;
+  spec.name = "determinism";
+  spec.habitats = 3;
+  spec.base_seed = base_seed;
+  spec.days = {1};
+  spec.crew = {6, 5};
+  spec.beacons = {27, 12};
+  spec.faults = {"none", "battery-stress", "combined"};
+  return spec;
+}
+
+std::string run_dump(std::uint64_t base_seed, unsigned threads) {
+  CampaignOptions options;
+  options.threads = threads;
+  const auto report = run_campaign(campaign(base_seed), options);
+  EXPECT_TRUE(report.has_value());
+  return report.has_value() ? report->to_csv() : std::string();
+}
+
+TEST(FleetDeterminism, RepeatedSerialRunsAreByteIdentical) {
+  const std::string first = run_dump(7, 1);
+  const std::string second = run_dump(7, 1);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(FleetDeterminism, SerialAndParallelDumpsAreByteIdentical) {
+  const std::string serial = run_dump(7, 1);
+  const std::string parallel = run_dump(7, 4);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(FleetDeterminism, HoldsAcrossSeeds) {
+  const std::string serial = run_dump(42, 1);
+  const std::string parallel = run_dump(42, 4);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial, run_dump(7, 1));  // and the seed actually matters
+}
+
+}  // namespace
+}  // namespace hs::fleet

@@ -130,11 +130,12 @@ bool run_scenario(const Options& opt, std::string& trace_csv, int& replication_f
   core::MissionRunner runner(config);
   support::SupportSystem support;
   support.set_metrics(&runner.metrics(), &runner.flight_recorder(), &runner.tracer());
-  // Every 15 minutes, not every second: health_snapshot scans the merged
-  // store (which grows all mission), and a support check a few times an
-  // hour is all the battery/sensor-loss monitors need.
+  // health_snapshot is O(badges) per call (the mesh's incremental
+  // newest-chunk index), so the cadence is purely a policy choice: a
+  // check every five minutes is plenty for the battery/sensor-loss
+  // monitors without flooding the alert log.
   runner.add_observer([&support](const core::MissionView& view) {
-    if (view.now % minutes(15) != 0 || view.now == 0) return;
+    if (view.now % minutes(5) != 0 || view.now == 0) return;
     support.set_alert_sink([&view](const support::Alert& alert) {
       (void)view.mesh->publish_alert(view.mesh->base_station_id(), alert, view.now);
     });
