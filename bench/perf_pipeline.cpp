@@ -1,79 +1,256 @@
-// Serial vs parallel analysis throughput on the full 14-day dataset.
+// Analysis-pipeline throughput: row-wise vs columnar, serial vs parallel.
 //
-// Runs the canonical ICAres-1 mission once, then times the complete
-// analysis — AnalysisPipeline construction (rectify + attribute + derive)
-// plus artifacts() (every paper figure/table) — at threads=1 (the serial
-// reference path) and threads=N, and prints the speedup. The two runs are
-// also spot-checked for equality; tests/determinism_test.cpp holds the
-// exhaustive bit-identity suite.
+// Two modes:
 //
-// Usage: perf_pipeline [seed] [threads] [reps]
-//   seed     mission seed (default 42)
-//   threads  parallel thread count (default 4; 0 = hardware_concurrency)
-//   reps     timed repetitions per configuration, best-of (default 3)
+//   perf_pipeline [seed] [threads] [reps]
+//     Runs the canonical ICAres-1 mission once, then times the complete
+//     analysis — AnalysisPipeline construction (rectify + attribute +
+//     derive) plus artifacts() (every paper figure/table) — for the
+//     row-wise and columnar paths at threads=1 and threads=N, printing
+//     records/sec and the speedups. The row-wise and columnar artifacts
+//     are compared for equality; any divergence exits nonzero.
 //
-// Note: the speedup is bounded by the host's core count — on a
-// single-core container both configurations time the same work and the
-// ratio prints ~1.0x.
+//   perf_pipeline --large [records] [reps] [seed]
+//     Builds a synthetic dataset of ~`records` records (default one
+//     million: 6 badges x 13 instrumented days x 3 streams at an even
+//     cadence inside 08:00-22:00 worn windows) and times pipeline
+//     construction only — the attribute/derive hot path the columnar
+//     RecordBatch layout targets — for both paths at threads=1. Derived
+//     outputs (tracks, speech intervals, Fig. 4 walking) are compared
+//     exactly; a divergence exits 1 and a columnar slowdown >10% exits 2.
+//     docs/PERFORMANCE.md explains how to read the output.
+//
+// Note: thread speedup is bounded by the host's core count — on a
+// single-core container threads=N times the same work and the ratio
+// prints ~1.0x. The columnar-vs-row-wise ratio is layout-bound, not
+// core-bound, and holds on one core.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <thread>
 
 #include "bench_common.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
+using hs::core::AnalysisPipeline;
+using hs::core::PipelineOptions;
+
 struct Timed {
   double seconds = 0.0;
-  hs::core::AnalysisPipeline::Artifacts artifacts;
+  AnalysisPipeline::Artifacts artifacts;
 };
 
-Timed run_once(const hs::core::Dataset& data, unsigned threads) {
+Timed run_full(const hs::core::Dataset& data, unsigned threads, bool columnar) {
   const auto t0 = std::chrono::steady_clock::now();
-  hs::core::PipelineOptions opts;
+  PipelineOptions opts;
   opts.threads = threads;
-  const hs::core::AnalysisPipeline pipeline(data, opts);
+  opts.columnar = columnar;
+  const AnalysisPipeline pipeline(data, opts);
   Timed out;
   out.artifacts = pipeline.artifacts();
   out.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return out;
 }
 
-Timed best_of(const hs::core::Dataset& data, unsigned threads, int reps) {
-  Timed best = run_once(data, threads);
+Timed best_full(const hs::core::Dataset& data, unsigned threads, bool columnar, int reps) {
+  Timed best = run_full(data, threads, columnar);
   for (int r = 1; r < reps; ++r) {
-    Timed t = run_once(data, threads);
+    Timed t = run_full(data, threads, columnar);
     if (t.seconds < best.seconds) best = std::move(t);
   }
   return best;
 }
 
+bool series_equal(const AnalysisPipeline::DailySeries& a, const AnalysisPipeline::DailySeries& b) {
+  return a.first_day == b.first_day && a.values == b.values;
+}
+
+/// Exact comparison of the figure/table set (the determinism test holds
+/// the exhaustive bit-identity suite; this is the bench's own gate).
+bool artifacts_equal(const AnalysisPipeline::Artifacts& a, const AnalysisPipeline::Artifacts& b) {
+  bool same = a.fig2.total() == b.fig2.total() &&
+              a.dataset.total_records == b.dataset.total_records &&
+              a.dataset.total_gib == b.dataset.total_gib &&
+              a.dataset.worn_of_daytime == b.dataset.worn_of_daytime &&
+              series_equal(a.fig4, b.fig4) && series_equal(a.fig6, b.fig6) &&
+              a.dwell.typical_biolab_h == b.dwell.typical_biolab_h &&
+              a.pairs.af_meetings_h == b.pairs.af_meetings_h &&
+              a.survey.wellbeing_speech_corr == b.survey.wellbeing_speech_corr &&
+              a.table1.size() == b.table1.size();
+  for (std::size_t i = 0; same && i < a.table1.size(); ++i) {
+    same = a.table1[i].company == b.table1[i].company &&
+           a.table1[i].authority == b.table1[i].authority &&
+           a.table1[i].talking == b.table1[i].talking &&
+           a.table1[i].walking == b.table1[i].walking;
+  }
+  return same;
+}
+
+std::size_t dataset_records(const hs::core::Dataset& data) {
+  std::size_t n = 0;
+  for (const auto& log : data.logs) n += log.card.record_count();
+  return n;
+}
+
+/// Synthetic dataset for the --large mode: the canonical crew/habitat
+/// shape (6 badges, days 2..14, 27 beacons, per-day ownership) with
+/// record counts scaled to `target_records` instead of the mission
+/// simulator's rates. Identity clock fits (no sync samples), one worn
+/// window 08:00-22:00 per badge-day, rng-jittered features.
+hs::core::Dataset make_synthetic(std::size_t target_records, std::uint64_t seed) {
+  using namespace hs;
+  core::Dataset data;
+  data.habitat = habitat::Habitat::lunares();
+  data.beacons = beacon::deploy_lunares_beacons(data.habitat);
+  data.script = crew::MissionScript{};
+  const int first = data.script.badge_start_day;
+  const int last = data.script.mission_days;
+  const auto ndays = static_cast<std::size_t>(last - first + 1);
+  const std::size_t per_stream =
+      std::max<std::size_t>(1, target_records / (crew::kCrewSize * ndays * 3));
+  Rng rng(seed);
+  for (std::size_t b = 0; b < crew::kCrewSize; ++b) {
+    core::BadgeLog log;
+    log.id = static_cast<io::BadgeId>(b);
+    for (int day = first; day <= last; ++day) {
+      data.ownership.assign(log.id, day, b);
+      data.naive_ownership.assign(log.id, day, b);
+      const auto day_ms = static_cast<std::uint32_t>(day_start(day) / 1000);
+      const std::uint32_t worn_on = day_ms + 8U * 3600U * 1000U;
+      const std::uint32_t worn_off = day_ms + 22U * 3600U * 1000U;
+      log.card.log(io::WearEvent{worn_on, log.id, io::WearState::kWorn});
+      const double step_ms =
+          static_cast<double>(worn_off - worn_on) / static_cast<double>(per_stream);
+      for (std::size_t k = 0; k < per_stream; ++k) {
+        const auto t =
+            static_cast<io::LocalMs>(worn_on + static_cast<std::uint32_t>(
+                                                   static_cast<double>(k) * step_ms));
+        io::MotionFrame m;
+        m.t = t;
+        m.badge = log.id;
+        m.accel_var = static_cast<float>(rng.uniform(0.0, 3.0));
+        m.step_freq_hz =
+            rng.bernoulli(0.3) ? static_cast<float>(rng.uniform(0.5, 3.5)) : 0.0F;
+        log.card.log(m);
+        io::AudioFrame a;
+        a.t = t;
+        a.badge = log.id;
+        a.level_db = static_cast<float>(rng.uniform(35.0, 75.0));
+        a.voiced_fraction = static_cast<float>(rng.uniform(0.0, 1.0));
+        a.dominant_f0_hz =
+            rng.bernoulli(0.5) ? static_cast<float>(rng.uniform(90.0, 260.0)) : 0.0F;
+        log.card.log(a);
+        io::BeaconObs o;
+        o.t = t;
+        o.badge = log.id;
+        o.beacon = data.beacons[(b + k) % data.beacons.size()].id;
+        o.rssi_dbm = static_cast<std::int8_t>(-40 - static_cast<int>(rng.uniform(0.0, 50.0)));
+        log.card.log(o);
+      }
+      log.card.log(io::WearEvent{worn_off, log.id, io::WearState::kOff});
+    }
+    data.total_bytes += static_cast<std::int64_t>(log.card.record_count()) * 16;
+    data.logs.push_back(std::move(log));
+  }
+  return data;
+}
+
+struct Assembled {
+  double seconds = 0.0;
+  std::vector<std::vector<hs::locate::RoomStay>> tracks;
+  std::vector<std::vector<hs::dsp::SpeechInterval>> speech;
+  AnalysisPipeline::DailySeries fig4;
+};
+
+/// Time pipeline construction only (the attribute/derive hot path), then
+/// pull the derived outputs for the equality gate (untimed).
+Assembled assemble_once(const hs::core::Dataset& data, bool columnar) {
+  const auto t0 = std::chrono::steady_clock::now();
+  PipelineOptions opts;
+  opts.threads = 1;
+  opts.columnar = columnar;
+  const AnalysisPipeline pipeline(data, opts);
+  Assembled out;
+  out.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  out.tracks = pipeline.tracks();
+  for (std::size_t i = 0; i < hs::crew::kCrewSize; ++i) {
+    out.speech.push_back(pipeline.speech_intervals(i));
+  }
+  out.fig4 = pipeline.fig4_walking();
+  return out;
+}
+
+int run_large(std::size_t records, int reps, std::uint64_t seed) {
+  std::printf("# synthetic dataset: ~%zu records, seed %llu\n", records,
+              static_cast<unsigned long long>(seed));
+  const auto data = make_synthetic(records, seed);
+  const std::size_t total = dataset_records(data);
+  std::printf("built %zu records across %zu badges\n", total, data.logs.size());
+  std::printf("timing pipeline construction (rectify+attribute+derive), best of %d\n\n", reps);
+
+  Assembled row = assemble_once(data, /*columnar=*/false);
+  Assembled col = assemble_once(data, /*columnar=*/true);
+  const bool same = row.tracks == col.tracks && row.speech == col.speech &&
+                    series_equal(row.fig4, col.fig4);
+  for (int r = 1; r < reps; ++r) {
+    Assembled t = assemble_once(data, /*columnar=*/false);
+    if (t.seconds < row.seconds) row = std::move(t);
+    t = assemble_once(data, /*columnar=*/true);
+    if (t.seconds < col.seconds) col = std::move(t);
+  }
+
+  const double row_rate = static_cast<double>(total) / row.seconds;
+  const double col_rate = static_cast<double>(total) / col.seconds;
+  std::printf("  row-wise  %8.3f s  %12.0f records/s\n", row.seconds, row_rate);
+  std::printf("  columnar  %8.3f s  %12.0f records/s\n", col.seconds, col_rate);
+  std::printf("\n  columnar speedup: %.2fx\n", row.seconds / col.seconds);
+  std::printf("  columnar == row-wise: %s\n", same ? "ok" : "MISMATCH");
+  if (!same) return 1;
+  if (col.seconds > row.seconds * 1.1) {
+    std::printf("  REGRESSION: columnar slower than row-wise by >10%%\n");
+    return 2;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--large") == 0) {
+    const std::size_t records =
+        argc > 2 ? static_cast<std::size_t>(std::strtoull(argv[2], nullptr, 10)) : 1000000;
+    const int reps = argc > 3 ? std::atoi(argv[3]) : 3;
+    const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 42;
+    return run_large(records, reps, seed);
+  }
+
   const auto data = hs::bench::run_mission(argc, argv);
   const unsigned threads =
       argc > 2 ? static_cast<unsigned>(std::strtoul(argv[2], nullptr, 10)) : 4;
   const int reps = argc > 3 ? std::atoi(argv[3]) : 3;
   const unsigned resolved = hs::util::resolve_threads(threads);
+  const std::size_t total = dataset_records(data);
 
   std::printf("host hardware_concurrency: %u\n", std::thread::hardware_concurrency());
   std::printf("timing full analysis (pipeline + all artifacts), best of %d\n\n", reps);
 
-  const Timed serial = best_of(data, 1, reps);
-  std::printf("  threads=1   %8.3f s\n", serial.seconds);
-  const Timed parallel = best_of(data, threads, reps);
-  std::printf("  threads=%-3u %8.3f s\n", resolved, parallel.seconds);
-  std::printf("\n  speedup: %.2fx\n", serial.seconds / parallel.seconds);
+  const Timed row = best_full(data, 1, /*columnar=*/false, reps);
+  std::printf("  row-wise  threads=1   %8.3f s  %12.0f records/s\n", row.seconds,
+              static_cast<double>(total) / row.seconds);
+  const Timed col = best_full(data, 1, /*columnar=*/true, reps);
+  std::printf("  columnar  threads=1   %8.3f s  %12.0f records/s\n", col.seconds,
+              static_cast<double>(total) / col.seconds);
+  const Timed par = best_full(data, threads, /*columnar=*/true, reps);
+  std::printf("  columnar  threads=%-3u %8.3f s  %12.0f records/s\n", resolved, par.seconds,
+              static_cast<double>(total) / par.seconds);
+  std::printf("\n  columnar speedup (serial): %.2fx\n", row.seconds / col.seconds);
+  std::printf("  thread speedup (columnar): %.2fx\n", col.seconds / par.seconds);
 
-  // Spot-check equality (the determinism test is the real gate).
-  bool same = serial.artifacts.fig2.total() == parallel.artifacts.fig2.total() &&
-              serial.artifacts.dataset.total_records == parallel.artifacts.dataset.total_records;
-  for (std::size_t i = 0; i < serial.artifacts.table1.size(); ++i) {
-    same = same && serial.artifacts.table1[i].company == parallel.artifacts.table1[i].company &&
-           serial.artifacts.table1[i].talking == parallel.artifacts.table1[i].talking;
-  }
-  std::printf("  serial == parallel spot-check: %s\n", same ? "ok" : "MISMATCH");
+  const bool same =
+      artifacts_equal(row.artifacts, col.artifacts) && artifacts_equal(col.artifacts, par.artifacts);
+  std::printf("  row-wise == columnar == parallel: %s\n", same ? "ok" : "MISMATCH");
   return same ? 0 : 1;
 }

@@ -36,4 +36,15 @@ case " $PRESETS " in
     ;;
 esac
 
+# Perf smoke on the default build: a small synthetic run of the columnar
+# pipeline. perf_pipeline --large compares the row-wise and columnar
+# derived outputs exactly and exits 1 on any divergence, 2 if columnar
+# regresses >10% slower than row-wise (docs/PERFORMANCE.md).
+case " $PRESETS " in
+  *" default "*)
+    echo "=== [default] perf_pipeline smoke (240k synthetic records) ==="
+    ./build/bench/perf_pipeline --large 240000 1
+    ;;
+esac
+
 echo "=== CI gate passed: $PRESETS ==="

@@ -10,22 +10,9 @@
 namespace hs::core {
 namespace {
 
-/// Sorted-interval membership test with a moving cursor (streams are
-/// processed in time order).
-class IntervalCursor {
- public:
-  explicit IntervalCursor(const std::vector<std::pair<double, double>>& intervals)
-      : intervals_(&intervals) {}
-
-  bool contains(double t) {
-    while (idx_ < intervals_->size() && (*intervals_)[idx_].second <= t) ++idx_;
-    return idx_ < intervals_->size() && (*intervals_)[idx_].first <= t;
-  }
-
- private:
-  const std::vector<std::pair<double, double>>* intervals_;
-  std::size_t idx_ = 0;
-};
+// IntervalCursor moved to core/record_batch.hpp: RecordBatch::build and
+// the row-wise attribute loop share it so both paths apply the identical
+// worn filter.
 
 /// Overlap of [a0,a1) with a set of sorted intervals.
 double overlap_seconds(const std::vector<std::pair<double, double>>& intervals, double a0,
@@ -180,68 +167,150 @@ void AnalysisPipeline::assemble() {
   // 3. Attribute records to astronauts (worn periods only). Several badges
   // can feed one astronaut (the day-9 swap, F reusing C's badge), so each
   // badge shard rectifies into private per-astronaut buffers; the merge
-  // into persons_ happens serially in log order, reproducing exactly the
-  // append order of the serial path.
-  struct Contribution {
-    std::array<std::vector<locate::TimedRssi>, crew::kCrewSize> obs;
-    std::array<std::vector<dsp::TimedAudio>, crew::kCrewSize> audio;
-    std::array<std::vector<TimedMotion>, crew::kCrewSize> motion;
-  };
-  std::vector<Contribution> contrib(nlogs);
-  {
-    obs::ProfileScope prof(tracer, "pipeline.attribute");
-    util::parallel_for(pool, nlogs, [&](std::size_t i) {
-      const auto& log = logs[i];
-      const auto& fit = *fit_slot[i];
-      Contribution& c = contrib[i];
-      IntervalCursor worn_cursor(*worn_slot[i]);
-
-      auto owner_at = [&](double t_s) -> std::optional<std::size_t> {
-        const int day = mission_day(static_cast<SimTime>(t_s * 1e6));
-        return ownership.owner(log.id, day);
-      };
-
-      for (const auto& r : log.card.beacon_obs()) {
-        const double t = fit.rectify(r.t) / 1000.0;
-        if (!worn_cursor.contains(t)) continue;
-        if (const auto who = owner_at(t)) {
-          c.obs[*who].push_back(locate::TimedRssi{t, r.beacon, r.rssi_dbm});
+  // into persons_/cols_ happens serially in log order, reproducing exactly
+  // the append order of the serial path.
+  //
+  // Columnar mode: each badge shard builds an arena-backed RecordBatch
+  // (rectified + worn-filtered columns, one batch per shard — the
+  // docs/CONCURRENCY.md batch-ownership rule) and resolves ownership once
+  // per badge-day run instead of once per record; the kept slices are
+  // copied into per-astronaut column buffers before the arena dies with
+  // the shard. The kept set and every stored value match the row-wise
+  // loop bit-for-bit (same rectify expression, same cursor, same order).
+  if (options_.columnar) {
+    // Shards only build batches (rectify + worn filter, into per-shard
+    // arenas — no cross-shard aliasing); the merge walks the batches
+    // serially in log order, resolving ownership once per badge-day run
+    // and appending the kept column slices straight into cols_. One copy
+    // card->batch, one copy batch->cols_ — the same count as the
+    // row-wise path, with the per-record owner lookup amortized away.
+    std::vector<ColumnArena> arenas(nlogs);
+    std::vector<RecordBatch> batches(nlogs);
+    {
+      obs::ProfileScope prof(tracer, "pipeline.attribute");
+      util::parallel_for(pool, nlogs, [&](std::size_t i) {
+        batches[i] =
+            RecordBatch::build(logs[i].id, logs[i].card, *fit_slot[i], *worn_slot[i], arenas[i]);
+      });
+    }
+    trace_stage(nlogs);
+    for (std::size_t i = 0; i < nlogs; ++i) {
+      const RecordBatch& batch = batches[i];
+      std::array<std::uint64_t, crew::kCrewSize> attributed{};
+      for (const DayRun& run : batch.obs.days) {
+        if (const auto who = ownership.owner(batch.badge, run.day)) {
+          PersonColumns& pc = cols_[*who];
+          pc.obs_t.insert(pc.obs_t.end(), batch.obs.t_s + run.begin, batch.obs.t_s + run.end);
+          pc.obs_beacon.insert(pc.obs_beacon.end(), batch.obs.beacon + run.begin,
+                               batch.obs.beacon + run.end);
+          pc.obs_rssi.insert(pc.obs_rssi.end(), batch.obs.rssi_dbm + run.begin,
+                             batch.obs.rssi_dbm + run.end);
+          attributed[*who] += run.end - run.begin;
         }
       }
-      IntervalCursor worn_audio(*worn_slot[i]);
-      for (const auto& r : log.card.audio()) {
-        const double t = fit.rectify(r.t) / 1000.0;
-        if (!worn_audio.contains(t)) continue;
-        if (const auto who = owner_at(t)) {
-          c.audio[*who].push_back(
-              dsp::TimedAudio{t, r.level_db, r.voiced_fraction, r.dominant_f0_hz});
+      for (const DayRun& run : batch.audio.days) {
+        if (const auto who = ownership.owner(batch.badge, run.day)) {
+          PersonColumns& pc = cols_[*who];
+          pc.audio_t.insert(pc.audio_t.end(), batch.audio.t_s + run.begin,
+                            batch.audio.t_s + run.end);
+          pc.audio_level_db.insert(pc.audio_level_db.end(), batch.audio.level_db + run.begin,
+                                   batch.audio.level_db + run.end);
+          pc.audio_voiced.insert(pc.audio_voiced.end(), batch.audio.voiced_fraction + run.begin,
+                                 batch.audio.voiced_fraction + run.end);
+          pc.audio_f0.insert(pc.audio_f0.end(), batch.audio.f0_hz + run.begin,
+                             batch.audio.f0_hz + run.end);
+          attributed[*who] += run.end - run.begin;
         }
       }
-      IntervalCursor worn_motion(*worn_slot[i]);
-      for (const auto& r : log.card.motion()) {
-        const double t = fit.rectify(r.t) / 1000.0;
-        if (!worn_motion.contains(t)) continue;
-        if (const auto who = owner_at(t)) {
-          c.motion[*who].push_back(TimedMotion{t, r.accel_var, r.step_freq_hz});
+      for (const DayRun& run : batch.motion.days) {
+        if (const auto who = ownership.owner(batch.badge, run.day)) {
+          PersonColumns& pc = cols_[*who];
+          pc.motion_t.insert(pc.motion_t.end(), batch.motion.t_s + run.begin,
+                             batch.motion.t_s + run.end);
+          pc.motion_accel_var.insert(pc.motion_accel_var.end(), batch.motion.accel_var + run.begin,
+                                     batch.motion.accel_var + run.end);
+          pc.motion_step_hz.insert(pc.motion_step_hz.end(), batch.motion.step_freq_hz + run.begin,
+                                   batch.motion.step_freq_hz + run.end);
+          attributed[*who] += run.end - run.begin;
         }
       }
-    });
-  }
-  trace_stage(nlogs);
-  for (auto& c : contrib) {
-    for (std::size_t who = 0; who < crew::kCrewSize; ++who) {
-      auto& p = persons_[who];
-      p.obs.insert(p.obs.end(), c.obs[who].begin(), c.obs[who].end());
-      p.audio.insert(p.audio.end(), c.audio[who].begin(), c.audio[who].end());
-      p.motion.insert(p.motion.end(), c.motion[who].begin(), c.motion[who].end());
       if (attributed_metric) {
-        attributed_metric->inc(c.obs[who].size() + c.audio[who].size() + c.motion[who].size());
+        for (std::size_t who = 0; who < crew::kCrewSize; ++who) {
+          attributed_metric->inc(attributed[who]);
+        }
+      }
+    }
+  } else {
+    struct Contribution {
+      std::array<std::vector<locate::TimedRssi>, crew::kCrewSize> obs;
+      std::array<std::vector<dsp::TimedAudio>, crew::kCrewSize> audio;
+      std::array<std::vector<TimedMotion>, crew::kCrewSize> motion;
+    };
+    std::vector<Contribution> contrib(nlogs);
+    {
+      obs::ProfileScope prof(tracer, "pipeline.attribute");
+      util::parallel_for(pool, nlogs, [&](std::size_t i) {
+        const auto& log = logs[i];
+        const auto& fit = *fit_slot[i];
+        Contribution& c = contrib[i];
+        IntervalCursor worn_cursor(*worn_slot[i]);
+
+        auto owner_at = [&](double t_s) -> std::optional<std::size_t> {
+          const int day = mission_day(static_cast<SimTime>(t_s * 1e6));
+          return ownership.owner(log.id, day);
+        };
+
+        for (const auto& r : log.card.beacon_obs()) {
+          const double t = fit.rectify(r.t) / 1000.0;
+          if (!worn_cursor.contains(t)) continue;
+          if (const auto who = owner_at(t)) {
+            c.obs[*who].push_back(locate::TimedRssi{t, r.beacon, r.rssi_dbm});
+          }
+        }
+        IntervalCursor worn_audio(*worn_slot[i]);
+        for (const auto& r : log.card.audio()) {
+          const double t = fit.rectify(r.t) / 1000.0;
+          if (!worn_audio.contains(t)) continue;
+          if (const auto who = owner_at(t)) {
+            c.audio[*who].push_back(
+                dsp::TimedAudio{t, r.level_db, r.voiced_fraction, r.dominant_f0_hz});
+          }
+        }
+        IntervalCursor worn_motion(*worn_slot[i]);
+        for (const auto& r : log.card.motion()) {
+          const double t = fit.rectify(r.t) / 1000.0;
+          if (!worn_motion.contains(t)) continue;
+          if (const auto who = owner_at(t)) {
+            c.motion[*who].push_back(TimedMotion{t, r.accel_var, r.step_freq_hz});
+          }
+        }
+      });
+    }
+    trace_stage(nlogs);
+    for (auto& c : contrib) {
+      for (std::size_t who = 0; who < crew::kCrewSize; ++who) {
+        auto& p = persons_[who];
+        p.obs.insert(p.obs.end(), c.obs[who].begin(), c.obs[who].end());
+        p.audio.insert(p.audio.end(), c.audio[who].begin(), c.audio[who].end());
+        p.motion.insert(p.motion.end(), c.motion[who].begin(), c.motion[who].end());
+        if (attributed_metric) {
+          attributed_metric->inc(c.obs[who].size() + c.audio[who].size() + c.motion[who].size());
+        }
       }
     }
   }
 
   // 4. Sort (multiple badges can contribute to one astronaut) and derive —
   // independent per astronaut; classifier and detector are shared const.
+  //
+  // Columnar mode gathers each column group into the same row structs,
+  // runs the *same* std::sort call as the row-wise path, and scatters the
+  // permutation back — deliberately, because std::sort's tie order
+  // (several beacons heard in the same scan share a timestamp) is
+  // unspecified-but-deterministic, and running the identical
+  // instantiation on identical values is what keeps columnar ≡ row-wise
+  // bit-identical. Classification and speech analysis then run over the
+  // sorted columns.
   const locate::RoomClassifier classifier(dataset_->beacons, options_.classifier);
   const dsp::SpeechDetector speech(options_.speech);
   {
@@ -249,11 +318,71 @@ void AnalysisPipeline::assemble() {
     util::parallel_for(pool, crew::kCrewSize, [&](std::size_t i) {
       auto& p = persons_[i];
       auto by_time = [](const auto& a, const auto& b) { return a.t_s < b.t_s; };
-      std::sort(p.obs.begin(), p.obs.end(), by_time);
-      std::sort(p.audio.begin(), p.audio.end(), by_time);
-      std::sort(p.motion.begin(), p.motion.end(), by_time);
-      p.track = classifier.classify(p.obs);
-      p.speech = speech.analyze(p.audio, 0.0);
+      if (options_.columnar) {
+        PersonColumns& pc = cols_[i];
+        // Strictly increasing timestamps have no ties, so the sorted
+        // permutation is unique and std::sort would return the input
+        // unchanged — skipping it is bit-identical, and the common case
+        // when one badge feeds the astronaut (streams are recorded in
+        // time order and a monotone fit keeps them that way). Any
+        // inversion or tie falls through to the same std::sort call as
+        // the row-wise path, whose tie order both paths then share.
+        auto strictly_increasing = [](const std::vector<double>& t) {
+          for (std::size_t k = 1; k < t.size(); ++k) {
+            if (!(t[k - 1] < t[k])) return false;
+          }
+          return true;
+        };
+        if (!strictly_increasing(pc.obs_t)) {
+          std::vector<locate::TimedRssi> rows(pc.obs_t.size());
+          for (std::size_t k = 0; k < rows.size(); ++k) {
+            rows[k] = locate::TimedRssi{pc.obs_t[k], pc.obs_beacon[k], pc.obs_rssi[k]};
+          }
+          std::sort(rows.begin(), rows.end(), by_time);
+          for (std::size_t k = 0; k < rows.size(); ++k) {
+            pc.obs_t[k] = rows[k].t_s;
+            pc.obs_beacon[k] = rows[k].beacon;
+            pc.obs_rssi[k] = static_cast<std::int8_t>(rows[k].rssi_dbm);
+          }
+        }
+        if (!strictly_increasing(pc.audio_t)) {
+          std::vector<dsp::TimedAudio> rows(pc.audio_t.size());
+          for (std::size_t k = 0; k < rows.size(); ++k) {
+            rows[k] = dsp::TimedAudio{pc.audio_t[k], pc.audio_level_db[k], pc.audio_voiced[k],
+                                      pc.audio_f0[k]};
+          }
+          std::sort(rows.begin(), rows.end(), by_time);
+          for (std::size_t k = 0; k < rows.size(); ++k) {
+            pc.audio_t[k] = rows[k].t_s;
+            pc.audio_level_db[k] = rows[k].level_db;
+            pc.audio_voiced[k] = rows[k].voiced_fraction;
+            pc.audio_f0[k] = rows[k].f0_hz;
+          }
+        }
+        if (!strictly_increasing(pc.motion_t)) {
+          std::vector<TimedMotion> rows(pc.motion_t.size());
+          for (std::size_t k = 0; k < rows.size(); ++k) {
+            rows[k] = TimedMotion{pc.motion_t[k], pc.motion_accel_var[k], pc.motion_step_hz[k]};
+          }
+          std::sort(rows.begin(), rows.end(), by_time);
+          for (std::size_t k = 0; k < rows.size(); ++k) {
+            pc.motion_t[k] = rows[k].t_s;
+            pc.motion_accel_var[k] = rows[k].accel_var;
+            pc.motion_step_hz[k] = rows[k].step_freq_hz;
+          }
+        }
+        p.track = classifier.classify(pc.obs_t.data(), pc.obs_beacon.data(), pc.obs_rssi.data(),
+                                      pc.obs_t.size());
+        p.speech = speech.analyze(pc.audio_t.data(), pc.audio_level_db.data(),
+                                  pc.audio_voiced.data(), pc.audio_f0.data(), pc.audio_t.size(),
+                                  0.0);
+      } else {
+        std::sort(p.obs.begin(), p.obs.end(), by_time);
+        std::sort(p.audio.begin(), p.audio.end(), by_time);
+        std::sort(p.motion.begin(), p.motion.end(), by_time);
+        p.track = classifier.classify(p.obs);
+        p.speech = speech.analyze(p.audio, 0.0);
+      }
     });
   }
   trace_stage(crew::kCrewSize);
@@ -275,7 +404,18 @@ locate::HeatmapAccumulator AnalysisPipeline::fig3_heatmap(std::size_t astronaut)
   const locate::Triangulator tri(dataset_->habitat, dataset_->beacons);
   locate::HeatmapAccumulator heat(dataset_->habitat);
   const auto& p = persons_[astronaut];
-  heat.add_fixes(tri.fixes(p.obs, p.track));
+  if (options_.columnar) {
+    // Triangulation wants rows; materialize them from the sorted columns
+    // (identical values in identical order to the row-wise path).
+    const PersonColumns& pc = cols_[astronaut];
+    std::vector<locate::TimedRssi> rows(pc.obs_t.size());
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      rows[k] = locate::TimedRssi{pc.obs_t[k], pc.obs_beacon[k], pc.obs_rssi[k]};
+    }
+    heat.add_fixes(tri.fixes(rows, p.track));
+  } else {
+    heat.add_fixes(tri.fixes(p.obs, p.track));
+  }
   return heat;
 }
 
@@ -290,6 +430,24 @@ AnalysisPipeline::DailySeries AnalysisPipeline::fig4_walking() const {
   // Each astronaut owns column i of every row — disjoint writes, so the
   // crew axis shards freely.
   util::parallel_for(pool_.get(), crew::kCrewSize, [&](std::size_t i) {
+    if (options_.columnar) {
+      // The sorted motion columns split into maximal same-day runs; one
+      // SIMD predicate count per run replaces the per-frame flush loop.
+      // Semantics match the row-wise branch below exactly: runs past the
+      // instrumented window stop processing, runs before it or shorter
+      // than 10 minutes yield no estimate.
+      const PersonColumns& pc = cols_[i];
+      for (const DayRun& run : day_runs(pc.motion_t.data(), pc.motion_t.size())) {
+        if (run.day > dataset_->last_day()) break;
+        const std::size_t total = run.end - run.begin;
+        if (run.day < series.first_day || total < 600) continue;
+        const std::size_t walking = detector.count_walking(
+            pc.motion_step_hz.data() + run.begin, pc.motion_accel_var.data() + run.begin, total);
+        series.values[static_cast<std::size_t>(run.day - series.first_day)][i] =
+            static_cast<double>(walking) / static_cast<double>(total);
+      }
+      return;
+    }
     // Split the motion stream by day and classify.
     std::size_t walking = 0;
     std::size_t total = 0;
@@ -431,16 +589,25 @@ std::vector<AnalysisPipeline::Table1Row> AnalysisPipeline::table1() const {
                          ? 0.0
                          : static_cast<double>(speech) / persons_[i].speech.size();
     // Walking: fraction of recorded motion frames classified as walking.
-    std::size_t walk = 0;
-    for (const auto& m : persons_[i].motion) {
-      io::MotionFrame f;
-      f.accel_var = m.accel_var;
-      f.step_freq_hz = m.step_freq_hz;
-      if (detector.is_walking(f)) ++walk;
+    if (options_.columnar) {
+      const PersonColumns& pc = cols_[i];
+      const std::size_t walk = detector.count_walking(pc.motion_step_hz.data(),
+                                                      pc.motion_accel_var.data(), pc.motion_t.size());
+      walking_raw[i] = pc.motion_t.empty()
+                           ? 0.0
+                           : static_cast<double>(walk) / static_cast<double>(pc.motion_t.size());
+    } else {
+      std::size_t walk = 0;
+      for (const auto& m : persons_[i].motion) {
+        io::MotionFrame f;
+        f.accel_var = m.accel_var;
+        f.step_freq_hz = m.step_freq_hz;
+        if (detector.is_walking(f)) ++walk;
+      }
+      walking_raw[i] = persons_[i].motion.empty()
+                           ? 0.0
+                           : static_cast<double>(walk) / persons_[i].motion.size();
     }
-    walking_raw[i] = persons_[i].motion.empty()
-                         ? 0.0
-                         : static_cast<double>(walk) / persons_[i].motion.size();
   }
 
   // Company is a *rate*: normalize by coverage before scaling (C is aboard

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/dataset.hpp"
+#include "core/record_batch.hpp"
 #include "dsp/speech.hpp"
 #include "obs/metrics.hpp"
 #include "dsp/walking.hpp"
@@ -55,6 +56,14 @@ struct PipelineOptions {
   /// path (no pool is created). Results are bit-identical for every
   /// thread count — see docs/CONCURRENCY.md for the guarantee.
   unsigned threads = 0;
+  /// Process records through arena-allocated struct-of-arrays batches
+  /// (hs::core::RecordBatch) so the attribute stage amortizes ownership
+  /// lookups per badge-day run and the DSP folds run over contiguous
+  /// columns (SIMD where exact). false selects the row-wise reference
+  /// path; both produce bit-identical output on every input — the
+  /// contract tests/determinism_test.cpp pins for seeds 7/42, and
+  /// docs/PERFORMANCE.md documents. Orthogonal to `threads`.
+  bool columnar = true;
   /// Speech-interval detection thresholds (the paper's 60 dB / 20 % /
   /// 15 s rule); overridable for sensitivity studies.
   dsp::SpeechParams speech{};
@@ -246,6 +255,10 @@ class AnalysisPipeline {
   std::map<io::BadgeId, std::vector<std::pair<double, double>>> worn_;
   std::map<io::BadgeId, std::vector<std::pair<double, double>>> active_;
   std::array<Person, crew::kCrewSize> persons_;
+  /// Columnar mode: per-astronaut attributed record columns (the SoA
+  /// counterpart of Person::obs/audio/motion, which stay empty). Derived
+  /// products (track, speech) always land in persons_.
+  std::array<PersonColumns, crew::kCrewSize> cols_;
 };
 
 }  // namespace hs::core

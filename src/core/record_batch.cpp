@@ -1,0 +1,103 @@
+#include "core/record_batch.hpp"
+
+#include <algorithm>
+
+namespace hs::core {
+
+std::vector<DayRun> day_runs(const double* t_s, std::size_t n) {
+  std::vector<DayRun> runs;
+  std::size_t begin = 0;
+  while (begin < n) {
+    // Classify the run head with the exact per-record expression of the
+    // row-wise path, then extend while elements stay in [lo, hi)
+    // microseconds — for non-negative stamps that interval test equals
+    // the truncating-cast classification, so the run boundary lands on
+    // the identical record. Runs are maximal *consecutive* same-day
+    // stretches: no sortedness assumption, so a backwards step-fit jump
+    // just produces an extra run instead of a wrong one.
+    const int day = mission_day(static_cast<SimTime>(t_s[begin] * 1e6));
+    const double lo = static_cast<double>(day_start(day));
+    const double hi = static_cast<double>(day_start(day + 1));
+    std::size_t end = begin + 1;
+    for (; end < n; ++end) {
+      const double us = t_s[end] * 1e6;
+      const bool same = us >= 0.0 ? (us >= lo && us < hi)
+                                  : mission_day(static_cast<SimTime>(us)) == day;
+      if (!same) break;
+    }
+    runs.push_back(DayRun{day, begin, end});
+    begin = end;
+  }
+  return runs;
+}
+
+RecordBatch RecordBatch::build(io::BadgeId badge, const badge::SdCard& card,
+                               const timesync::ClockFit& fit,
+                               const std::vector<std::pair<double, double>>& worn,
+                               ColumnArena& arena) {
+  RecordBatch batch;
+  batch.badge = badge;
+
+  {
+    const auto& src = card.beacon_obs();
+    batch.obs.t_s = arena.alloc<double>(src.size());
+    batch.obs.beacon = arena.alloc<io::BeaconId>(src.size());
+    batch.obs.rssi_dbm = arena.alloc<std::int8_t>(src.size());
+    IntervalCursor cursor(worn);
+    std::size_t m = 0;
+    for (const auto& r : src) {
+      const double t = fit.rectify(r.t) / 1000.0;
+      if (!cursor.contains(t)) continue;
+      batch.obs.t_s[m] = t;
+      batch.obs.beacon[m] = r.beacon;
+      batch.obs.rssi_dbm[m] = r.rssi_dbm;
+      ++m;
+    }
+    batch.obs.size = m;
+    batch.obs.days = day_runs(batch.obs.t_s, m);
+  }
+
+  {
+    const auto& src = card.audio();
+    batch.audio.t_s = arena.alloc<double>(src.size());
+    batch.audio.level_db = arena.alloc<float>(src.size());
+    batch.audio.voiced_fraction = arena.alloc<float>(src.size());
+    batch.audio.f0_hz = arena.alloc<float>(src.size());
+    IntervalCursor cursor(worn);
+    std::size_t m = 0;
+    for (const auto& r : src) {
+      const double t = fit.rectify(r.t) / 1000.0;
+      if (!cursor.contains(t)) continue;
+      batch.audio.t_s[m] = t;
+      batch.audio.level_db[m] = r.level_db;
+      batch.audio.voiced_fraction[m] = r.voiced_fraction;
+      batch.audio.f0_hz[m] = r.dominant_f0_hz;
+      ++m;
+    }
+    batch.audio.size = m;
+    batch.audio.days = day_runs(batch.audio.t_s, m);
+  }
+
+  {
+    const auto& src = card.motion();
+    batch.motion.t_s = arena.alloc<double>(src.size());
+    batch.motion.accel_var = arena.alloc<float>(src.size());
+    batch.motion.step_freq_hz = arena.alloc<float>(src.size());
+    IntervalCursor cursor(worn);
+    std::size_t m = 0;
+    for (const auto& r : src) {
+      const double t = fit.rectify(r.t) / 1000.0;
+      if (!cursor.contains(t)) continue;
+      batch.motion.t_s[m] = t;
+      batch.motion.accel_var[m] = r.accel_var;
+      batch.motion.step_freq_hz[m] = r.step_freq_hz;
+      ++m;
+    }
+    batch.motion.size = m;
+    batch.motion.days = day_runs(batch.motion.t_s, m);
+  }
+
+  return batch;
+}
+
+}  // namespace hs::core

@@ -6,6 +6,7 @@
 // correspond to a conversation at a distance of at most 2.5 m."
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -32,6 +33,8 @@ struct SpeechInterval {
   double dominant_f0_hz = 0.0;
   std::uint32_t voiced_frames = 0;
   std::uint32_t total_frames = 0;
+
+  friend bool operator==(const SpeechInterval&, const SpeechInterval&) = default;
 };
 
 /// Audio frame on the rectified (reference) timeline.
@@ -71,6 +74,16 @@ class SpeechDetector {
   /// to interval_s boundaries relative to origin t0_s. Intervals with no
   /// frames at all (badge inactive) are omitted.
   [[nodiscard]] std::vector<SpeechInterval> analyze(const std::vector<TimedAudio>& frames,
+                                                    double t0_s) const;
+
+  /// Columnar analyze over contiguous feature columns (a RecordBatch or
+  /// PersonColumns slice). The voiced predicate is evaluated as a SIMD
+  /// mask (util/simd.hpp, exact against the scalar promotion rules) and
+  /// the interval fold is the same code as the row-wise overload, so the
+  /// output is bit-identical for equal inputs.
+  [[nodiscard]] std::vector<SpeechInterval> analyze(const double* t_s, const float* level_db,
+                                                    const float* voiced_fraction,
+                                                    const float* f0_hz, std::size_t n,
                                                     double t0_s) const;
 
   /// Fraction of intervals flagged as speech (0 when empty).

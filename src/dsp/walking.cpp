@@ -1,5 +1,7 @@
 #include "dsp/walking.hpp"
 
+#include "util/simd.hpp"
+
 namespace hs::dsp {
 
 bool WalkingDetector::is_walking(const io::MotionFrame& frame) const {
@@ -13,6 +15,12 @@ std::size_t WalkingDetector::count_walking(const std::vector<io::MotionFrame>& f
     if (is_walking(f)) ++n;
   }
   return n;
+}
+
+std::size_t WalkingDetector::count_walking(const float* step_freq_hz, const float* accel_var,
+                                           std::size_t n) const {
+  return util::simd::count_band_ge(step_freq_hz, accel_var, n, params_.min_step_hz,
+                                   params_.max_step_hz, params_.min_accel_var);
 }
 
 double WalkingDetector::walking_fraction(const std::vector<io::MotionFrame>& frames) const {

@@ -6,6 +6,7 @@
 // locomotion range) with enough magnitude variance to rule out gesturing.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -29,6 +30,13 @@ class WalkingDetector {
 
   /// Count walking frames in a stream.
   [[nodiscard]] std::size_t count_walking(const std::vector<io::MotionFrame>& frames) const;
+
+  /// Columnar count over contiguous feature columns (a RecordBatch or
+  /// PersonColumns slice): same predicate, bit-identical count, evaluated
+  /// via the exact SIMD kernel in util/simd.hpp (floats widened to double
+  /// before comparing, matching the scalar promotion; NaN never counts).
+  [[nodiscard]] std::size_t count_walking(const float* step_freq_hz, const float* accel_var,
+                                          std::size_t n) const;
 
   /// Fraction of frames classified as walking (0 when empty).
   [[nodiscard]] double walking_fraction(const std::vector<io::MotionFrame>& frames) const;

@@ -57,6 +57,7 @@ FleetReport FleetAggregator::report(const std::string& campaign_name) const {
       report.alerts_total += s->alert_counts[k];
     }
     report.records_written += s->records_written;
+    report.records_analyzed += s->records_analyzed;
     report.chunks_offloaded += s->chunks_offloaded;
     report.chunks_acked += s->chunks_acked;
     report.dark_badges += s->dark_badges;
@@ -96,6 +97,7 @@ std::string FleetReport::to_csv() const {
   }
   row("alerts", "total", std::to_string(alerts_total));
   row("records", "sd_records_written", std::to_string(records_written));
+  row("records", "records_analyzed", std::to_string(records_analyzed));
   row("records", "chunks_offloaded", std::to_string(chunks_offloaded));
   row("records", "chunks_acked", std::to_string(chunks_acked));
   row("badges", "dark_total", std::to_string(dark_badges));

@@ -45,6 +45,9 @@ struct HabitatSummary {
 
   std::array<std::uint64_t, kAlertKindCount> alert_counts{};
   std::uint64_t records_written = 0;    ///< badge.sd_records_written
+  /// Records the habitat's analysis pass attributed to astronauts
+  /// (pipeline.records_attributed); 0 unless CampaignOptions::analyze.
+  std::uint64_t records_analyzed = 0;
   std::uint64_t chunks_offloaded = 0;   ///< record chunks accepted by the mesh
   std::uint64_t chunks_acked = 0;       ///< reached the replication factor
   /// Badges whose last offload trails the habitat's last offload activity
@@ -89,6 +92,7 @@ struct FleetReport {
   std::uint64_t alerts_total = 0;
 
   std::uint64_t records_written = 0;
+  std::uint64_t records_analyzed = 0;
   std::uint64_t chunks_offloaded = 0;
   std::uint64_t chunks_acked = 0;
 

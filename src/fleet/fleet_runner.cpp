@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/analysis.hpp"
 #include "core/runner.hpp"
 #include "mesh/chunk.hpp"
 #include "mesh/read_view.hpp"
@@ -76,7 +77,7 @@ HabitatSummary run_habitat(const HabitatSpec& spec, const CampaignOptions& optio
     }
     support.set_alert_sink(nullptr);
   });
-  (void)runner.run_days(spec.days);
+  const core::Dataset dataset = runner.run_days(spec.days);
 
   HabitatSummary summary;
   summary.index = spec.index;
@@ -88,6 +89,19 @@ HabitatSummary run_habitat(const HabitatSpec& spec, const CampaignOptions& optio
   summary.finished_at = static_cast<SimTime>(spec.days) * kDay;
   for (const auto& alert : support.alerts()) {
     summary.alert_counts[static_cast<std::size_t>(alert.kind)] += 1;
+  }
+  if (options.analyze) {
+    // The habitat's own analysis pass (serial: the campaign already
+    // shards one habitat per thread). The pipeline folds its pipeline.*
+    // counters into the runner's registry, so the snapshot below — taken
+    // after — carries them Earth-side.
+    core::PipelineOptions popts;
+    popts.threads = 1;
+    popts.columnar = options.columnar;
+    popts.metrics = &runner.metrics();
+    const core::AnalysisPipeline pipeline(dataset, popts);
+    summary.records_analyzed =
+        counter_value(runner.metrics().snapshot(), "pipeline.records_attributed");
   }
   summary.metrics = runner.report().metrics;
   summary.records_written = counter_value(summary.metrics, "badge.sd_records_written");

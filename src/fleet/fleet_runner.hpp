@@ -29,6 +29,16 @@ struct CampaignOptions {
   SimDuration stale_after = minutes(10);
   /// Habitat -> Earth summary link delay (the paper's 20 minutes).
   SimDuration link_delay = minutes(20);
+  /// Run the offline analysis pipeline on each habitat's dataset and fold
+  /// its pipeline.* metrics and records_analyzed into the summary. Off by
+  /// default: analysis multiplies per-habitat cost and campaign studies
+  /// usually only need the mission-side telemetry.
+  bool analyze = false;
+  /// Columnar (RecordBatch) or row-wise analysis when `analyze` is set;
+  /// both produce bit-identical summaries (the PipelineOptions::columnar
+  /// contract), so this is a perf knob bench/fleet_scale flips to measure
+  /// the fleet-level win.
+  bool columnar = true;
 };
 
 /// Run one habitat's mission and condense it into its downlink summary.

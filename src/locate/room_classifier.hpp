@@ -8,6 +8,8 @@
 // gap carry-forward, and a separate dwell filter.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "beacon/beacon.hpp"
@@ -50,6 +52,14 @@ class RoomClassifier {
   /// Bins with no audible beacon within gap_carry_s of the last fix close
   /// the current stay (the badge is off / out of coverage, e.g. hangar).
   [[nodiscard]] std::vector<RoomStay> classify(const std::vector<TimedRssi>& obs) const;
+
+  /// Columnar classify over contiguous columns (a RecordBatch or
+  /// PersonColumns slice): the same binning loop as the row-wise
+  /// overload (shared implementation), so the stays are bit-identical
+  /// for equal inputs.
+  [[nodiscard]] std::vector<RoomStay> classify(const double* t_s, const io::BeaconId* beacon,
+                                               const std::int8_t* rssi_dbm,
+                                               std::size_t n) const;
 
   [[nodiscard]] habitat::RoomId room_of_beacon(io::BeaconId id) const;
 

@@ -1,0 +1,154 @@
+// Portable SIMD shim for the columnar DSP hot path.
+//
+// Scope is deliberately narrow: only *exact* predicate kernels live here —
+// comparisons and popcounts whose result is a bit-for-bit match for the
+// scalar reference on every input, including NaN and infinities. Kernels
+// that would accumulate floating-point sums in a different order (and so
+// produce legitimately different bits) are out of scope; those loops stay
+// plain contiguous code in the callers, where the compiler may
+// autovectorize them only when the result cannot change (see
+// docs/PERFORMANCE.md, "What is allowed to vectorize").
+//
+// Exactness rules the kernels follow:
+//  - The scalar detectors compare float fields against double parameters,
+//    which promotes the float to double first (e.g. `step_freq_hz >= 0.9`
+//    where 0.9 is not exactly representable in either precision). The SSE2
+//    kernels therefore widen each float lane with _mm_cvtps_pd and compare
+//    in double — comparing in float would round the threshold and flip
+//    records that sit between the two roundings.
+//  - Ordered compares (cmpge/cmple, vcge/vcle) return false on NaN, same
+//    as the scalar `>=`/`<=`.
+//  - Results are integer counts/masks, so lane order cannot matter.
+//
+// Backend selection is compile-time feature detection only (SSE2 is part
+// of baseline x86-64; NEON of AArch64); there is no runtime dispatch to
+// keep the binary a pure function of the build. active_backend() reports
+// which path is compiled in so benches and docs can print it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__SSE2__) || (defined(_M_X64) && !defined(__clang__))
+#define HS_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+#define HS_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace hs::util::simd {
+
+/// Compiled-in backend name, for bench/doc output.
+[[nodiscard]] constexpr const char* active_backend() {
+#if defined(HS_SIMD_SSE2)
+  return "sse2";
+#elif defined(HS_SIMD_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+/// Count of i where (double)x[i] >= xlo && (double)x[i] <= xhi &&
+/// (double)y[i] >= ymin — the walking-band predicate. Bit-exact against
+/// the scalar loop for every input (NaN lanes never count).
+[[nodiscard]] inline std::size_t count_band_ge(const float* x, const float* y, std::size_t n,
+                                               double xlo, double xhi, double ymin) {
+  std::size_t count = 0;
+  std::size_t i = 0;
+#if defined(HS_SIMD_SSE2)
+  const __m128d vlo = _mm_set1_pd(xlo);
+  const __m128d vhi = _mm_set1_pd(xhi);
+  const __m128d vym = _mm_set1_pd(ymin);
+  for (; i + 4 <= n; i += 4) {
+    const __m128 xf = _mm_loadu_ps(x + i);
+    const __m128 yf = _mm_loadu_ps(y + i);
+    const __m128d x0 = _mm_cvtps_pd(xf);
+    const __m128d x1 = _mm_cvtps_pd(_mm_movehl_ps(xf, xf));
+    const __m128d y0 = _mm_cvtps_pd(yf);
+    const __m128d y1 = _mm_cvtps_pd(_mm_movehl_ps(yf, yf));
+    const __m128d m0 = _mm_and_pd(_mm_and_pd(_mm_cmpge_pd(x0, vlo), _mm_cmple_pd(x0, vhi)),
+                                  _mm_cmpge_pd(y0, vym));
+    const __m128d m1 = _mm_and_pd(_mm_and_pd(_mm_cmpge_pd(x1, vlo), _mm_cmple_pd(x1, vhi)),
+                                  _mm_cmpge_pd(y1, vym));
+    const unsigned bits = static_cast<unsigned>(_mm_movemask_pd(m0)) |
+                          (static_cast<unsigned>(_mm_movemask_pd(m1)) << 2);
+    count += static_cast<std::size_t>(__builtin_popcount(bits));
+  }
+#elif defined(HS_SIMD_NEON)
+  const float64x2_t vlo = vdupq_n_f64(xlo);
+  const float64x2_t vhi = vdupq_n_f64(xhi);
+  const float64x2_t vym = vdupq_n_f64(ymin);
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t xf = vld1q_f32(x + i);
+    const float32x4_t yf = vld1q_f32(y + i);
+    const float64x2_t x0 = vcvt_f64_f32(vget_low_f32(xf));
+    const float64x2_t x1 = vcvt_f64_f32(vget_high_f32(xf));
+    const float64x2_t y0 = vcvt_f64_f32(vget_low_f32(yf));
+    const float64x2_t y1 = vcvt_f64_f32(vget_high_f32(yf));
+    const uint64x2_t m0 = vandq_u64(vandq_u64(vcgeq_f64(x0, vlo), vcleq_f64(x0, vhi)),
+                                    vcgeq_f64(y0, vym));
+    const uint64x2_t m1 = vandq_u64(vandq_u64(vcgeq_f64(x1, vlo), vcleq_f64(x1, vhi)),
+                                    vcgeq_f64(y1, vym));
+    count += static_cast<std::size_t>(vgetq_lane_u64(m0, 0) & 1) +
+             static_cast<std::size_t>(vgetq_lane_u64(m0, 1) & 1) +
+             static_cast<std::size_t>(vgetq_lane_u64(m1, 0) & 1) +
+             static_cast<std::size_t>(vgetq_lane_u64(m1, 1) & 1);
+  }
+#endif
+  for (; i < n; ++i) {
+    if (static_cast<double>(x[i]) >= xlo && static_cast<double>(x[i]) <= xhi &&
+        static_cast<double>(y[i]) >= ymin) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+/// out[i] = ((double)a[i] >= amin && (double)b[i] >= bmin) ? 1 : 0 — the
+/// voiced-frame predicate as a branch-free mask. Bit-exact against the
+/// scalar predicate (NaN lanes produce 0).
+inline void mask_ge2(const float* a, const float* b, std::size_t n, double amin, double bmin,
+                     std::uint8_t* out) {
+  std::size_t i = 0;
+#if defined(HS_SIMD_SSE2)
+  const __m128d vam = _mm_set1_pd(amin);
+  const __m128d vbm = _mm_set1_pd(bmin);
+  for (; i + 4 <= n; i += 4) {
+    const __m128 af = _mm_loadu_ps(a + i);
+    const __m128 bf = _mm_loadu_ps(b + i);
+    const __m128d a0 = _mm_cvtps_pd(af);
+    const __m128d a1 = _mm_cvtps_pd(_mm_movehl_ps(af, af));
+    const __m128d b0 = _mm_cvtps_pd(bf);
+    const __m128d b1 = _mm_cvtps_pd(_mm_movehl_ps(bf, bf));
+    const unsigned bits =
+        static_cast<unsigned>(_mm_movemask_pd(_mm_and_pd(_mm_cmpge_pd(a0, vam), _mm_cmpge_pd(b0, vbm)))) |
+        (static_cast<unsigned>(_mm_movemask_pd(_mm_and_pd(_mm_cmpge_pd(a1, vam), _mm_cmpge_pd(b1, vbm)))) << 2);
+    out[i + 0] = static_cast<std::uint8_t>((bits >> 0) & 1);
+    out[i + 1] = static_cast<std::uint8_t>((bits >> 1) & 1);
+    out[i + 2] = static_cast<std::uint8_t>((bits >> 2) & 1);
+    out[i + 3] = static_cast<std::uint8_t>((bits >> 3) & 1);
+  }
+#elif defined(HS_SIMD_NEON)
+  const float64x2_t vam = vdupq_n_f64(amin);
+  const float64x2_t vbm = vdupq_n_f64(bmin);
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t af = vld1q_f32(a + i);
+    const float32x4_t bf = vld1q_f32(b + i);
+    const uint64x2_t m0 = vandq_u64(vcgeq_f64(vcvt_f64_f32(vget_low_f32(af)), vam),
+                                    vcgeq_f64(vcvt_f64_f32(vget_low_f32(bf)), vbm));
+    const uint64x2_t m1 = vandq_u64(vcgeq_f64(vcvt_f64_f32(vget_high_f32(af)), vam),
+                                    vcgeq_f64(vcvt_f64_f32(vget_high_f32(bf)), vbm));
+    out[i + 0] = static_cast<std::uint8_t>(vgetq_lane_u64(m0, 0) & 1);
+    out[i + 1] = static_cast<std::uint8_t>(vgetq_lane_u64(m0, 1) & 1);
+    out[i + 2] = static_cast<std::uint8_t>(vgetq_lane_u64(m1, 0) & 1);
+    out[i + 3] = static_cast<std::uint8_t>(vgetq_lane_u64(m1, 1) & 1);
+  }
+#endif
+  for (; i < n; ++i) {
+    out[i] = (static_cast<double>(a[i]) >= amin && static_cast<double>(b[i]) >= bmin) ? 1 : 0;
+  }
+}
+
+}  // namespace hs::util::simd

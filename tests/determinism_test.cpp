@@ -1,13 +1,18 @@
-// Serial ≡ parallel: the pipeline's contract is that PipelineOptions::
-// threads changes wall-clock time only. This suite runs the full 14-day
-// mission on two seeds and demands bit-identical output — every figure,
-// table, statistic, and intermediate product — between threads=1 (the
-// serial reference path, no pool) and threads=4.
+// Serial ≡ parallel ≡ columnar: the pipeline's contract is that
+// PipelineOptions::threads and PipelineOptions::columnar change
+// wall-clock time only. This suite runs the full 14-day mission on two
+// seeds and demands bit-identical output — every figure, table,
+// statistic, and intermediate product — across the four configurations
+// {row-wise, columnar} x {threads=1, threads=4}, with the row-wise
+// serial pipeline as the reference.
 //
 // Exact floating-point equality is intentional: every shard writes only
 // its own slot and every cross-shard fold happens serially in a fixed
-// order (see docs/CONCURRENCY.md), so there is no legitimate source of
-// divergence. A tolerance here would only hide a broken shard boundary.
+// order (see docs/CONCURRENCY.md), the columnar path evaluates every
+// predicate with the same promotions as the row-wise code (see
+// docs/PERFORMANCE.md), so there is no legitimate source of divergence.
+// A tolerance here would only hide a broken shard boundary or an inexact
+// SIMD kernel.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -37,9 +42,10 @@ struct MissionDumps {
 /// Run the full mission and the analysis (which folds its pipeline.*
 /// metrics and trace spans into the same registry/tracer), then dump
 /// every deterministic text export. The obs contract: each string is a
-/// pure function of (seed, plan, threads) — and independent of
-/// `threads` entirely.
-MissionDumps mission_dumps(std::uint64_t seed, faults::FaultPlan plan, unsigned threads) {
+/// pure function of (seed, plan, threads, columnar) — and independent
+/// of `threads` and `columnar` entirely.
+MissionDumps mission_dumps(std::uint64_t seed, faults::FaultPlan plan, unsigned threads,
+                           bool columnar) {
   MissionConfig config;
   config.seed = seed;
   config.fault_plan = std::move(plan);
@@ -58,6 +64,7 @@ MissionDumps mission_dumps(std::uint64_t seed, faults::FaultPlan plan, unsigned 
   const Dataset data = runner.run();
   PipelineOptions opts;
   opts.threads = threads;
+  opts.columnar = columnar;
   opts.metrics = &runner.metrics();
   opts.tracer = &runner.tracer();
   const AnalysisPipeline pipeline(data, opts);
@@ -78,14 +85,11 @@ void expect_same_series(const AnalysisPipeline::DailySeries& a,
   }
 }
 
-void expect_identical(const Dataset& data) {
-  PipelineOptions serial_opts;
-  serial_opts.threads = 1;
-  PipelineOptions parallel_opts;
-  parallel_opts.threads = 4;
-  const AnalysisPipeline serial(data, serial_opts);
-  const AnalysisPipeline parallel(data, parallel_opts);
-
+/// Demand bit-identical output from two pipelines over the same dataset.
+/// `serial` is the reference configuration, `parallel` the one under test
+/// (any threads/columnar combination).
+void expect_pipelines_identical(const Dataset& data, const AnalysisPipeline& serial,
+                                const AnalysisPipeline& parallel) {
   // Intermediate products: clock fits, tracks, speech intervals.
   for (const auto& log : data.logs) {
     const auto* fs = serial.clock_fit(log.id);
@@ -172,6 +176,31 @@ void expect_identical(const Dataset& data) {
   EXPECT_EQ(serial.voice_census(), parallel.voice_census());
 }
 
+/// The full matrix: the row-wise serial pipeline is the reference;
+/// row-wise parallel, columnar serial, and columnar parallel must each
+/// reproduce it bit-for-bit (which also makes them identical pairwise).
+void expect_identical(const Dataset& data) {
+  auto make = [&](unsigned threads, bool columnar) {
+    PipelineOptions opts;
+    opts.threads = threads;
+    opts.columnar = columnar;
+    return AnalysisPipeline(data, opts);
+  };
+  const AnalysisPipeline reference = make(1, false);
+  {
+    SCOPED_TRACE("row-wise threads=4");
+    expect_pipelines_identical(data, reference, make(4, false));
+  }
+  {
+    SCOPED_TRACE("columnar threads=1");
+    expect_pipelines_identical(data, reference, make(1, true));
+  }
+  {
+    SCOPED_TRACE("columnar threads=4");
+    expect_pipelines_identical(data, reference, make(4, true));
+  }
+}
+
 TEST(DeterminismTest, SerialAndParallelPipelinesAreBitIdenticalSeed42) {
   expect_identical(run_icares_mission(42));
 }
@@ -181,14 +210,16 @@ TEST(DeterminismTest, SerialAndParallelPipelinesAreBitIdenticalSeed7) {
 }
 
 TEST(DeterminismTest, MetricsDumpByteIdenticalAcrossThreadsSeed42) {
-  const MissionDumps serial = mission_dumps(42, {}, 1);
-  const MissionDumps parallel = mission_dumps(42, {}, hardware_threads());
+  // Row-wise serial vs columnar parallel: one byte-equality covers both
+  // the thread and the layout axis of the contract.
+  const MissionDumps serial = mission_dumps(42, {}, 1, /*columnar=*/false);
+  const MissionDumps parallel = mission_dumps(42, {}, hardware_threads(), /*columnar=*/true);
   EXPECT_EQ(serial.metrics_csv, parallel.metrics_csv);
   EXPECT_EQ(serial.flight_log_csv, parallel.flight_log_csv);
   EXPECT_EQ(serial.trace_csv, parallel.trace_csv);
-  // Same seed, same thread count, fresh run: repeatability, not just
-  // thread independence.
-  const MissionDumps again = mission_dumps(42, {}, hardware_threads());
+  // Same seed, same thread count, same layout, fresh run: repeatability,
+  // not just thread independence.
+  const MissionDumps again = mission_dumps(42, {}, hardware_threads(), /*columnar=*/true);
   EXPECT_EQ(parallel.metrics_csv, again.metrics_csv);
   EXPECT_EQ(parallel.flight_log_csv, again.flight_log_csv);
   EXPECT_EQ(parallel.trace_csv, again.trace_csv);
@@ -231,8 +262,10 @@ TEST(DeterminismTest, MetricsDumpByteIdenticalAcrossThreadsSeed42) {
 }
 
 TEST(DeterminismTest, MetricsDumpByteIdenticalAcrossThreadsSeed7) {
-  const MissionDumps serial = mission_dumps(7, {}, 1);
-  const MissionDumps parallel = mission_dumps(7, {}, hardware_threads());
+  // The layout axes flipped relative to the seed-42 test: columnar
+  // serial vs row-wise parallel.
+  const MissionDumps serial = mission_dumps(7, {}, 1, /*columnar=*/true);
+  const MissionDumps parallel = mission_dumps(7, {}, hardware_threads(), /*columnar=*/false);
   EXPECT_EQ(serial.metrics_csv, parallel.metrics_csv);
   EXPECT_EQ(serial.flight_log_csv, parallel.flight_log_csv);
   EXPECT_EQ(serial.trace_csv, parallel.trace_csv);
@@ -242,9 +275,10 @@ TEST(DeterminismTest, MetricsDumpKeepsTheContractUnderCombinedFaults) {
   // The kitchen-sink preset fires every fault kind; fault bookkeeping,
   // alert storms and degraded-I/O counters all land in the dump, and it
   // still may not depend on the pipeline's thread count.
-  const MissionDumps serial = mission_dumps(42, faults::FaultPlan::combined(42), 1);
+  const MissionDumps serial = mission_dumps(42, faults::FaultPlan::combined(42), 1,
+                                            /*columnar=*/false);
   const MissionDumps parallel =
-      mission_dumps(42, faults::FaultPlan::combined(42), hardware_threads());
+      mission_dumps(42, faults::FaultPlan::combined(42), hardware_threads(), /*columnar=*/true);
   EXPECT_EQ(serial.metrics_csv, parallel.metrics_csv);
   EXPECT_EQ(serial.flight_log_csv, parallel.flight_log_csv);
   EXPECT_EQ(serial.trace_csv, parallel.trace_csv);
