@@ -36,6 +36,22 @@ case " $PRESETS " in
     ;;
 esac
 
+# Cascade scenario smoke on the default build: a 4-habitat storm campaign
+# (power-storm / generated cascades over 2-day missions) must produce a
+# byte-identical aggregate dump for threads=1 vs threads=hw, plus one
+# instrumented storm habitat for the record->raise latency readout
+# (cascade_storm exits non-zero on any dump divergence). The scenario
+# unit suite runs again under its own label so a cascade regression is
+# named in the CI log even when the full ctest pass above is skipped.
+case " $PRESETS " in
+  *" default "*)
+    echo "=== [default] cascade_storm smoke (4 habitats) ==="
+    ./build/bench/cascade_storm 4 2 42
+    echo "=== [default] ctest -L scenario ==="
+    ctest --test-dir build -L scenario --output-on-failure
+    ;;
+esac
+
 # Perf smoke on the default build: a small synthetic run of the columnar
 # pipeline. perf_pipeline --large compares the row-wise and columnar
 # derived outputs exactly and exits 1 on any divergence, 2 if columnar

@@ -1,7 +1,9 @@
 #include "faults/fault_plan.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <iterator>
 #include <sstream>
 
 namespace hs::faults {
@@ -12,6 +14,8 @@ constexpr FaultKind kAllKinds[] = {
     FaultKind::kBeaconOutage,     FaultKind::kRadioDegradation, FaultKind::kClockStep,
     FaultKind::kBadgeSwap,        FaultKind::kPartition,
 };
+static_assert(std::size(kAllKinds) == kFaultKindCount,
+              "every FaultKind needs a DSL entry in kAllKinds");
 
 /// "3d07:30" — 1-based mission day plus habitat wall-clock time.
 std::string format_time(SimTime t) {
@@ -242,8 +246,21 @@ Expected<FaultPlan> FaultPlan::parse(const std::string& text) {
         (spec.magnitude < 0.0 || spec.magnitude > 1.0)) {
       return fail("frac must be in [0,1]");
     }
-    if (spec.kind == FaultKind::kPartition && (spec.group_a.empty() || spec.group_b.empty())) {
-      return fail("partition needs groups=<ids>|<ids>");
+    if (spec.kind == FaultKind::kPartition) {
+      if (spec.group_a.empty() || spec.group_b.empty()) {
+        return fail("partition needs groups=<ids>|<ids>");
+      }
+      // A node on both sides of a severed link is contradictory; reject it
+      // here rather than letting the injector partition a node from itself.
+      std::vector<int> a = spec.group_a;
+      std::vector<int> b = spec.group_b;
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      std::vector<int> both;
+      std::set_intersection(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(both));
+      if (!both.empty()) {
+        return fail("partition groups overlap (node " + std::to_string(both.front()) + ")");
+      }
     }
     plan.faults_.push_back(spec);
   }

@@ -33,6 +33,10 @@ enum class FaultKind : std::uint8_t {
   kPartition,        ///< mesh radio partition between `group_a` and `group_b` for `duration`
 };
 
+/// Number of FaultKind values; keep in sync with the enum (the DSL's kind
+/// table static_asserts against it, and faults_test round-trips every kind).
+inline constexpr std::size_t kFaultKindCount = 8;
+
 /// Canonical kebab-case name ("battery-death", ...), used by the DSL.
 const char* kind_name(FaultKind kind);
 

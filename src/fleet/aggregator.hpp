@@ -41,6 +41,7 @@ struct HabitatSummary {
   int crew = 6;
   int beacons = 27;
   std::string fault_preset;
+  std::string cascade;           ///< cascade scenario preset ("none" if off)
   SimTime finished_at = 0;       ///< mission end (submission instant)
 
   std::array<std::uint64_t, kAlertKindCount> alert_counts{};

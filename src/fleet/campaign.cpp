@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "scenario/scenario.hpp"
+
 namespace hs::fleet {
 namespace {
 
@@ -21,6 +23,14 @@ constexpr const char* kPresetNames[] = {
 
 bool known_preset(const std::string& name) {
   return std::any_of(std::begin(kPresetNames), std::end(kPresetNames),
+                     [&](const char* p) { return name == p; });
+}
+
+/// Known cascade-scenario names (scenario::scenario_preset resolves them).
+constexpr const char* kCascadeNames[] = {"none", "power-storm", "generated"};
+
+bool known_cascade(const std::string& name) {
+  return std::any_of(std::begin(kCascadeNames), std::end(kCascadeNames),
                      [&](const char* p) { return name == p; });
 }
 
@@ -92,7 +102,7 @@ std::string join_strings(const std::vector<std::string>& v) {
 Status CampaignSpec::validate() const {
   if (name.empty()) return Error{"campaign: name must not be empty"};
   if (habitats < 1) return Error{"campaign: habitats must be >= 1"};
-  if (days.empty() || crew.empty() || beacons.empty() || faults.empty()) {
+  if (days.empty() || crew.empty() || beacons.empty() || faults.empty() || cascade.empty()) {
     return Error{"campaign: axes must be non-empty"};
   }
   for (const int d : days) {
@@ -112,6 +122,9 @@ Status CampaignSpec::validate() const {
   for (const auto& f : faults) {
     if (!known_preset(f)) return Error{"campaign: unknown fault preset '" + f + "'"};
   }
+  for (const auto& c : cascade) {
+    if (!known_cascade(c)) return Error{"campaign: unknown cascade scenario '" + c + "'"};
+  }
   return Status::success();
 }
 
@@ -129,6 +142,7 @@ std::vector<HabitatSpec> CampaignSpec::expand() const {
     h.mesh = mesh;
     h.replication = replication;
     h.fault_preset = faults[idx % faults.size()];
+    h.cascade = cascade[idx % cascade.size()];
     out.push_back(std::move(h));
   }
   return out;
@@ -143,6 +157,7 @@ std::string CampaignSpec::to_string() const {
   out += "crew " + join_ints(crew) + "\n";
   out += "beacons " + join_ints(beacons) + "\n";
   out += "faults " + join_strings(faults) + "\n";
+  out += "cascade " + join_strings(cascade) + "\n";
   out += std::string("mesh ") + (mesh ? "on" : "off") + "\n";
   out += "replication " + std::to_string(replication) + "\n";
   return out;
@@ -183,6 +198,8 @@ Expected<CampaignSpec> CampaignSpec::parse(const std::string& text) {
       }
     } else if (key == "faults") {
       spec.faults = split_list(value);
+    } else if (key == "cascade") {
+      spec.cascade = split_list(value);
     } else if (key == "mesh") {
       if (value == "on") {
         spec.mesh = true;
@@ -247,6 +264,18 @@ core::MissionConfig make_mission_config(const HabitatSpec& spec) {
   config.collect_from_mesh = spec.mesh;
   if (auto plan = fault_preset(spec.fault_preset, spec.seed); plan.has_value()) {
     config.fault_plan = std::move(*plan);
+  }
+  // The cascade's device faults ride the same injector as the preset's:
+  // expansion is a pure function of (seed, scenario), so appending here
+  // keeps the whole mission a pure function of the habitat spec.
+  if (spec.cascade != "none") {
+    if (auto scen = scenario::scenario_preset(spec.cascade, spec.seed); scen.has_value()) {
+      if (auto expanded = scenario::expand_scenario(*scen, spec.seed); expanded.has_value()) {
+        for (const auto& fault : expanded->cascade.plan.faults()) {
+          config.fault_plan.add(fault);
+        }
+      }
+    }
   }
   return config;
 }

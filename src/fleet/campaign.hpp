@@ -34,6 +34,7 @@ struct HabitatSpec {
   bool mesh = true;            ///< run the in-habitat data plane
   int replication = 3;         ///< mesh replication factor
   std::string fault_preset = "none";  ///< preset name (see fault_preset())
+  std::string cascade = "none";       ///< cascade scenario preset (see scenario_preset())
 
   friend bool operator==(const HabitatSpec&, const HabitatSpec&) = default;
 };
@@ -49,6 +50,7 @@ struct CampaignSpec {
   std::vector<int> crew{6};
   std::vector<int> beacons{27};
   std::vector<std::string> faults{"none"};
+  std::vector<std::string> cascade{"none"};
   bool mesh = true;
   int replication = 3;
 
@@ -65,9 +67,10 @@ struct CampaignSpec {
 
   /// Parse the DSL. Lines: `campaign <name>`, `habitats <n>`,
   /// `seed <base>`, `days <list>`, `crew <list>`, `beacons <list>`,
-  /// `faults <list>`, `mesh on|off`, `replication <k>`, `#` comments and
-  /// blank lines. Lists are comma-separated. Unknown keys or malformed
-  /// values are errors, as is a spec that fails validate().
+  /// `faults <list>`, `cascade <list>`, `mesh on|off`, `replication <k>`,
+  /// `#` comments and blank lines. Lists are comma-separated. Unknown
+  /// keys or malformed values are errors, as is a spec that fails
+  /// validate().
   [[nodiscard]] static Expected<CampaignSpec> parse(const std::string& text);
 
   friend bool operator==(const CampaignSpec&, const CampaignSpec&) = default;
@@ -89,7 +92,10 @@ struct CampaignSpec {
 /// The MissionConfig a habitat spec denotes: short missions are
 /// instrumented from day 1 (badge_start_day = 1), crew 5 scripts C's
 /// departure at mission start, and the mesh runs with the spec's
-/// replication factor.
+/// replication factor. A cascade scenario ("power-storm" / "generated",
+/// seeded per habitat) expands deterministically and its device faults
+/// are appended to the fault plan; run_habitat additionally wires the
+/// resource coupling at day boundaries.
 [[nodiscard]] core::MissionConfig make_mission_config(const HabitatSpec& spec);
 
 }  // namespace hs::fleet

@@ -6,6 +6,7 @@
 #include "core/runner.hpp"
 #include "mesh/chunk.hpp"
 #include "mesh/read_view.hpp"
+#include "scenario/scenario.hpp"
 #include "support/system.hpp"
 #include "util/thread_pool.hpp"
 
@@ -66,6 +67,38 @@ HabitatSummary run_habitat(const HabitatSpec& spec, const CampaignOptions& optio
   support.set_metrics(&runner.metrics(), &runner.flight_recorder(), &runner.tracer());
   const SimDuration cadence = options.support_cadence;
   const SimDuration stale_after = options.stale_after;
+
+  // Cascade scenario wiring: re-expand (pure, cheap next to the mission)
+  // for the activation record and the resource coupling. The device
+  // faults themselves are already in the runner's plan via
+  // make_mission_config; here the coupling drains the ledger at each day
+  // boundary so sustained cascades surface as shortage alerts, published
+  // over the mesh like every other alert.
+  scenario::ExpandedScenario cascade;
+  if (spec.cascade != "none") {
+    if (auto scen = scenario::scenario_preset(spec.cascade, spec.seed); scen.has_value()) {
+      if (auto expanded = scenario::expand_scenario(*scen, spec.seed); expanded.has_value()) {
+        cascade = std::move(*expanded);
+      }
+    }
+    runner.metrics().gauge("scenario.cascade_activations")
+        .set(static_cast<double>(cascade.cascade.activations.size()));
+    runner.metrics().gauge("scenario.cascade_dependents")
+        .set(static_cast<double>(cascade.cascade.dependents));
+    runner.metrics().gauge("scenario.cascade_repairs")
+        .set(static_cast<double>(cascade.cascade.repairs));
+    runner.add_observer([&support, &cascade](const core::MissionView& view) {
+      if (view.now == 0 || view.now % kDay != 0) return;
+      if (view.mesh != nullptr) {
+        support.set_alert_sink([&view](const support::Alert& alert) {
+          (void)view.mesh->publish_alert(view.mesh->base_station_id(), alert, view.now);
+        });
+      }
+      cascade.coupling.apply_day(mission_day(view.now - 1), support.resources());
+      support.end_of_day(view.now);
+      support.set_alert_sink(nullptr);
+    });
+  }
   runner.add_observer([&support, cadence, stale_after](const core::MissionView& view) {
     if (view.mesh == nullptr || view.now % cadence != 0 || view.now == 0) return;
     support.set_alert_sink([&view](const support::Alert& alert) {
@@ -86,6 +119,7 @@ HabitatSummary run_habitat(const HabitatSpec& spec, const CampaignOptions& optio
   summary.crew = spec.crew;
   summary.beacons = spec.beacons;
   summary.fault_preset = spec.fault_preset;
+  summary.cascade = spec.cascade;
   summary.finished_at = static_cast<SimTime>(spec.days) * kDay;
   for (const auto& alert : support.alerts()) {
     summary.alert_counts[static_cast<std::size_t>(alert.kind)] += 1;

@@ -52,6 +52,12 @@ void ResourceLedger::consume_day(int crew_size) {
   }
 }
 
+void ResourceLedger::drain(Resource r, double amount) {
+  assert(amount >= 0.0);
+  auto& s = states_[static_cast<int>(r)];
+  s.stock = std::max(0.0, s.stock - amount);
+}
+
 double ResourceLedger::days_remaining(Resource r, int crew_size) const {
   const int i = static_cast<int>(r);
   const auto& s = states_[i];

@@ -44,6 +44,11 @@ class ResourceLedger {
   /// Advance one day of consumption for `crew_size` people.
   void consume_day(int crew_size);
 
+  /// Debit `amount` straight from the stock (clamping at zero): the
+  /// scenario layer's resource coupling burns reserves while habitat
+  /// modules are down, over and above nominal consumption.
+  void drain(Resource r, double amount);
+
   /// Days until the resource is exhausted at current rates (inf if no use).
   [[nodiscard]] double days_remaining(Resource r, int crew_size) const;
 

@@ -21,6 +21,7 @@
 
 #include "core/analysis.hpp"
 #include "core/runner.hpp"
+#include "scenario/scenario.hpp"
 #include "support/system.hpp"
 
 namespace hs::core {
@@ -293,6 +294,27 @@ TEST(DeterminismTest, MetricsDumpKeepsTheContractUnderCombinedFaults) {
   ASSERT_NE(snap->find("faults.armed"), nullptr);
   EXPECT_GT(snap->find("faults.armed")->count, 0U);
 #endif
+}
+
+TEST(DeterminismTest, CascadeMissionKeepsTheContractSeeds7And42) {
+  // Two generated cascade topologies (one per seed): the scenario layer
+  // expands dependency-graph fault propagation into a flat plan before
+  // the mission starts, and that plan rides the stock injector — so the
+  // dumps must stay a pure function of the seed, byte-identical between
+  // the serial reference and the hardware-thread columnar run.
+  for (const std::uint64_t seed : {std::uint64_t{7}, std::uint64_t{42}}) {
+    const scenario::ScenarioSpec spec = scenario::ScenarioSpec::generated(seed);
+    const auto expanded = scenario::expand_scenario(spec, seed);
+    ASSERT_TRUE(expanded.has_value()) << expanded.error().message;
+    ASSERT_FALSE(expanded->cascade.plan.empty());
+    const MissionDumps serial = mission_dumps(seed, expanded->cascade.plan, 1,
+                                              /*columnar=*/false);
+    const MissionDumps parallel = mission_dumps(seed, expanded->cascade.plan,
+                                                hardware_threads(), /*columnar=*/true);
+    EXPECT_EQ(serial.metrics_csv, parallel.metrics_csv) << "seed " << seed;
+    EXPECT_EQ(serial.flight_log_csv, parallel.flight_log_csv) << "seed " << seed;
+    EXPECT_EQ(serial.trace_csv, parallel.trace_csv) << "seed " << seed;
+  }
 }
 
 TEST(DeterminismTest, FaultedMissionKeepsTheContract) {

@@ -80,6 +80,84 @@ TEST(FaultPlanDsl, PartitionRoundTripsWithGroups) {
   EXPECT_FALSE(FaultPlan::parse("partition at=6d09:00 for=8h").has_value());
 }
 
+TEST(FaultPlanDsl, PartitionRejectsMalformedGroups) {
+  const auto expect_error = [](const std::string& text, const std::string& fragment) {
+    const auto plan = FaultPlan::parse(text);
+    ASSERT_FALSE(plan.has_value()) << "accepted: " << text;
+    EXPECT_NE(plan.error().message.find("line 2"), std::string::npos) << plan.error().message;
+    EXPECT_NE(plan.error().message.find(fragment), std::string::npos)
+        << "error '" << plan.error().message << "' lacks '" << fragment << "'";
+  };
+  // One side of the bar empty.
+  expect_error("plan p\npartition at=6d09:00 for=8h groups=|1,2\n", "bad groups");
+  expect_error("plan p\npartition at=6d09:00 for=8h groups=1,2|\n", "bad groups");
+  // Non-integer node id.
+  expect_error("plan p\npartition at=6d09:00 for=8h groups=1,a|3\n", "bad groups");
+  // A node cannot sit on both sides of the severed link.
+  expect_error("plan p\npartition at=6d09:00 for=8h groups=1,2|2,3\n",
+               "groups overlap (node 2)");
+}
+
+TEST(FaultPlanDsl, EveryKindRoundTripsThroughTheDsl) {
+  FaultPlan plan("every-kind");
+  for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+    const auto kind = static_cast<FaultKind>(k);
+    EXPECT_STRNE(kind_name(kind), "?");
+    FaultSpec spec;
+    spec.kind = kind;
+    switch (kind) {
+      case FaultKind::kBatteryDeath:
+        spec.badge = 0;
+        spec.start = day_start(2) + hours(8);
+        spec.duration = hours(4);
+        break;
+      case FaultKind::kSdWriteFailure:
+        spec.badge = 1;
+        spec.start = day_start(2) + hours(10);
+        spec.duration = hours(2);
+        break;
+      case FaultKind::kBinlogTruncation:
+        // Collection-time corruption: timeless, so no at= in the DSL.
+        spec.badge = 2;
+        spec.magnitude = 0.25;
+        break;
+      case FaultKind::kBeaconOutage:
+        spec.beacon = 7;
+        spec.start = day_start(4) + hours(11) + minutes(30);
+        spec.duration = minutes(90);
+        break;
+      case FaultKind::kRadioDegradation:
+        spec.band = io::Band::kSubGhz868;
+        spec.magnitude = 6.0;
+        spec.start = day_start(5) + hours(12);
+        spec.duration = hours(3);
+        break;
+      case FaultKind::kClockStep:
+        spec.badge = 4;
+        spec.magnitude = 1500.0;
+        spec.start = day_start(6) + hours(7);
+        break;
+      case FaultKind::kBadgeSwap:
+        spec.day = 9;
+        spec.astronaut_a = 0;
+        spec.astronaut_b = 3;
+        break;
+      case FaultKind::kPartition:
+        spec.start = day_start(7) + hours(9);
+        spec.duration = hours(8);
+        spec.group_a = {0, 1};
+        spec.group_b = {2, 3};
+        break;
+    }
+    plan.add(spec);
+  }
+  ASSERT_EQ(plan.faults().size(), kFaultKindCount);
+  const auto parsed = FaultPlan::parse(plan.to_string());
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().message;
+  EXPECT_EQ(*parsed, plan);
+  EXPECT_EQ(parsed->to_string(), plan.to_string());
+}
+
 TEST(FaultPlanDsl, ParseAcceptsCommentsAndBlankLines) {
   const auto plan = FaultPlan::parse(
       "# resilience scenario\n"

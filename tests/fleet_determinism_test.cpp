@@ -60,5 +60,42 @@ TEST(FleetDeterminism, HoldsAcrossSeeds) {
   EXPECT_NE(serial, run_dump(7, 1));  // and the seed actually matters
 }
 
+/// The cascade axis round-robins every scenario preset across the fleet:
+/// expansion (edge draws, repair races) and the day-boundary resource
+/// coupling all happen per habitat, and must not perturb the
+/// byte-identity of the aggregate dump across thread counts.
+CampaignSpec cascade_campaign(std::uint64_t base_seed) {
+  CampaignSpec spec;
+  spec.name = "cascade-determinism";
+  spec.habitats = 3;
+  spec.base_seed = base_seed;
+  spec.days = {2};
+  spec.cascade = {"none", "power-storm", "generated"};
+  return spec;
+}
+
+std::string run_cascade_dump(std::uint64_t base_seed, unsigned threads) {
+  CampaignOptions options;
+  options.threads = threads;
+  const auto report = run_campaign(cascade_campaign(base_seed), options);
+  EXPECT_TRUE(report.has_value());
+  return report.has_value() ? report->to_csv() : std::string();
+}
+
+TEST(FleetDeterminism, CascadeCampaignIsByteIdenticalSeed7) {
+  const std::string serial = run_cascade_dump(7, 1);
+  const std::string parallel = run_cascade_dump(7, 4);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(FleetDeterminism, CascadeCampaignIsByteIdenticalSeed42) {
+  const std::string serial = run_cascade_dump(42, 1);
+  const std::string parallel = run_cascade_dump(42, 4);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial, run_cascade_dump(7, 1));
+}
+
 }  // namespace
 }  // namespace hs::fleet

@@ -28,6 +28,7 @@ CampaignSpec mixed_spec() {
   spec.crew = {6, 5};
   spec.beacons = {27, 12, 20};
   spec.faults = {"none", "battery-stress", "mesh-partition"};
+  spec.cascade = {"none", "power-storm"};
   spec.replication = 2;
   return spec;
 }
@@ -58,6 +59,7 @@ TEST(CampaignDsl, RejectsMalformedSpecs) {
   EXPECT_FALSE(CampaignSpec::parse("campaign x\ncrew 4\n").has_value());
   EXPECT_FALSE(CampaignSpec::parse("campaign x\nbeacons 28\n").has_value());
   EXPECT_FALSE(CampaignSpec::parse("campaign x\nfaults nope\n").has_value());
+  EXPECT_FALSE(CampaignSpec::parse("campaign x\ncascade meteor-shower\n").has_value());
   EXPECT_FALSE(CampaignSpec::parse("campaign x\nmesh maybe\n").has_value());
   EXPECT_FALSE(CampaignSpec::parse("campaign x\nwarp 9\n").has_value());
   EXPECT_FALSE(CampaignSpec::parse("campaign x\nhabitats 1 2\n").has_value());
@@ -73,6 +75,7 @@ TEST(CampaignDsl, ExpandAssignsAxesRoundRobin) {
     EXPECT_EQ(habitats[i].beacons, (std::array{27, 12, 20}[i % 3]));
     EXPECT_EQ(habitats[i].fault_preset,
               (std::array{"none", "battery-stress", "mesh-partition"}[i % 3]));
+    EXPECT_EQ(habitats[i].cascade, (std::array{"none", "power-storm"}[i % 2]));
     EXPECT_EQ(habitats[i].replication, 2);
   }
 }
@@ -116,6 +119,27 @@ TEST(CampaignDsl, MissionConfigEncodesCrewAndInstrumentation) {
   HabitatSpec six;
   six.crew = 6;
   EXPECT_FALSE(make_mission_config(six).script.c_death_enabled);
+}
+
+TEST(CampaignDsl, CascadeScenarioAppendsExpandedFaults) {
+  // The cascade's device faults ride the same plan as the preset's, and
+  // the whole mission config stays a pure function of the habitat spec.
+  HabitatSpec quiet;
+  EXPECT_TRUE(make_mission_config(quiet).fault_plan.empty());
+
+  HabitatSpec stormy;
+  stormy.cascade = "power-storm";
+  const auto config = make_mission_config(stormy);
+  EXPECT_FALSE(config.fault_plan.empty());
+  EXPECT_EQ(config.fault_plan.to_string(), make_mission_config(stormy).fault_plan.to_string());
+
+  HabitatSpec both = stormy;
+  both.fault_preset = "battery-stress";
+  const auto preset_count = make_mission_config(HabitatSpec{.fault_preset = "battery-stress"})
+                                .fault_plan.faults()
+                                .size();
+  EXPECT_EQ(make_mission_config(both).fault_plan.faults().size(),
+            preset_count + config.fault_plan.faults().size());
 }
 
 // --- metrics roll-up ---------------------------------------------------------

@@ -2,6 +2,8 @@
 // ledger, Earth link + conflict detection, consensus, ability adaptation.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "support/ability.hpp"
 #include "support/anomaly.hpp"
 #include "support/consensus.hpp"
@@ -208,6 +210,49 @@ TEST(Resources, DefaultStockingCoversMissionWithMargin) {
     EXPECT_GT(days, 14.0) << resource_name(static_cast<Resource>(r));
     EXPECT_LT(days, 30.0);
   }
+}
+
+TEST(Resources, ForecastBoundaries) {
+  ResourceLedger ledger;
+  // Exhausted stock forecasts zero days, not negative or NaN.
+  ledger.set_state(Resource::kWaterLiters, {0.0, 11.0, 40.0});
+  EXPECT_EQ(ledger.days_remaining(Resource::kWaterLiters, 6), 0.0);
+  // No consumption means the horizon is infinite, whatever the stock.
+  ledger.set_state(Resource::kOxygenKg, {10.0, 0.0, 0.0});
+  EXPECT_TRUE(std::isinf(ledger.days_remaining(Resource::kOxygenKg, 6)));
+  // A total ration cut drops the per-person term; only base use remains.
+  ledger.set_state(Resource::kFoodKcal, {15000.0, 2500.0, 0.0});
+  ledger.set_ration(Resource::kFoodKcal, 0.0);
+  EXPECT_TRUE(std::isinf(ledger.days_remaining(Resource::kFoodKcal, 6)));
+  ledger.set_state(Resource::kPowerKwh, {100.0, 2.0, 10.0});
+  ledger.set_ration(Resource::kPowerKwh, 0.0);
+  EXPECT_NEAR(ledger.days_remaining(Resource::kPowerKwh, 6), 10.0, 1e-9);
+}
+
+TEST(Resources, NoAlertAtExactlyWarnDays) {
+  // check() warns strictly below the horizon: exactly warn_days is calm,
+  // one day of consumption later it is not.
+  ResourceLedger ledger;
+  ledger.set_state(Resource::kWaterLiters, {4.0 * 60.0, 10.0, 0.0});  // 4.0 days at crew 6
+  std::vector<Alert> alerts;
+  ledger.check(0, 6, 4.0, alerts);
+  EXPECT_TRUE(alerts.empty());
+  ledger.consume_day(6);
+  ledger.check(0, 6, 4.0, alerts);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, AlertKind::kResourceShortage);
+  EXPECT_EQ(alerts[0].severity, Severity::kWarning);
+}
+
+TEST(Resources, DrainDebitsAndClampsAtZero) {
+  ResourceLedger ledger;
+  ledger.set_state(Resource::kPowerKwh, {100.0, 0.0, 10.0});
+  ledger.drain(Resource::kPowerKwh, 30.0);
+  EXPECT_NEAR(ledger.state(Resource::kPowerKwh).stock, 70.0, 1e-9);
+  EXPECT_NEAR(ledger.days_remaining(Resource::kPowerKwh, 6), 7.0, 1e-9);
+  ledger.drain(Resource::kPowerKwh, 1000.0);
+  EXPECT_EQ(ledger.state(Resource::kPowerKwh).stock, 0.0);
+  EXPECT_EQ(ledger.days_remaining(Resource::kPowerKwh, 6), 0.0);
 }
 
 TEST(Resources, StockNeverNegative) {
