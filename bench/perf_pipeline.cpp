@@ -7,8 +7,11 @@
 //     analysis — AnalysisPipeline construction (rectify + attribute +
 //     derive) plus artifacts() (every paper figure/table) — for the
 //     row-wise and columnar paths at threads=1 and threads=N, printing
-//     records/sec and the speedups. The row-wise and columnar artifacts
-//     are compared for equality; any divergence exits nonzero.
+//     records/sec and the speedups. The gate compares the three runs'
+//     artifact sets (including the full Fig. 3 grids) and their
+//     metrics/trace dumps byte-for-byte: any divergence exits 1, and a
+//     columnar full-analysis slowdown >10% vs row-wise exits 2 — the
+//     CI smoke scripts/ci.sh runs per push.
 //
 //   perf_pipeline --large [records] [reps] [seed]
 //     Builds a synthetic dataset of ~`records` records (default one
@@ -30,7 +33,11 @@
 #include <cstring>
 #include <thread>
 
+#include <string>
+
 #include "bench_common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -41,17 +48,27 @@ using hs::core::PipelineOptions;
 struct Timed {
   double seconds = 0.0;
   AnalysisPipeline::Artifacts artifacts;
+  /// Deterministic observability dumps (empty under HS_OBS_ENABLED=OFF,
+  /// identically for every configuration, so the byte-compare still holds).
+  std::string metrics_csv;
+  std::string trace_csv;
 };
 
 Timed run_full(const hs::core::Dataset& data, unsigned threads, bool columnar) {
+  hs::obs::Registry registry;
+  hs::obs::Tracer tracer;
   const auto t0 = std::chrono::steady_clock::now();
   PipelineOptions opts;
   opts.threads = threads;
   opts.columnar = columnar;
+  opts.metrics = &registry;
+  opts.tracer = &tracer;
   const AnalysisPipeline pipeline(data, opts);
   Timed out;
   out.artifacts = pipeline.artifacts();
   out.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  out.metrics_csv = registry.snapshot().to_csv();
+  out.trace_csv = tracer.to_csv();
   return out;
 }
 
@@ -70,8 +87,20 @@ bool series_equal(const AnalysisPipeline::DailySeries& a, const AnalysisPipeline
 
 /// Exact comparison of the figure/table set (the determinism test holds
 /// the exhaustive bit-identity suite; this is the bench's own gate).
+/// Fig. 3 is compared cell-by-cell: the heatmap consumes the triangulator
+/// output, so a drifting column-slice fix surfaces here first.
+bool fig3_equal(const std::vector<hs::locate::HeatmapAccumulator>& a,
+                const std::vector<hs::locate::HeatmapAccumulator>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].total_seconds() != b[i].total_seconds()) return false;
+    if (a[i].grid_rows() != b[i].grid_rows()) return false;
+  }
+  return true;
+}
+
 bool artifacts_equal(const AnalysisPipeline::Artifacts& a, const AnalysisPipeline::Artifacts& b) {
-  bool same = a.fig2.total() == b.fig2.total() &&
+  bool same = a.fig2.total() == b.fig2.total() && fig3_equal(a.fig3, b.fig3) &&
               a.dataset.total_records == b.dataset.total_records &&
               a.dataset.total_gib == b.dataset.total_gib &&
               a.dataset.worn_of_daytime == b.dataset.worn_of_daytime &&
@@ -252,5 +281,15 @@ int main(int argc, char** argv) {
   const bool same =
       artifacts_equal(row.artifacts, col.artifacts) && artifacts_equal(col.artifacts, par.artifacts);
   std::printf("  row-wise == columnar == parallel: %s\n", same ? "ok" : "MISMATCH");
-  return same ? 0 : 1;
+  // The pipeline.* metrics/trace dumps are part of the determinism
+  // contract: byte-identical across layout and thread count.
+  const bool dumps = row.metrics_csv == col.metrics_csv && col.metrics_csv == par.metrics_csv &&
+                     row.trace_csv == col.trace_csv && col.trace_csv == par.trace_csv;
+  std::printf("  metrics/trace dumps byte-identical: %s\n", dumps ? "ok" : "MISMATCH");
+  if (!same || !dumps) return 1;
+  if (col.seconds > row.seconds * 1.1) {
+    std::printf("  REGRESSION: columnar full analysis slower than row-wise by >10%%\n");
+    return 2;
+  }
+  return 0;
 }

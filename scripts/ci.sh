@@ -60,6 +60,12 @@ case " $PRESETS " in
   *" default "*)
     echo "=== [default] perf_pipeline smoke (240k synthetic records) ==="
     ./build/bench/perf_pipeline --large 240000 1
+    echo "=== [default] perf_pipeline mission-mode smoke (seed 42) ==="
+    # Full-analysis artifact gate: row-wise vs columnar vs parallel must
+    # agree on every artifact (Fig. 3 grids included) and produce
+    # byte-identical metrics/trace dumps (exit 1), and the columnar full
+    # analysis may not run >10% slower than row-wise (exit 2).
+    ./build/bench/perf_pipeline 42 4 2
     ;;
 esac
 

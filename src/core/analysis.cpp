@@ -44,6 +44,20 @@ std::vector<std::vector<locate::RoomStay>> AnalysisPipeline::tracks() const {
   return out;
 }
 
+std::vector<sna::TrackView> AnalysisPipeline::track_views() const {
+  std::vector<sna::TrackView> out;
+  out.reserve(crew::kCrewSize);
+  for (const auto& p : persons_) out.emplace_back(p.track);
+  return out;
+}
+
+std::vector<sna::SpeechView> AnalysisPipeline::speech_views() const {
+  std::vector<sna::SpeechView> out;
+  out.reserve(crew::kCrewSize);
+  for (const auto& p : persons_) out.emplace_back(p.speech);
+  return out;
+}
+
 const timesync::ClockFit* AnalysisPipeline::clock_fit(io::BadgeId badge) const {
   auto it = fits_.find(badge);
   return it == fits_.end() ? nullptr : &it->second;
@@ -303,14 +317,10 @@ void AnalysisPipeline::assemble() {
   // 4. Sort (multiple badges can contribute to one astronaut) and derive —
   // independent per astronaut; classifier and detector are shared const.
   //
-  // Columnar mode gathers each column group into the same row structs,
-  // runs the *same* std::sort call as the row-wise path, and scatters the
-  // permutation back — deliberately, because std::sort's tie order
-  // (several beacons heard in the same scan share a timestamp) is
-  // unspecified-but-deterministic, and running the identical
-  // instantiation on identical values is what keeps columnar ≡ row-wise
-  // bit-identical. Classification and speech analysis then run over the
-  // sorted columns.
+  // Columnar mode sorts via core::sort_columns (gather into row structs,
+  // the same std::sort on the same values, scatter back — see its doc
+  // comment for why that keeps columnar ≡ row-wise bit-identical), then
+  // classification and speech analysis run over the sorted columns.
   const locate::RoomClassifier classifier(dataset_->beacons, options_.classifier);
   const dsp::SpeechDetector speech(options_.speech);
   {
@@ -320,57 +330,7 @@ void AnalysisPipeline::assemble() {
       auto by_time = [](const auto& a, const auto& b) { return a.t_s < b.t_s; };
       if (options_.columnar) {
         PersonColumns& pc = cols_[i];
-        // Strictly increasing timestamps have no ties, so the sorted
-        // permutation is unique and std::sort would return the input
-        // unchanged — skipping it is bit-identical, and the common case
-        // when one badge feeds the astronaut (streams are recorded in
-        // time order and a monotone fit keeps them that way). Any
-        // inversion or tie falls through to the same std::sort call as
-        // the row-wise path, whose tie order both paths then share.
-        auto strictly_increasing = [](const std::vector<double>& t) {
-          for (std::size_t k = 1; k < t.size(); ++k) {
-            if (!(t[k - 1] < t[k])) return false;
-          }
-          return true;
-        };
-        if (!strictly_increasing(pc.obs_t)) {
-          std::vector<locate::TimedRssi> rows(pc.obs_t.size());
-          for (std::size_t k = 0; k < rows.size(); ++k) {
-            rows[k] = locate::TimedRssi{pc.obs_t[k], pc.obs_beacon[k], pc.obs_rssi[k]};
-          }
-          std::sort(rows.begin(), rows.end(), by_time);
-          for (std::size_t k = 0; k < rows.size(); ++k) {
-            pc.obs_t[k] = rows[k].t_s;
-            pc.obs_beacon[k] = rows[k].beacon;
-            pc.obs_rssi[k] = static_cast<std::int8_t>(rows[k].rssi_dbm);
-          }
-        }
-        if (!strictly_increasing(pc.audio_t)) {
-          std::vector<dsp::TimedAudio> rows(pc.audio_t.size());
-          for (std::size_t k = 0; k < rows.size(); ++k) {
-            rows[k] = dsp::TimedAudio{pc.audio_t[k], pc.audio_level_db[k], pc.audio_voiced[k],
-                                      pc.audio_f0[k]};
-          }
-          std::sort(rows.begin(), rows.end(), by_time);
-          for (std::size_t k = 0; k < rows.size(); ++k) {
-            pc.audio_t[k] = rows[k].t_s;
-            pc.audio_level_db[k] = rows[k].level_db;
-            pc.audio_voiced[k] = rows[k].voiced_fraction;
-            pc.audio_f0[k] = rows[k].f0_hz;
-          }
-        }
-        if (!strictly_increasing(pc.motion_t)) {
-          std::vector<TimedMotion> rows(pc.motion_t.size());
-          for (std::size_t k = 0; k < rows.size(); ++k) {
-            rows[k] = TimedMotion{pc.motion_t[k], pc.motion_accel_var[k], pc.motion_step_hz[k]};
-          }
-          std::sort(rows.begin(), rows.end(), by_time);
-          for (std::size_t k = 0; k < rows.size(); ++k) {
-            pc.motion_t[k] = rows[k].t_s;
-            pc.motion_accel_var[k] = rows[k].accel_var;
-            pc.motion_step_hz[k] = rows[k].step_freq_hz;
-          }
-        }
+        sort_columns(pc);
         p.track = classifier.classify(pc.obs_t.data(), pc.obs_beacon.data(), pc.obs_rssi.data(),
                                       pc.obs_t.size());
         p.speech = speech.analyze(pc.audio_t.data(), pc.audio_level_db.data(),
@@ -405,14 +365,12 @@ locate::HeatmapAccumulator AnalysisPipeline::fig3_heatmap(std::size_t astronaut)
   locate::HeatmapAccumulator heat(dataset_->habitat);
   const auto& p = persons_[astronaut];
   if (options_.columnar) {
-    // Triangulation wants rows; materialize them from the sorted columns
-    // (identical values in identical order to the row-wise path).
+    // Triangulate straight off the sorted columns — same binning loop as
+    // the row overload (shared implementation), no row materialization.
     const PersonColumns& pc = cols_[astronaut];
-    std::vector<locate::TimedRssi> rows(pc.obs_t.size());
-    for (std::size_t k = 0; k < rows.size(); ++k) {
-      rows[k] = locate::TimedRssi{pc.obs_t[k], pc.obs_beacon[k], pc.obs_rssi[k]};
-    }
-    heat.add_fixes(tri.fixes(rows, p.track));
+    heat.add_fixes(
+        tri.fixes(pc.obs_t.data(), pc.obs_beacon.data(), pc.obs_rssi.data(), pc.obs_t.size(),
+                  p.track));
   } else {
     heat.add_fixes(tri.fixes(p.obs, p.track));
   }
@@ -755,10 +713,20 @@ AnalysisPipeline::PairStats AnalysisPipeline::pair_stats() const {
   // co-working in the same room: meetings are speech-gated and private
   // time is weighted by the conversation's speech coverage.
   PairStats stats;
-  const auto all_tracks = tracks();
+  // Columnar mode hands the meeting stage borrowed views of the tracks
+  // and speech intervals already sitting in persons_ (no copies — the
+  // no-rematerialization rule, docs/PERFORMANCE.md "Artifact layer") and
+  // takes the raster fast path; row mode keeps the copying reference
+  // formulation the determinism suite pins the fast path against.
+  const auto track_v = track_views();
+  const auto speech_v = speech_views();
+  std::vector<std::vector<locate::RoomStay>> all_tracks;
   std::vector<std::vector<dsp::SpeechInterval>> speech;
-  speech.reserve(crew::kCrewSize);
-  for (const auto& p : persons_) speech.push_back(p.speech);
+  if (!options_.columnar) {
+    all_tracks = tracks();
+    speech.reserve(crew::kCrewSize);
+    for (const auto& p : persons_) speech.push_back(p.speech);
+  }
 
   // Meeting detection is independent per mission day, so the day axis
   // shards: each day accumulates a private partial, and the partials fold
@@ -770,9 +738,15 @@ AnalysisPipeline::PairStats AnalysisPipeline::pair_stats() const {
   util::parallel_for(pool_.get(), days, [&](std::size_t d) {
     PairStats& ps = daily[d];
     const double d0 = static_cast<double>(day_start(first + static_cast<int>(d))) / 1e6;
-    const auto meetings = sna::detect_meetings(all_tracks, d0 + 8 * 3600.0, d0 + 22 * 3600.0);
+    const auto meetings =
+        options_.columnar
+            ? sna::detect_meetings(std::span<const sna::TrackView>(track_v), d0 + 8 * 3600.0,
+                                   d0 + 22 * 3600.0)
+            : sna::detect_meetings_rowwise(all_tracks, d0 + 8 * 3600.0, d0 + 22 * 3600.0);
     for (const auto& m : meetings) {
-      const auto dyn = sna::analyze_meeting(m, speech);
+      const auto dyn = options_.columnar
+                           ? sna::analyze_meeting(m, std::span<const sna::SpeechView>(speech_v))
+                           : sna::analyze_meeting_rowwise(m, speech);
       if (dyn.speech_fraction < 0.15) continue;  // silent co-presence, not a meeting
       const double hours = m.duration_s() / 3600.0;
       // Private tete-a-tetes shorter than ~6 min are mostly artifacts of
@@ -938,14 +912,23 @@ AnalysisPipeline::GapReport AnalysisPipeline::gap_report() const {
 
 std::vector<sna::Meeting> AnalysisPipeline::meetings_on(int day) const {
   const double d0 = static_cast<double>(day_start(day)) / 1e6;
-  return sna::detect_meetings(tracks(), d0 + 8 * 3600.0, d0 + 22 * 3600.0);
+  if (options_.columnar) {
+    const auto views = track_views();
+    return sna::detect_meetings(std::span<const sna::TrackView>(views), d0 + 8 * 3600.0,
+                                d0 + 22 * 3600.0);
+  }
+  return sna::detect_meetings_rowwise(tracks(), d0 + 8 * 3600.0, d0 + 22 * 3600.0);
 }
 
 sna::MeetingDynamics AnalysisPipeline::meeting_dynamics(const sna::Meeting& meeting) const {
+  if (options_.columnar) {
+    const auto views = speech_views();
+    return sna::analyze_meeting(meeting, std::span<const sna::SpeechView>(views));
+  }
   std::vector<std::vector<dsp::SpeechInterval>> speech;
   speech.reserve(crew::kCrewSize);
   for (const auto& p : persons_) speech.push_back(p.speech);
-  return sna::analyze_meeting(meeting, speech);
+  return sna::analyze_meeting_rowwise(meeting, speech);
 }
 
 }  // namespace hs::core

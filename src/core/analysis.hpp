@@ -240,6 +240,11 @@ class AnalysisPipeline {
 
   void assemble();
   [[nodiscard]] sna::CompanyAnalysis company_analysis() const;
+  /// Borrowed per-astronaut views over persons_ for the meeting stage —
+  /// valid while the pipeline lives; columnar-mode callers hand these out
+  /// instead of copying the track/speech vectors.
+  [[nodiscard]] std::vector<sna::TrackView> track_views() const;
+  [[nodiscard]] std::vector<sna::SpeechView> speech_views() const;
 
   const Dataset* dataset_;
   PipelineOptions options_;

@@ -100,4 +100,76 @@ RecordBatch RecordBatch::build(io::BadgeId badge, const badge::SdCard& card,
   return batch;
 }
 
+namespace {
+
+[[nodiscard]] bool strictly_increasing(const std::vector<double>& t) {
+  for (std::size_t k = 1; k < t.size(); ++k) {
+    if (!(t[k - 1] < t[k])) return false;
+  }
+  return true;
+}
+
+// Local gather rows: only the field layout matters for the scatter; the
+// sort permutation depends solely on the t_s comparison outcomes, so these
+// need not be the row-wise pipeline's struct types to match its sorts.
+struct ObsRow {
+  double t_s;
+  io::BeaconId beacon;
+  std::int8_t rssi;
+};
+struct AudioRow {
+  double t_s;
+  float level_db;
+  float voiced;
+  float f0;
+};
+struct MotionRow {
+  double t_s;
+  float accel_var;
+  float step_hz;
+};
+
+}  // namespace
+
+void sort_columns(PersonColumns& pc) {
+  const auto by_time = [](const auto& a, const auto& b) { return a.t_s < b.t_s; };
+  if (!strictly_increasing(pc.obs_t)) {
+    std::vector<ObsRow> rows(pc.obs_t.size());
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      rows[k] = ObsRow{pc.obs_t[k], pc.obs_beacon[k], pc.obs_rssi[k]};
+    }
+    std::sort(rows.begin(), rows.end(), by_time);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      pc.obs_t[k] = rows[k].t_s;
+      pc.obs_beacon[k] = rows[k].beacon;
+      pc.obs_rssi[k] = rows[k].rssi;
+    }
+  }
+  if (!strictly_increasing(pc.audio_t)) {
+    std::vector<AudioRow> rows(pc.audio_t.size());
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      rows[k] = AudioRow{pc.audio_t[k], pc.audio_level_db[k], pc.audio_voiced[k], pc.audio_f0[k]};
+    }
+    std::sort(rows.begin(), rows.end(), by_time);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      pc.audio_t[k] = rows[k].t_s;
+      pc.audio_level_db[k] = rows[k].level_db;
+      pc.audio_voiced[k] = rows[k].voiced;
+      pc.audio_f0[k] = rows[k].f0;
+    }
+  }
+  if (!strictly_increasing(pc.motion_t)) {
+    std::vector<MotionRow> rows(pc.motion_t.size());
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      rows[k] = MotionRow{pc.motion_t[k], pc.motion_accel_var[k], pc.motion_step_hz[k]};
+    }
+    std::sort(rows.begin(), rows.end(), by_time);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      pc.motion_t[k] = rows[k].t_s;
+      pc.motion_accel_var[k] = rows[k].accel_var;
+      pc.motion_step_hz[k] = rows[k].step_hz;
+    }
+  }
+}
+
 }  // namespace hs::core

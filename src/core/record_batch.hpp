@@ -216,4 +216,17 @@ struct PersonColumns {
   }
 };
 
+/// Sort each of a PersonColumns' three column groups by time. Strictly
+/// increasing timestamps have no ties, so the sorted permutation is unique
+/// and std::sort would return the input unchanged — skipping it is
+/// bit-identical, and the common case when one badge feeds the astronaut
+/// (streams are recorded in time order and a monotone fit keeps them that
+/// way). Any inversion or tie gathers the group into the same row structs
+/// the row-wise path sorts, runs the same std::sort on the same values —
+/// std::sort's tie order (several beacons heard in the same scan share a
+/// timestamp) is unspecified-but-deterministic, a pure function of the
+/// comparison outcomes — and scatters the permutation back, which is what
+/// keeps columnar ≡ row-wise bit-identical.
+void sort_columns(PersonColumns& pc);
+
 }  // namespace hs::core

@@ -6,9 +6,18 @@
 // astronauts shares one room. Short membership flickers (someone steps out
 // for under a grace period) do not split a meeting. Speech enrichment then
 // attaches loudness and talk shares from the badges' audio features.
+//
+// Two implementations per entry point (docs/PERFORMANCE.md, "Artifact
+// layer"): the view-based fast path works over spans of per-astronaut
+// tracks/intervals — a flat astronaut-major room raster whose per-room
+// membership counts vectorize with the exact util::simd byte kernel, and
+// a sort-based slot grouping for speech — and the *_rowwise functions
+// keep the original per-second/std::map formulations compiled as the
+// bit-identical reference the equivalence tests pin against.
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "dsp/speech.hpp"
@@ -16,6 +25,11 @@
 #include "locate/room_classifier.hpp"
 
 namespace hs::sna {
+
+/// Borrowed view of one astronaut's room track / speech intervals —
+/// pair_stats hands out day shards without copying the vectors.
+using TrackView = std::span<const locate::RoomStay>;
+using SpeechView = std::span<const dsp::SpeechInterval>;
 
 struct Meeting {
   habitat::RoomId room = habitat::RoomId::kNone;
@@ -35,7 +49,19 @@ struct MeetingParams {
 
 /// Segment meetings from per-astronaut room tracks over [t0_s, t1_s).
 /// Pure function of its inputs — pair_stats shards it per mission day.
+[[nodiscard]] std::vector<Meeting> detect_meetings(std::span<const TrackView> tracks,
+                                                   double t0_s, double t1_s,
+                                                   MeetingParams params = {});
+
+/// Convenience overload over owned tracks; forwards to the view fast path.
 [[nodiscard]] std::vector<Meeting> detect_meetings(
+    const std::vector<std::vector<locate::RoomStay>>& tracks, double t0_s, double t1_s,
+    MeetingParams params = {});
+
+/// Reference formulation (row-major per-second raster, per-cell scalar
+/// counts). Kept compiled so tests can pin detect_meetings against it;
+/// not for production callers.
+[[nodiscard]] std::vector<Meeting> detect_meetings_rowwise(
     const std::vector<std::vector<locate::RoomStay>>& tracks, double t0_s, double t1_s,
     MeetingParams params = {});
 
@@ -50,7 +76,16 @@ struct MeetingDynamics {
 /// 15 s speech intervals (whole mission, time-sorted). Talk share uses the
 /// loudest-badge-wins attribution: the interval's speaker is the
 /// participant whose badge heard the highest voiced level.
+[[nodiscard]] MeetingDynamics analyze_meeting(const Meeting& meeting,
+                                              std::span<const SpeechView> speech);
+
+/// Convenience overload over owned intervals; forwards to the view fast path.
 [[nodiscard]] MeetingDynamics analyze_meeting(
+    const Meeting& meeting, const std::vector<std::vector<dsp::SpeechInterval>>& speech);
+
+/// Reference formulation (std::map slot grouping). Kept compiled so tests
+/// can pin analyze_meeting against it; not for production callers.
+[[nodiscard]] MeetingDynamics analyze_meeting_rowwise(
     const Meeting& meeting, const std::vector<std::vector<dsp::SpeechInterval>>& speech);
 
 /// Total pairwise meeting seconds (i and j attending the same meeting),

@@ -151,4 +151,34 @@ inline void mask_ge2(const float* a, const float* b, std::size_t n, double amin,
   }
 }
 
+/// Count of i where x[i] == value — the room-membership predicate over a
+/// byte column (meeting detection walks RoomId rasters; RoomId is a
+/// uint8 enum). Integer equality has no rounding, NaN, or ordering
+/// concerns, so the kernel is trivially bit-exact against the scalar
+/// loop on every input and every tail length.
+[[nodiscard]] inline std::size_t count_eq_u8(const std::uint8_t* x, std::size_t n,
+                                             std::uint8_t value) {
+  std::size_t count = 0;
+  std::size_t i = 0;
+#if defined(HS_SIMD_SSE2)
+  const __m128i v = _mm_set1_epi8(static_cast<char>(value));
+  for (; i + 16 <= n; i += 16) {
+    const __m128i eq = _mm_cmpeq_epi8(_mm_loadu_si128(reinterpret_cast<const __m128i*>(x + i)), v);
+    count += static_cast<std::size_t>(
+        __builtin_popcount(static_cast<unsigned>(_mm_movemask_epi8(eq))));
+  }
+#elif defined(HS_SIMD_NEON)
+  const uint8x16_t v = vdupq_n_u8(value);
+  for (; i + 16 <= n; i += 16) {
+    // vceqq yields 0xFF per matching lane; summing lanes>>7 counts them.
+    const uint8x16_t eq = vceqq_u8(vld1q_u8(x + i), v);
+    count += static_cast<std::size_t>(vaddvq_u8(vshrq_n_u8(eq, 7)));
+  }
+#endif
+  for (; i < n; ++i) {
+    if (x[i] == value) ++count;
+  }
+  return count;
+}
+
 }  // namespace hs::util::simd

@@ -175,6 +175,25 @@ void expect_pipelines_identical(const Dataset& data, const AnalysisPipeline& ser
     }
   }
   EXPECT_EQ(serial.voice_census(), parallel.voice_census());
+
+  // Meetings and their speech dynamics (day 5, mid-mission): row mode
+  // runs the row-wise reference formulations, columnar mode the raster/
+  // merge fast paths over borrowed views — the artifact-layer port's
+  // equivalence pin (docs/PERFORMANCE.md, "Artifact layer").
+  const auto ms = serial.meetings_on(5);
+  const auto mp = parallel.meetings_on(5);
+  ASSERT_EQ(ms.size(), mp.size());
+  for (std::size_t k = 0; k < ms.size(); ++k) {
+    EXPECT_EQ(ms[k].room, mp[k].room) << "meeting " << k;
+    EXPECT_EQ(ms[k].start_s, mp[k].start_s) << "meeting " << k;
+    EXPECT_EQ(ms[k].end_s, mp[k].end_s) << "meeting " << k;
+    EXPECT_EQ(ms[k].participants, mp[k].participants) << "meeting " << k;
+    const auto ds = serial.meeting_dynamics(ms[k]);
+    const auto dp = parallel.meeting_dynamics(mp[k]);
+    EXPECT_EQ(ds.speech_fraction, dp.speech_fraction) << "meeting " << k;
+    EXPECT_EQ(ds.mean_loudness_db, dp.mean_loudness_db) << "meeting " << k;
+    EXPECT_EQ(ds.talk_share, dp.talk_share) << "meeting " << k;
+  }
 }
 
 /// The full matrix: the row-wise serial pipeline is the reference;

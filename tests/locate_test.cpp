@@ -2,6 +2,9 @@
 // dwell filtering, triangulation, heatmaps, transition counting.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 #include "beacon/beacon.hpp"
 #include "habitat/propagation.hpp"
 #include "locate/heatmap.hpp"
@@ -169,6 +172,182 @@ TEST(Triangulator, NoBeaconsFallsBackToRoomCenter) {
   Triangulator tri(habitat, beacons);
   const Vec2 est = tri.estimate({}, RoomId::kKitchen);
   EXPECT_EQ(est, habitat.room(RoomId::kKitchen).bounds.center());
+}
+
+// ------------------------------------------- triangulation edge cases
+// (row-wise and column-slice fixes() overloads pinned identical on each)
+
+/// Split row observations into the column arrays the columnar overload
+/// consumes. RSSI values in this suite stay within int8 (as the real
+/// columns do) so the narrowing is lossless.
+struct ObsCols {
+  std::vector<double> t;
+  std::vector<io::BeaconId> beacon;
+  std::vector<std::int8_t> rssi;
+
+  explicit ObsCols(const std::vector<TimedRssi>& obs) {
+    for (const auto& o : obs) {
+      t.push_back(o.t_s);
+      beacon.push_back(o.beacon);
+      rssi.push_back(static_cast<std::int8_t>(o.rssi_dbm));
+    }
+  }
+};
+
+/// Exact (bit-level) equality of the two overloads' outputs.
+void expect_fixes_identical(const Triangulator& tri, const std::vector<TimedRssi>& obs,
+                            const std::vector<RoomStay>& track) {
+  const auto row = tri.fixes(obs, track);
+  const ObsCols cols(obs);
+  const auto col = tri.fixes(cols.t.data(), cols.beacon.data(), cols.rssi.data(), cols.t.size(),
+                             track);
+  ASSERT_EQ(row.size(), col.size());
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    EXPECT_EQ(row[i].t_s, col[i].t_s) << "fix " << i;
+    EXPECT_EQ(row[i].position.x, col[i].position.x) << "fix " << i;
+    EXPECT_EQ(row[i].position.y, col[i].position.y) << "fix " << i;
+    EXPECT_EQ(row[i].room, col[i].room) << "fix " << i;
+  }
+}
+
+class TriangulatorEdge : public ::testing::Test {
+ protected:
+  TriangulatorEdge()
+      : beacons_(beacon::deploy_lunares_beacons(habitat_)), tri_(habitat_, beacons_) {}
+
+  /// Some beacon physically in `room`.
+  [[nodiscard]] const beacon::Beacon& beacon_in(RoomId room) const {
+    for (const auto& b : beacons_) {
+      if (b.room == room) return b;
+    }
+    ADD_FAILURE() << "no beacon in room";
+    return beacons_.front();
+  }
+
+  habitat::Habitat habitat_ = habitat::Habitat::lunares();
+  std::vector<beacon::Beacon> beacons_;
+  Triangulator tri_;
+};
+
+TEST_F(TriangulatorEdge, EmptyObservationsYieldNoFixes) {
+  const std::vector<RoomStay> track{{RoomId::kKitchen, 0.0, 100.0}};
+  EXPECT_TRUE(tri_.fixes(std::vector<TimedRssi>{}, track).empty());
+  EXPECT_TRUE(tri_.fixes(nullptr, nullptr, nullptr, 0, track).empty());
+  expect_fixes_identical(tri_, {}, track);
+}
+
+TEST_F(TriangulatorEdge, NoAudibleSameRoomBeaconFallsBackToRoomCenter) {
+  // The track says kitchen, but the only audible beacon is an office one
+  // (door leakage): the bin must fall back to the kitchen centre, never
+  // pull the fix through the wall.
+  const std::vector<RoomStay> track{{RoomId::kKitchen, 0.0, 100.0}};
+  const std::vector<TimedRssi> obs{{10.0, beacon_in(RoomId::kOffice).id, -70}};
+  const auto fixes = tri_.fixes(obs, track);
+  ASSERT_EQ(fixes.size(), 1u);
+  EXPECT_EQ(fixes[0].room, RoomId::kKitchen);
+  EXPECT_EQ(fixes[0].position, habitat_.room(RoomId::kKitchen).bounds.center());
+  expect_fixes_identical(tri_, obs, track);
+}
+
+TEST_F(TriangulatorEdge, SingleBeaconBinEstimatesAtBeacon) {
+  // One audible same-room beacon: the weighted centroid degenerates to
+  // the beacon position (clamped into the room), regardless of RSSI.
+  const auto& b = beacon_in(RoomId::kBiolab);
+  const std::vector<RoomStay> track{{RoomId::kBiolab, 0.0, 100.0}};
+  const std::vector<TimedRssi> obs{{5.0, b.id, -55}};
+  const auto fixes = tri_.fixes(obs, track);
+  ASSERT_EQ(fixes.size(), 1u);
+  EXPECT_EQ(fixes[0].room, RoomId::kBiolab);
+  const Vec2 expected = habitat_.room(RoomId::kBiolab).bounds.clamp(b.position, 0.05);
+  EXPECT_EQ(fixes[0].position, expected);
+  EXPECT_DOUBLE_EQ(fixes[0].t_s, 5.5);  // bin midpoint
+  expect_fixes_identical(tri_, obs, track);
+}
+
+TEST_F(TriangulatorEdge, ExtremeAndNegativeRssiStillWeighted) {
+  // Strongly negative RSSI gives a tiny but positive weight — the bin
+  // must not fall back to the room centre, and a louder beacon must
+  // dominate the centroid.
+  const auto& quiet = beacon_in(RoomId::kBedroom);
+  const beacon::Beacon* loud = nullptr;
+  for (const auto& b : beacons_) {
+    if (b.room == RoomId::kBedroom && b.id != quiet.id) loud = &b;
+  }
+  const std::vector<RoomStay> track{{RoomId::kBedroom, 0.0, 100.0}};
+  std::vector<TimedRssi> obs{{1.0, quiet.id, -120}};
+  if (loud != nullptr) obs.push_back(TimedRssi{1.2, loud->id, -40});
+  const auto fixes = tri_.fixes(obs, track);
+  ASSERT_EQ(fixes.size(), 1u);
+  if (loud != nullptr) {
+    EXPECT_LT(distance(fixes[0].position,
+                       habitat_.room(RoomId::kBedroom).bounds.clamp(loud->position, 0.05)),
+              0.5);
+  }
+  expect_fixes_identical(tri_, obs, track);
+}
+
+TEST_F(TriangulatorEdge, NanTimestampSkippedNotLooped) {
+  // A NaN timestamp can't satisfy its own bin predicate; both overloads
+  // must skip the record (and terminate) rather than bin it.
+  const auto& b = beacon_in(RoomId::kKitchen);
+  const std::vector<RoomStay> track{{RoomId::kKitchen, 0.0, 100.0}};
+  const std::vector<TimedRssi> obs{
+      {1.0, b.id, -50},
+      {std::numeric_limits<double>::quiet_NaN(), b.id, -50},
+      {3.0, b.id, -50},
+  };
+  const auto fixes = tri_.fixes(obs, track);
+  ASSERT_EQ(fixes.size(), 2u);
+  EXPECT_DOUBLE_EQ(fixes[0].t_s, 1.5);
+  EXPECT_DOUBLE_EQ(fixes[1].t_s, 3.5);
+  expect_fixes_identical(tri_, obs, track);
+}
+
+TEST_F(TriangulatorEdge, UnknownBeaconIdIgnored) {
+  // An id past the survey (or never deployed) contributes nothing.
+  const std::vector<RoomStay> track{{RoomId::kKitchen, 0.0, 100.0}};
+  const std::vector<TimedRssi> obs{{2.0, static_cast<io::BeaconId>(200), -45}};
+  const auto fixes = tri_.fixes(obs, track);
+  ASSERT_EQ(fixes.size(), 1u);
+  EXPECT_EQ(fixes[0].position, habitat_.room(RoomId::kKitchen).bounds.center());
+  expect_fixes_identical(tri_, obs, track);
+}
+
+TEST_F(TriangulatorEdge, TrackGapYieldsNoFix) {
+  // Bins whose midpoint falls between stays produce no fix at all.
+  const auto& b = beacon_in(RoomId::kKitchen);
+  const std::vector<RoomStay> track{{RoomId::kKitchen, 0.0, 2.0}};
+  const std::vector<TimedRssi> obs{{1.0, b.id, -50}, {50.0, b.id, -50}};
+  const auto fixes = tri_.fixes(obs, track);
+  ASSERT_EQ(fixes.size(), 1u);
+  EXPECT_DOUBLE_EQ(fixes[0].t_s, 1.5);
+  expect_fixes_identical(tri_, obs, track);
+}
+
+TEST_F(TriangulatorEdge, RandomSweepRowAndColumnIdentical) {
+  // Propagation-model observations over a multi-room walk: the overloads
+  // must agree bit-for-bit on realistic dense input, not just edges.
+  habitat::Propagation prop(habitat_, habitat::kBleChannel);
+  Rng rng(99);
+  std::vector<TimedRssi> obs;
+  std::vector<RoomStay> track;
+  const RoomId rooms[] = {RoomId::kKitchen, RoomId::kOffice, RoomId::kBiolab};
+  double t = 0.0;
+  for (const RoomId room : rooms) {
+    const Vec2 pos = habitat_.room(room).bounds.center();
+    track.push_back(RoomStay{room, t, t + 60.0});
+    for (double tt = t; tt < t + 60.0; tt += 1.0) {
+      for (const auto& b : beacons_) {
+        const double rssi = prop.sample_rssi(b.position, pos, rng);
+        if (rssi >= habitat::kBleChannel.sensitivity_dbm) {
+          obs.push_back(TimedRssi{tt, b.id, static_cast<int>(rssi)});
+        }
+      }
+    }
+    t += 60.0;
+  }
+  ASSERT_FALSE(obs.empty());
+  expect_fixes_identical(tri_, obs, track);
 }
 
 // ------------------------------------------------------------------- heatmap
