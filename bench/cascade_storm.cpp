@@ -160,25 +160,10 @@ int main(int argc, char** argv) {
   std::printf("# storm habitat: %zu alerts raised\n", support.alerts().size());
 
 #if HS_OBS_ENABLED
+  // record -> raise per evidenced alert: the shared query-layer readout
+  // (bench/latency_paths regression-guards the same numbers).
   const obs::TraceIndex index(runner.tracer().spans());
-  std::vector<double> latencies_s;
-  for (const std::int64_t alert : index.alert_indices()) {
-    const obs::AlertPath path = index.critical_path(alert);
-    if (!path.found || path.raised == nullptr || path.evidence.empty()) continue;
-    SimTime earliest = path.raised->start;
-    for (const obs::TraceSpan* span : path.evidence) {
-      earliest = std::min(earliest, span->start);
-    }
-    // Follow the evidence back through the mesh to the sensor records
-    // themselves: the chunk's slice span starts where the badge began
-    // buffering the records the alert cites (the hs_trace latency).
-    for (const obs::ChunkLineage& source : path.sources) {
-      if (source.slice != nullptr) earliest = std::min(earliest, source.slice->start);
-      if (source.root != nullptr) earliest = std::min(earliest, source.root->start);
-    }
-    latencies_s.push_back(static_cast<double>(path.raised->start - earliest) /
-                          static_cast<double>(kSecond));
-  }
+  std::vector<double> latencies_s = index.path_latencies().record_to_raise_s;
   if (latencies_s.empty()) {
     std::printf("# record->raise latency: no alerts with recorded evidence\n");
   } else {

@@ -52,6 +52,26 @@ case " $PRESETS " in
     ;;
 esac
 
+# Latency SLO smoke on the default build: latency_paths replays the two
+# instrumented scenarios, byte-checks serial-vs-hw trace dumps at full
+# and 50% sampling, verifies sampled latencies match the full dump, and
+# gates p50/p99 offload->ack and record->raise against the checked-in
+# BENCH_latency.json (exit 1 on divergence, 2 on >10% p99 regression).
+# The noobs preset proves graceful degradation: no tracer, prints n/a,
+# exits 0.
+case " $PRESETS " in
+  *" default "*)
+    echo "=== [default] latency_paths SLO gate (seed 42, 2 days) ==="
+    ./build/bench/latency_paths 42 2
+    ;;
+esac
+case " $PRESETS " in
+  *" noobs "*)
+    echo "=== [noobs] latency_paths degrades gracefully ==="
+    ./build-noobs/bench/latency_paths 42 2
+    ;;
+esac
+
 # Perf smoke on the default build: a small synthetic run of the columnar
 # pipeline. perf_pipeline --large compares the row-wise and columnar
 # derived outputs exactly and exits 1 on any divergence, 2 if columnar

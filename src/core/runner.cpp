@@ -37,7 +37,8 @@ MissionRunner::MissionRunner(MissionConfig config)
   sim_.set_metrics(&obs_);
   sim_.set_trace(&tracer_);
   recorder_.set_dropped_counter(&obs_.counter("hs.obs.flight_dropped_total"));
-  tracer_.set_dropped_counter(&obs_.counter("hs.obs.trace_dropped_total"));
+  tracer_.set_drop_metrics(&obs_);
+  tracer_.set_sampling(config_.trace_keep_millionths);
   network_.set_environment(crew_.environment());
   if (config_.mesh.enabled) {
     // The base-station node sits at the charging station (where the real

@@ -46,6 +46,11 @@ struct MissionConfig {
   /// the surviving mesh holds — notably, binlog tail truncation cannot
   /// touch chunks that were already replicated.
   bool collect_from_mesh = false;
+  /// Head-based trace sampling threshold in millionths (obs::Tracer::
+  /// kSampleScale keeps everything): whole trace-id stories are kept or
+  /// dropped together, so a sampled dump stays byte-identical across
+  /// thread counts. The fleet layer's `trace_sample` axis sets this.
+  std::uint32_t trace_keep_millionths = 1'000'000;
 };
 
 /// End-of-run observability bundle: every registered metric plus the

@@ -102,7 +102,8 @@ std::string join_strings(const std::vector<std::string>& v) {
 Status CampaignSpec::validate() const {
   if (name.empty()) return Error{"campaign: name must not be empty"};
   if (habitats < 1) return Error{"campaign: habitats must be >= 1"};
-  if (days.empty() || crew.empty() || beacons.empty() || faults.empty() || cascade.empty()) {
+  if (days.empty() || crew.empty() || beacons.empty() || faults.empty() || cascade.empty() ||
+      trace_sample.empty()) {
     return Error{"campaign: axes must be non-empty"};
   }
   for (const int d : days) {
@@ -116,6 +117,11 @@ Status CampaignSpec::validate() const {
   for (const int b : beacons) {
     if (b < 1 || b > 27) {
       return Error{"campaign: beacons must be in [1, 27], got " + std::to_string(b)};
+    }
+  }
+  for (const int s : trace_sample) {
+    if (s < 0 || s > 100) {
+      return Error{"campaign: trace_sample must be in [0, 100], got " + std::to_string(s)};
     }
   }
   if (replication < 1) return Error{"campaign: replication must be >= 1"};
@@ -143,6 +149,7 @@ std::vector<HabitatSpec> CampaignSpec::expand() const {
     h.replication = replication;
     h.fault_preset = faults[idx % faults.size()];
     h.cascade = cascade[idx % cascade.size()];
+    h.trace_sample = trace_sample[idx % trace_sample.size()];
     out.push_back(std::move(h));
   }
   return out;
@@ -158,6 +165,7 @@ std::string CampaignSpec::to_string() const {
   out += "beacons " + join_ints(beacons) + "\n";
   out += "faults " + join_strings(faults) + "\n";
   out += "cascade " + join_strings(cascade) + "\n";
+  out += "trace_sample " + join_ints(trace_sample) + "\n";
   out += std::string("mesh ") + (mesh ? "on" : "off") + "\n";
   out += "replication " + std::to_string(replication) + "\n";
   return out;
@@ -200,6 +208,10 @@ Expected<CampaignSpec> CampaignSpec::parse(const std::string& text) {
       spec.faults = split_list(value);
     } else if (key == "cascade") {
       spec.cascade = split_list(value);
+    } else if (key == "trace_sample") {
+      if (!parse_int_list(value, spec.trace_sample)) {
+        return parse_error(lineno, "bad list '" + value + "'");
+      }
     } else if (key == "mesh") {
       if (value == "on") {
         spec.mesh = true;
@@ -262,6 +274,9 @@ core::MissionConfig make_mission_config(const HabitatSpec& spec) {
   config.mesh.enabled = spec.mesh;
   config.mesh.replication_factor = spec.replication;
   config.collect_from_mesh = spec.mesh;
+  // Percentage -> parts-per-million keep threshold; the tracer's keep/drop
+  // decision hashes only the trace id, so this stays thread-count pure.
+  config.trace_keep_millionths = static_cast<std::uint32_t>(spec.trace_sample) * 10'000U;
   if (auto plan = fault_preset(spec.fault_preset, spec.seed); plan.has_value()) {
     config.fault_plan = std::move(*plan);
   }

@@ -35,6 +35,7 @@ struct HabitatSpec {
   int replication = 3;         ///< mesh replication factor
   std::string fault_preset = "none";  ///< preset name (see fault_preset())
   std::string cascade = "none";       ///< cascade scenario preset (see scenario_preset())
+  int trace_sample = 100;  ///< trace keep percentage (head-based sampling)
 
   friend bool operator==(const HabitatSpec&, const HabitatSpec&) = default;
 };
@@ -51,12 +52,18 @@ struct CampaignSpec {
   std::vector<int> beacons{27};
   std::vector<std::string> faults{"none"};
   std::vector<std::string> cascade{"none"};
+  /// Per-habitat trace keep percentage (0..100). At 1000 habitats the
+  /// aggregate trace memory is bounded by sampling each habitat's tracer
+  /// rather than truncating at the span cap, so the stories that survive
+  /// are complete (docs/TRACING.md "Sampling").
+  std::vector<int> trace_sample{100};
   bool mesh = true;
   int replication = 3;
 
   /// Structural validity (used by parse() and expand() callers): at least
   /// one habitat, non-empty axes, crew in {5,6}, beacons in [1,27],
-  /// days >= 1, replication >= 1, every fault preset name known.
+  /// days >= 1, replication >= 1, trace_sample in [0, 100], every fault
+  /// preset name known.
   [[nodiscard]] Status validate() const;
 
   /// Unroll into one HabitatSpec per habitat. The spec must validate.
@@ -67,10 +74,10 @@ struct CampaignSpec {
 
   /// Parse the DSL. Lines: `campaign <name>`, `habitats <n>`,
   /// `seed <base>`, `days <list>`, `crew <list>`, `beacons <list>`,
-  /// `faults <list>`, `cascade <list>`, `mesh on|off`, `replication <k>`,
-  /// `#` comments and blank lines. Lists are comma-separated. Unknown
-  /// keys or malformed values are errors, as is a spec that fails
-  /// validate().
+  /// `faults <list>`, `cascade <list>`, `trace_sample <list>`,
+  /// `mesh on|off`, `replication <k>`, `#` comments and blank lines.
+  /// Lists are comma-separated. Unknown keys or malformed values are
+  /// errors, as is a spec that fails validate().
   [[nodiscard]] static Expected<CampaignSpec> parse(const std::string& text);
 
   friend bool operator==(const CampaignSpec&, const CampaignSpec&) = default;

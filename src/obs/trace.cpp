@@ -20,8 +20,9 @@ constexpr std::uint64_t mix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
-constexpr std::uint64_t kTraceSalt = 0x74726163653a6964ULL;  // "trace:id"
-constexpr std::uint64_t kSpanSalt = 0x7370616e3a696473ULL;   // "span:ids"
+constexpr std::uint64_t kTraceSalt = 0x74726163653a6964ULL;   // "trace:id"
+constexpr std::uint64_t kSpanSalt = 0x7370616e3a696473ULL;    // "span:ids"
+constexpr std::uint64_t kSampleSalt = 0x73616d706c653a74ULL;  // "sample:t"
 
 constexpr SimTime kOpenEnd = -1;
 
@@ -122,6 +123,87 @@ Tracer::Tracer(std::uint64_t seed, std::size_t max_spans)
     : seed_(seed), span_salt_(mix64(seed ^ kSpanSalt)), max_spans_(max_spans) {
   const char* env = std::getenv("HS_OBS_PROFILE");
   profiling_ = env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+  for (std::size_t k = 0; k < kKindCount; ++k) {
+    kind_budget_[k] = default_kind_budget(static_cast<SpanKind>(k + 1), max_spans);
+  }
+}
+
+std::uint64_t Tracer::default_kind_budget(SpanKind kind, std::size_t max_spans) {
+  switch (kind) {
+    case SpanKind::kSimEvent:
+    case SpanKind::kBadgeSlice:
+    case SpanKind::kChunkOffload:
+    case SpanKind::kChunkReplicate:
+    case SpanKind::kChunkAck:
+    case SpanKind::kChunkRead:
+    case SpanKind::kControlPublish:
+      return static_cast<std::uint64_t>(max_spans) / 2;
+    case SpanKind::kPipelineShard:
+      return static_cast<std::uint64_t>(max_spans) / 4;
+    case SpanKind::kPipelineStage:
+      return static_cast<std::uint64_t>(max_spans) / 8;
+    // The rare, high-value kinds a crew reconstructs failures from are
+    // never budget-capped: only the global cap can drop them.
+    case SpanKind::kAlertRaised:
+    case SpanKind::kAlertEvidence:
+    case SpanKind::kAlertDelivered:
+    case SpanKind::kProposalOpened:
+    case SpanKind::kVoteCast:
+    case SpanKind::kProposalResolved:
+    case SpanKind::kFaultArmed:
+    case SpanKind::kFaultActive:
+    case SpanKind::kPipelineRun:
+      return 0;
+  }
+  return 0;
+}
+
+bool Tracer::sampled_in(TraceId trace) const {
+  if (keep_millionths_ >= kSampleScale) return true;
+  return mix64(trace ^ kSampleSalt) % kSampleScale < keep_millionths_;
+}
+
+bool Tracer::admits(TraceId trace, SpanKind kind) const {
+  if (!sampled_in(trace)) return false;
+  if (spans_.size() >= max_spans_) return false;
+  const std::uint64_t budget = kind_budget_[kind_index(kind)];
+  return budget == 0 || kind_kept_[kind_index(kind)] < budget;
+}
+
+void Tracer::note_drop(SpanKind kind) {
+  const std::size_t k = kind_index(kind);
+  ++kind_dropped_[k];
+  if (dropped_counter_) dropped_counter_->inc();
+  if (drop_registry_ != nullptr) {
+    if (kind_counters_[k] == nullptr) {
+      kind_counters_[k] =
+          &drop_registry_->counter(std::string("hs.obs.trace_dropped.") + span_kind_name(kind));
+    }
+    kind_counters_[k]->inc();
+  }
+}
+
+void Tracer::set_drop_metrics(Registry* registry) {
+  drop_registry_ = registry;
+  kind_counters_.fill(nullptr);
+  dropped_counter_ =
+      registry == nullptr ? nullptr : &registry->counter("hs.obs.trace_dropped_total");
+}
+
+TraceMeta Tracer::meta() const {
+  TraceMeta out;
+  out.present = true;
+  out.seed = seed_;
+  out.max_spans = max_spans_;
+  out.keep_millionths = keep_millionths_;
+  out.emitted = emitted_;
+  out.dropped = dropped_count();
+  for (std::size_t k = 0; k < kKindCount; ++k) {
+    if (kind_kept_[k] == 0 && kind_dropped_[k] == 0) continue;
+    out.kinds.push_back(TraceKindStats{static_cast<SpanKind>(k + 1), kind_budget_[k],
+                                       kind_kept_[k], kind_dropped_[k]});
+  }
+  return out;
 }
 
 TraceId Tracer::trace_id(TraceOrigin origin, std::uint64_t hi, std::uint64_t lo) const {
@@ -142,10 +224,11 @@ SpanId Tracer::emit_impl(TraceId trace, SpanKind kind, Subsys subsys, SimTime st
   const SpanId id = next_span_id();
   const SpanId ctx = context();
   const SpanId link = (ctx != 0 && ctx != parent) ? ctx : 0;
-  if (spans_.size() >= max_spans_) {
-    if (dropped_counter_) dropped_counter_->inc();
+  if (!admits(trace, kind)) {
+    note_drop(kind);
     return id;
   }
+  ++kind_kept_[kind_index(kind)];
   spans_.push_back(TraceSpan{trace, id, parent, link, kind, subsys, start, end, a, b, c});
   return id;
 }
@@ -155,10 +238,11 @@ SpanId Tracer::begin_impl(TraceId trace, SpanKind kind, Subsys subsys, SimTime s
   const SpanId id = next_span_id();
   const SpanId ctx = context();
   const SpanId link = (ctx != 0 && ctx != parent) ? ctx : 0;
-  if (spans_.size() >= max_spans_) {
-    if (dropped_counter_) dropped_counter_->inc();
+  if (!admits(trace, kind)) {
+    note_drop(kind);
     return id;
   }
+  ++kind_kept_[kind_index(kind)];
   open_.emplace(id, spans_.size());
   spans_.push_back(TraceSpan{trace, id, parent, link, kind, subsys, start, kOpenEnd, a, b, c});
   return id;
@@ -174,6 +258,16 @@ void Tracer::close_impl(SpanId id, SimTime end) {
 std::string Tracer::to_csv() const {
   std::string out = "trace,span,parent,link,kind,subsys,start_us,end_us,a,b,c\n";
   out.reserve(out.size() + spans_.size() * 112);
+  const TraceMeta m = meta();
+  out += "#tracer," + std::to_string(m.seed) + ',' + std::to_string(m.max_spans) + '\n';
+  out += "#sampling," + std::to_string(m.keep_millionths) + ',' + std::to_string(m.emitted) +
+         ',' + std::to_string(m.dropped) + '\n';
+  for (const TraceKindStats& k : m.kinds) {
+    out += "#kind,";
+    out += span_kind_name(k.kind);
+    out += ',' + std::to_string(k.budget) + ',' + std::to_string(k.kept) + ',' +
+           std::to_string(k.dropped) + '\n';
+  }
   for (const TraceSpan& s : spans_) {
     append_hex_id(out, s.trace);
     out += ',';
@@ -201,9 +295,40 @@ std::string Tracer::to_csv() const {
   return out;
 }
 
-Expected<std::vector<TraceSpan>> Tracer::from_csv(const std::string& text) {
+namespace {
+
+std::optional<std::uint64_t> parse_u64(std::string_view field) {
+  if (field.empty() || field[0] == '-' || field[0] == '+') return std::nullopt;
+  char* end = nullptr;
+  const std::string tmp(field);
+  const unsigned long long v = std::strtoull(tmp.c_str(), &end, 10);
+  if (end != tmp.c_str() + tmp.size()) return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+/// Split one CSV line into at most `max` comma-separated fields; returns
+/// the field count or `max + 1` on overflow.
+std::size_t split_fields(std::string_view line, std::string_view* fields, std::size_t max) {
+  std::size_t nfields = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == ',') {
+      if (nfields >= max) return max + 1;
+      fields[nfields++] = line.substr(start, i - start);
+      start = i + 1;
+    }
+  }
+  return nfields;
+}
+
+}  // namespace
+
+Expected<TraceDump> Tracer::parse_dump(const std::string& text) {
   constexpr std::string_view kHeader = "trace,span,parent,link,kind,subsys,start_us,end_us,a,b,c";
-  std::vector<TraceSpan> spans;
+  TraceDump dump;
+  std::vector<TraceSpan>& spans = dump.spans;
+  bool seen_tracer_line = false;
+  bool seen_sampling_line = false;
   std::size_t pos = 0;
   std::size_t line_no = 0;
   while (pos < text.size()) {
@@ -217,16 +342,55 @@ Expected<std::vector<TraceSpan>> Tracer::from_csv(const std::string& text) {
       continue;
     }
 
-    std::string_view fields[11];
-    std::size_t nfields = 0;
-    std::size_t start = 0;
-    for (std::size_t i = 0; i <= line.size(); ++i) {
-      if (i == line.size() || line[i] == ',') {
-        if (nfields >= 11) return parse_error(line_no, "too many fields");
-        fields[nfields++] = line.substr(start, i - start);
-        start = i + 1;
+    // Metadata lines: optional, strictly before any span row.
+    if (!line.empty() && line[0] == '#') {
+      if (!spans.empty()) return parse_error(line_no, "metadata after span rows");
+      std::string_view meta_fields[5];
+      const std::size_t n = split_fields(line, meta_fields, 5);
+      if (meta_fields[0] == "#tracer") {
+        if (seen_tracer_line) return parse_error(line_no, "duplicate #tracer line");
+        if (n != 3) return parse_error(line_no, "#tracer wants seed,max_spans");
+        const auto seed = parse_u64(meta_fields[1]);
+        const auto cap = parse_u64(meta_fields[2]);
+        if (!seed || !cap) return parse_error(line_no, "bad #tracer field");
+        dump.meta.seed = *seed;
+        dump.meta.max_spans = *cap;
+        seen_tracer_line = true;
+      } else if (meta_fields[0] == "#sampling") {
+        if (seen_sampling_line) return parse_error(line_no, "duplicate #sampling line");
+        if (n != 4) return parse_error(line_no, "#sampling wants keep,emitted,dropped");
+        const auto keep = parse_u64(meta_fields[1]);
+        const auto emitted = parse_u64(meta_fields[2]);
+        const auto dropped = parse_u64(meta_fields[3]);
+        if (!keep || *keep > kSampleScale || !emitted || !dropped) {
+          return parse_error(line_no, "bad #sampling field");
+        }
+        dump.meta.keep_millionths = static_cast<std::uint32_t>(*keep);
+        dump.meta.emitted = *emitted;
+        dump.meta.dropped = *dropped;
+        seen_sampling_line = true;
+      } else if (meta_fields[0] == "#kind") {
+        if (n != 5) return parse_error(line_no, "#kind wants name,budget,kept,dropped");
+        const auto kind = parse_kind(meta_fields[1]);
+        if (!kind) return parse_error(line_no, "unknown span kind");
+        for (const TraceKindStats& k : dump.meta.kinds) {
+          if (k.kind == *kind) return parse_error(line_no, "duplicate #kind line");
+        }
+        const auto budget = parse_u64(meta_fields[2]);
+        const auto kept = parse_u64(meta_fields[3]);
+        const auto dropped = parse_u64(meta_fields[4]);
+        if (!budget || !kept || !dropped) return parse_error(line_no, "bad #kind field");
+        dump.meta.kinds.push_back(TraceKindStats{*kind, *budget, *kept, *dropped});
+      } else {
+        return parse_error(line_no, "unknown metadata directive");
       }
+      dump.meta.present = true;
+      continue;
     }
+
+    std::string_view fields[11];
+    const std::size_t nfields = split_fields(line, fields, 11);
+    if (nfields > 11) return parse_error(line_no, "too many fields");
     if (nfields != 11) return parse_error(line_no, "expected 11 fields");
 
     TraceSpan s;
@@ -259,7 +423,13 @@ Expected<std::vector<TraceSpan>> Tracer::from_csv(const std::string& text) {
     spans.push_back(s);
   }
   if (line_no == 0) return Error{"trace csv: empty input"};
-  return spans;
+  return dump;
+}
+
+Expected<std::vector<TraceSpan>> Tracer::from_csv(const std::string& text) {
+  auto dump = parse_dump(text);
+  if (!dump.has_value()) return dump.error();
+  return std::move(dump->spans);
 }
 
 std::string spans_to_chrome_json(const std::vector<TraceSpan>& spans) {

@@ -26,6 +26,7 @@
 // docs/TRACING.md has the span model and the how-to.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -111,13 +112,66 @@ struct ProfileEntry {
   std::uint64_t wall_ns = 0;
 };
 
+/// Per-kind accounting row, as written into the dump's `#kind` metadata
+/// lines: the configured budget (0 = unlimited) and how many spans of the
+/// kind were stored vs dropped (by sampling, the cap, or the budget).
+struct TraceKindStats {
+  SpanKind kind = SpanKind::kSimEvent;
+  std::uint64_t budget = 0;
+  std::uint64_t kept = 0;
+  std::uint64_t dropped = 0;
+
+  friend bool operator==(const TraceKindStats&, const TraceKindStats&) = default;
+};
+
+/// Dump-level metadata: everything `hs_trace --summarize` needs to report
+/// the effective sample threshold and the per-kind kept/dropped census
+/// without the live tracer in hand. Serialized as `#`-prefixed lines
+/// between the CSV header and the span rows (docs/TRACING.md).
+struct TraceMeta {
+  /// False when the input carried no metadata lines (pre-sampling dumps).
+  bool present = false;
+  std::uint64_t seed = 0;
+  std::uint64_t max_spans = 0;
+  std::uint32_t keep_millionths = 1'000'000;
+  std::uint64_t emitted = 0;
+  std::uint64_t dropped = 0;
+  /// Active kinds only (kept or dropped > 0), enum order.
+  std::vector<TraceKindStats> kinds;
+
+  friend bool operator==(const TraceMeta&, const TraceMeta&) = default;
+};
+
+/// A parsed dump: metadata + spans.
+struct TraceDump {
+  TraceMeta meta;
+  std::vector<TraceSpan> spans;
+};
+
 /// Owns every span for one run (MissionRunner owns one per mission, like
-/// the Registry). Bounded: after `max_spans` emissions further spans are
-/// counted and dropped — the cap is a span *count*, so what gets dropped
-/// is itself deterministic.
+/// the Registry). Bounded three ways, all deterministic:
+///
+///  * Head-based sampling: when a keep threshold below 100% is set, a
+///    whole trace is kept or dropped by hashing its trace id — so every
+///    story (offload→replicate→ack, record→evidence→raise→deliver) stays
+///    intact or vanishes atomically, and because trace ids are seed-pure
+///    the sampled dump is still byte-identical across thread counts.
+///  * Per-kind budgets: each SpanKind has a stored-span cap (0 =
+///    unlimited) so chatty kinds (sim events, replicas) cannot starve
+///    rare ones (alert and fault spans) out of the global cap. Budgets
+///    are caps, not reservations.
+///  * The global cap: after `max_spans` stored spans further spans are
+///    counted and dropped — a span *count*, so what gets dropped is
+///    itself deterministic.
 class Tracer {
  public:
   static constexpr std::size_t kDefaultMaxSpans = std::size_t{1} << 20;
+  /// Sampling thresholds are expressed in millionths: 1'000'000 keeps
+  /// every trace, 500'000 keeps ~half of them, 0 keeps none.
+  static constexpr std::uint32_t kSampleScale = 1'000'000;
+  /// Number of SpanKind values (enum is dense, starting at 1).
+  static constexpr std::size_t kKindCount =
+      static_cast<std::size_t>(SpanKind::kPipelineShard);
 
   explicit Tracer(std::uint64_t seed = 0, std::size_t max_spans = kDefaultMaxSpans);
 
@@ -204,24 +258,72 @@ class Tracer {
 #endif
   }
 
+  // --- sampling and per-kind budgets ---------------------------------------
+  /// Set the head-based keep threshold (in millionths; >= kSampleScale
+  /// keeps everything). Must be set before emission starts — the decision
+  /// is per trace id, so flipping it mid-run would split stories.
+  void set_sampling(std::uint32_t keep_millionths) { keep_millionths_ = keep_millionths; }
+  [[nodiscard]] std::uint32_t keep_millionths() const { return keep_millionths_; }
+  /// The seed-pure keep/drop decision for one trace id: keep iff
+  /// `mix64(trace ^ salt) % kSampleScale < keep_millionths`. Pure — the
+  /// CLI uses it to tell "sampled out" from "never raised".
+  [[nodiscard]] bool sampled_in(TraceId trace) const;
+
+  /// Per-kind stored-span cap; 0 = unlimited. The constructor installs
+  /// scaled defaults (default_kind_budget) — finite only for chatty kinds.
+  void set_kind_budget(SpanKind kind, std::uint64_t budget) {
+    kind_budget_[kind_index(kind)] = budget;
+  }
+  [[nodiscard]] std::uint64_t kind_budget(SpanKind kind) const {
+    return kind_budget_[kind_index(kind)];
+  }
+  [[nodiscard]] std::uint64_t kind_kept(SpanKind kind) const {
+    return kind_kept_[kind_index(kind)];
+  }
+  [[nodiscard]] std::uint64_t kind_dropped(SpanKind kind) const {
+    return kind_dropped_[kind_index(kind)];
+  }
+  /// The default budget for `kind` under a global cap of `max_spans`:
+  /// max_spans/2 for the chatty mission kinds (sim events, slices, chunk
+  /// traffic), max_spans/4 and /8 for pipeline shards/stages, unlimited
+  /// (0) for the rare kinds a crew debugs from (alerts, faults,
+  /// proposals, pipeline roots).
+  [[nodiscard]] static std::uint64_t default_kind_budget(SpanKind kind, std::size_t max_spans);
+
   // --- introspection -------------------------------------------------------
   [[nodiscard]] const std::vector<TraceSpan>& spans() const { return spans_; }
   [[nodiscard]] std::size_t size() const { return spans_.size(); }
   [[nodiscard]] std::uint64_t total_emitted() const { return emitted_; }
-  /// Spans lost to the cap (emitted - stored).
+  /// Spans lost to sampling, budgets, or the cap (emitted - stored);
+  /// always equal to the sum of kind_dropped() over all kinds.
   [[nodiscard]] std::uint64_t dropped_count() const { return emitted_ - spans_.size(); }
   [[nodiscard]] std::size_t max_spans() const { return max_spans_; }
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
-  /// Counter bumped on every span dropped over the cap; null detaches.
+  /// Live metadata (what to_csv() writes into the `#` lines).
+  [[nodiscard]] TraceMeta meta() const;
+  /// Counter bumped on every dropped span; null detaches.
   void set_dropped_counter(Counter* counter) { dropped_counter_ = counter; }
+  /// Full drop accounting into a registry: bumps
+  /// `hs.obs.trace_dropped_total` (registered eagerly) on every drop plus
+  /// a lazily-registered `hs.obs.trace_dropped.<kind>` counter per kind
+  /// that actually drops. Null detaches both. The registry must outlive
+  /// the tracer. Drops are deterministic, so lazy registration is too.
+  void set_drop_metrics(Registry* registry);
 
   // --- export --------------------------------------------------------------
-  /// CSV dump: `trace,span,parent,link,kind,subsys,start_us,end_us,a,b,c`
-  /// per line, ids as 16-digit lowercase hex, in emission order. Pure
+  /// CSV dump: the header, then `#tracer` / `#sampling` / `#kind`
+  /// metadata lines (meta()), then one
+  /// `trace,span,parent,link,kind,subsys,start_us,end_us,a,b,c` row per
+  /// span, ids as 16-digit lowercase hex, in emission order. Pure
   /// function of (seed, plan); the determinism tests diff it directly.
   [[nodiscard]] std::string to_csv() const;
-  /// Strict inverse of to_csv(): exact header, exact field count, every
+  /// Strict inverse of to_csv(): exact header, exact field counts, every
   /// value parseable; the first malformed line aborts with its number.
+  /// Metadata lines are optional (pre-sampling dumps parse fine) but when
+  /// present must be well-formed and precede every span row.
+  static Expected<TraceDump> parse_dump(const std::string& text);
+  /// parse_dump() minus the metadata — kept for callers that only want
+  /// the span list.
   static Expected<std::vector<TraceSpan>> from_csv(const std::string& text);
   /// Chrome trace-event JSON ("traceEvents" of ph:"X" complete events in
   /// sim-µs, one process row per subsystem) — loadable in Perfetto and
@@ -237,23 +339,35 @@ class Tracer {
   [[nodiscard]] std::string profile_csv() const;
 
  private:
+  static std::size_t kind_index(SpanKind kind) { return static_cast<std::size_t>(kind) - 1; }
+
   SpanId emit_impl(TraceId trace, SpanKind kind, Subsys subsys, SimTime start, SimTime end,
                    SpanId parent, std::int64_t a, std::int64_t b, std::int64_t c);
   SpanId begin_impl(TraceId trace, SpanKind kind, Subsys subsys, SimTime start, SpanId parent,
                     std::int64_t a, std::int64_t b, std::int64_t c);
   void close_impl(SpanId id, SimTime end);
   [[nodiscard]] SpanId next_span_id();
+  /// Would a span of `kind` in `trace` be stored right now?
+  [[nodiscard]] bool admits(TraceId trace, SpanKind kind) const;
+  /// Account one dropped span (cold path: bumps the registry counters).
+  void note_drop(SpanKind kind);
 
   std::uint64_t seed_;
   std::uint64_t span_salt_;
   std::size_t max_spans_;
+  std::uint32_t keep_millionths_ = kSampleScale;
   std::uint64_t emitted_ = 0;
   std::uint64_t pipeline_runs_ = 0;
   bool profiling_ = false;
   std::vector<TraceSpan> spans_;
   std::vector<SpanId> context_;
   std::unordered_map<SpanId, std::size_t> open_;  ///< begin()-ed, not yet closed
+  std::array<std::uint64_t, kKindCount> kind_budget_{};
+  std::array<std::uint64_t, kKindCount> kind_kept_{};
+  std::array<std::uint64_t, kKindCount> kind_dropped_{};
   Counter* dropped_counter_ = nullptr;
+  Registry* drop_registry_ = nullptr;
+  std::array<Counter*, kKindCount> kind_counters_{};  ///< lazy per-kind drop counters
   std::vector<ProfileEntry> profile_;
 };
 

@@ -150,6 +150,39 @@ AlertPath TraceIndex::critical_path(std::int64_t alert_index) const {
   return out;
 }
 
+PathLatencies TraceIndex::path_latencies() const {
+  PathLatencies out;
+  for (const TraceSpan& s : spans_) {
+    if (s.kind != SpanKind::kChunkAck) continue;
+    const auto it = by_trace_.find(s.trace);
+    if (it == by_trace_.end()) continue;
+    for (const std::size_t idx : it->second) {
+      if (spans_[idx].kind == SpanKind::kChunkOffload) {
+        out.offload_to_ack_s.push_back(static_cast<double>(s.start - spans_[idx].start) /
+                                       static_cast<double>(kSecond));
+        break;
+      }
+    }
+  }
+  for (const std::int64_t alert : alert_indices()) {
+    const AlertPath path = critical_path(alert);
+    if (!path.found || path.raised == nullptr || path.evidence.empty()) continue;
+    SimTime earliest = path.raised->start;
+    // The evidence span starts at the record time, so the anchor survives
+    // even when the source chunk's own trace was sampled out; when the
+    // chunk is on record its slice/offload starts agree.
+    for (const TraceSpan* span : path.evidence) earliest = std::min(earliest, span->start);
+    for (const ChunkLineage& source : path.sources) {
+      if (source.slice != nullptr) earliest = std::min(earliest, source.slice->start);
+      if (source.root != nullptr) earliest = std::min(earliest, source.root->start);
+    }
+    out.record_to_raise_s.push_back(static_cast<double>(path.raised->start - earliest) /
+                                    static_cast<double>(kSecond));
+    out.record_alert.push_back(alert);
+  }
+  return out;
+}
+
 std::vector<std::int64_t> TraceIndex::alert_indices() const {
   std::vector<std::int64_t> out;
   for (const TraceSpan& s : spans_) {
@@ -251,7 +284,9 @@ std::string format_lineage(const ChunkLineage& lineage) {
   return out;
 }
 
-std::string format_alert_path(const AlertPath& path) {
+std::string format_alert_path(const AlertPath& path, const TraceMeta* meta) {
+  const bool sampled =
+      meta != nullptr && meta->present && meta->keep_millionths < 1'000'000U;
   std::string out = "alert " + std::to_string(path.alert_index);
   if (!path.found) {
     out += ": no raise span on record\n";
@@ -260,12 +295,19 @@ std::string format_alert_path(const AlertPath& path) {
   out += "  (trace " + hex_id(path.raised->trace) + ")\n";
   for (const ChunkLineage& src : path.sources) {
     line(out, 1, "source chunk " + std::to_string(src.origin) + ":" + std::to_string(src.seq));
+    if (!src.found && sampled) {
+      line(out, 2, "(chunk trace sampled out of the dump; the evidence span below keeps the "
+                   "record anchor)");
+    }
     if (src.slice != nullptr) {
       line(out, 2, span_stamp(*src.slice) + "  badge " + std::to_string(src.slice->a));
     }
     if (src.root != nullptr) line(out, 2, span_stamp(*src.root));
     if (src.ack != nullptr) line(out, 2, span_stamp(*src.ack));
     for (const TraceSpan* r : src.reads) line(out, 2, span_stamp(*r));
+  }
+  for (const TraceSpan* ev : path.evidence) {
+    line(out, 1, span_stamp(*ev) + "  recorded evidence, cited " + format_sim_time(ev->end));
   }
   line(out, 1, span_stamp(*path.raised) + "  kind " + std::to_string(path.raised->b) +
                    ", astronaut " + std::to_string(path.raised->c));
@@ -276,10 +318,47 @@ std::string format_alert_path(const AlertPath& path) {
   for (const TraceSpan* p : path.publishes) {
     line(out, 2, span_stamp(*p) + "  published at node " + std::to_string(p->a));
   }
-  if (path.raised != nullptr && !path.sources.empty() && path.sources[0].slice != nullptr) {
-    const SimTime latency = path.raised->start - path.sources[0].slice->start;
-    line(out, 1,
-         "record-to-raise latency: " + std::to_string(latency / kSecond) + " s");
+  // Earliest record anchor on the path: evidence spans start at the
+  // record time, so this works even when every source chunk's trace was
+  // sampled out; with the chunks on record the slice starts agree.
+  SimTime earliest = path.raised->start;
+  bool anchored = false;
+  for (const TraceSpan* ev : path.evidence) {
+    earliest = std::min(earliest, ev->start);
+    anchored = true;
+  }
+  for (const ChunkLineage& src : path.sources) {
+    if (src.slice != nullptr) {
+      earliest = std::min(earliest, src.slice->start);
+      anchored = true;
+    }
+    if (src.root != nullptr) {
+      earliest = std::min(earliest, src.root->start);
+      anchored = true;
+    }
+  }
+  if (anchored) {
+    line(out, 1, "record-to-raise latency: " +
+                     std::to_string((path.raised->start - earliest) / kSecond) + " s");
+  }
+  return out;
+}
+
+std::string format_trace_meta(const TraceMeta& meta) {
+  if (!meta.present) return {};
+  std::string out;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4g%%",
+                100.0 * static_cast<double>(meta.keep_millionths) / 1'000'000.0);
+  out += "sampling: keep threshold " + std::string(buf) + " (" +
+         std::to_string(meta.keep_millionths) + "/1000000), " + std::to_string(meta.emitted) +
+         " emitted, " + std::to_string(meta.dropped) + " dropped";
+  if (meta.max_spans > 0) out += ", cap " + std::to_string(meta.max_spans);
+  out += '\n';
+  if (!meta.kinds.empty()) out += "per kind (kept/dropped, budget 0 = unlimited):\n";
+  for (const TraceKindStats& k : meta.kinds) {
+    line(out, 1, std::string(span_kind_name(k.kind)) + ": " + std::to_string(k.kept) + "/" +
+                     std::to_string(k.dropped) + " (budget " + std::to_string(k.budget) + ")");
   }
   return out;
 }

@@ -58,6 +58,23 @@ struct AlertPath {
   std::vector<ChunkLineage> sources;
 };
 
+/// The two end-to-end latency families the bench layer regression-guards
+/// (bench/latency_paths): chunk offload→ack (mesh durability) and record→
+/// raise (support-system detection). Sim-time seconds, so the numbers are
+/// a pure function of (seed, plan) — exact across machines.
+struct PathLatencies {
+  /// One entry per acked chunk whose offload span is on record, in dump
+  /// order: ack.start - offload.start.
+  std::vector<double> offload_to_ack_s;
+  /// One entry per evidenced alert, in alert-index order: raise time
+  /// minus the earliest record anchor on its critical path (evidence
+  /// starts, source slice/offload starts).
+  std::vector<double> record_to_raise_s;
+  /// record_to_raise_s[i] belongs to alert record_alert[i] — the key a
+  /// sampled dump's latencies are compared against the full dump's on.
+  std::vector<std::int64_t> record_alert;
+};
+
 /// Per-layer span census.
 struct TraceSummary {
   std::size_t spans = 0;
@@ -92,16 +109,27 @@ class TraceIndex {
 
   [[nodiscard]] TraceSummary summarize() const;
 
+  /// Extract both latency families from the whole dump (the readout
+  /// bench/cascade_storm prototyped, shared with bench/latency_paths).
+  [[nodiscard]] PathLatencies path_latencies() const;
+
  private:
   std::vector<TraceSpan> spans_;
   std::unordered_map<SpanId, std::size_t> by_id_;
   std::unordered_map<TraceId, std::vector<std::size_t>> by_trace_;
 };
 
-/// Human-readable reports (what hs_trace prints).
+/// Human-readable reports (what hs_trace prints). format_alert_path
+/// annotates sampled-out source chunks when a sampled dump's metadata is
+/// supplied, instead of silently showing a thinner path.
 [[nodiscard]] std::string format_lineage(const ChunkLineage& lineage);
-[[nodiscard]] std::string format_alert_path(const AlertPath& path);
+[[nodiscard]] std::string format_alert_path(const AlertPath& path,
+                                            const TraceMeta* meta = nullptr);
 [[nodiscard]] std::string format_summary(const TraceSummary& summary);
+/// Sampling/budget block for `hs_trace --summarize`: effective keep
+/// threshold plus kept/dropped per kind. Empty when `meta.present` is
+/// false (a pre-sampling dump).
+[[nodiscard]] std::string format_trace_meta(const TraceMeta& meta);
 
 /// `dDD hh:mm:ss` mission-clock rendering of a sim time.
 [[nodiscard]] std::string format_sim_time(SimTime t);

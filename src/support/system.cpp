@@ -52,10 +52,15 @@ void SupportSystem::route_new_alerts(std::size_t from_index) {
                              static_cast<std::int64_t>(alert.kind),
                              alert.astronaut ? static_cast<std::int64_t>(*alert.astronaut) : -1);
       // Badge-health alerts were tripped by one specific offloaded chunk;
-      // cite it so hs_trace --critical-path can walk record -> alert.
+      // cite it so hs_trace --critical-path can walk record -> alert. The
+      // span covers [record time, cite time]: the record anchor must live
+      // in the alert's own trace, or head-based sampling of the chunk's
+      // trace would take the latency measurement with it.
       if ((alert.kind == AlertKind::kBatteryLow || alert.kind == AlertKind::kSensorLoss) &&
           pending_evidence_.first >= 0) {
-        tracer_->emit(trace, obs::SpanKind::kAlertEvidence, obs::Subsys::kSupport, alert.time,
+        const SimTime recorded =
+            pending_evidence_time_ >= 0 ? pending_evidence_time_ : alert.time;
+        tracer_->emit(trace, obs::SpanKind::kAlertEvidence, obs::Subsys::kSupport, recorded,
                       alert.time, raised, pending_evidence_.first, pending_evidence_.second);
       }
       for (const auto& d : routed) {
@@ -87,8 +92,10 @@ void SupportSystem::ingest_badge(const BadgeHealth& health) {
   // (healthy -> battery-low / sensor-loss and the recovery edges).
   if (health_transitions_metric_) health_transitions_metric_->inc(alerts_.size() - before);
   pending_evidence_ = {health.source_origin, health.source_seq};
+  pending_evidence_time_ = health.t;
   route_new_alerts(before);
   pending_evidence_ = {-1, -1};
+  pending_evidence_time_ = -1;
 }
 
 void SupportSystem::end_of_second(SimTime now) {

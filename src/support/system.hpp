@@ -107,6 +107,11 @@ class SupportSystem {
   /// being ingested; (-1, -1) outside ingest_badge or for direct-feed
   /// samples. Evidence spans for kBatteryLow/kSensorLoss read this.
   std::pair<std::int64_t, std::int64_t> pending_evidence_{-1, -1};
+  /// When that chunk's vitals were recorded (BadgeHealth::t). The
+  /// evidence span starts here, so the record→raise latency is readable
+  /// from the alert's own trace even when the chunk's trace is sampled
+  /// out of the dump.
+  SimTime pending_evidence_time_ = -1;
 };
 
 }  // namespace hs::support

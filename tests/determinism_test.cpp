@@ -336,6 +336,60 @@ TEST(DeterminismTest, CascadeMissionKeepsTheContractSeeds7And42) {
   }
 }
 
+/// Sampled variant of mission_dumps: a 2-day partitioned-mesh mission
+/// (badges on from day 1, so chunk stories exist) at a 50 % trace keep
+/// threshold. The keep/drop decision hashes only the trace id, so the
+/// dumps must stay byte-identical across thread counts with sampling on
+/// the path.
+MissionDumps sampled_mission_dumps(std::uint64_t seed, unsigned threads) {
+  MissionConfig config;
+  config.seed = seed;
+  config.mesh.enabled = true;
+  config.collect_from_mesh = true;
+  config.script.badge_start_day = 1;
+  config.fault_plan = faults::FaultPlan::mesh_partition();
+  config.trace_keep_millionths = obs::Tracer::kSampleScale / 2;
+  MissionRunner runner(config);
+  support::SupportSystem support;
+  support.set_metrics(&runner.metrics(), &runner.flight_recorder(), &runner.tracer());
+  runner.add_observer([&support](const MissionView& view) {
+    for (io::BadgeId id = 0; id < 6; ++id) {
+      const badge::Badge* b = view.network->badge(id);
+      support.ingest_badge(support::BadgeHealth{view.now, id, b->battery().fraction(),
+                                                b->active(), b->docked(), b->worn()});
+    }
+  });
+  const Dataset data = runner.run_days(2);
+  PipelineOptions opts;
+  opts.threads = threads;
+  opts.metrics = &runner.metrics();
+  opts.tracer = &runner.tracer();
+  const AnalysisPipeline pipeline(data, opts);
+  (void)pipeline;
+  MissionReport report = runner.report();
+  return MissionDumps{std::move(report.metrics_csv), std::move(report.flight_log_csv),
+                      std::move(report.trace_csv)};
+}
+
+TEST(DeterminismTest, SampledTraceDumpByteIdenticalAcrossThreadsSeeds7And42) {
+  for (const std::uint64_t seed : {std::uint64_t{7}, std::uint64_t{42}}) {
+    const MissionDumps serial = sampled_mission_dumps(seed, 1);
+    const MissionDumps parallel = sampled_mission_dumps(seed, 4);
+    EXPECT_EQ(serial.trace_csv, parallel.trace_csv) << "seed " << seed;
+    EXPECT_EQ(serial.metrics_csv, parallel.metrics_csv) << "seed " << seed;
+    EXPECT_EQ(serial.flight_log_csv, parallel.flight_log_csv) << "seed " << seed;
+#if HS_OBS_ENABLED
+    // The dump declares its own threshold (hs_trace reads it back), and
+    // sampling actually dropped something at this scenario size.
+    EXPECT_NE(serial.trace_csv.find("\n#sampling,500000,"), std::string::npos) << "seed " << seed;
+    const auto parsed = obs::Tracer::parse_dump(serial.trace_csv);
+    ASSERT_TRUE(parsed.has_value()) << parsed.error().message;
+    EXPECT_GT(parsed->meta.dropped, 0U) << "seed " << seed;
+    EXPECT_FALSE(parsed->spans.empty()) << "seed " << seed;
+#endif
+  }
+}
+
 TEST(DeterminismTest, FaultedMissionKeepsTheContract) {
   // Fault injection changes the dataset, never the analysis: a mission
   // degraded by the kitchen-sink plan (every fault kind once, seeded)

@@ -97,5 +97,37 @@ TEST(FleetDeterminism, CascadeCampaignIsByteIdenticalSeed42) {
   EXPECT_NE(serial, run_cascade_dump(7, 1));
 }
 
+/// The trace_sample axis bounds per-habitat trace memory by head-based
+/// sampling instead of span-cap truncation. The keep/drop decision is a
+/// pure function of the trace id, so a mixed-sampling campaign must stay
+/// byte-identical across thread counts like every other axis.
+CampaignSpec sampled_campaign(std::uint64_t base_seed) {
+  CampaignSpec spec;
+  spec.name = "sampled-determinism";
+  spec.habitats = 3;
+  spec.base_seed = base_seed;
+  spec.days = {1};
+  spec.faults = {"none", "battery-stress"};
+  spec.trace_sample = {50, 100, 0};
+  return spec;
+}
+
+std::string run_sampled_dump(std::uint64_t base_seed, unsigned threads) {
+  CampaignOptions options;
+  options.threads = threads;
+  const auto report = run_campaign(sampled_campaign(base_seed), options);
+  EXPECT_TRUE(report.has_value());
+  return report.has_value() ? report->to_csv() : std::string();
+}
+
+TEST(FleetDeterminism, SampledCampaignIsByteIdenticalSeeds7And42) {
+  for (const std::uint64_t seed : {std::uint64_t{7}, std::uint64_t{42}}) {
+    const std::string serial = run_sampled_dump(seed, 1);
+    const std::string parallel = run_sampled_dump(seed, 4);
+    ASSERT_FALSE(serial.empty()) << "seed " << seed;
+    EXPECT_EQ(serial, parallel) << "seed " << seed;
+  }
+}
+
 }  // namespace
 }  // namespace hs::fleet

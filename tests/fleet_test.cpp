@@ -29,6 +29,7 @@ CampaignSpec mixed_spec() {
   spec.beacons = {27, 12, 20};
   spec.faults = {"none", "battery-stress", "mesh-partition"};
   spec.cascade = {"none", "power-storm"};
+  spec.trace_sample = {100, 50};
   spec.replication = 2;
   return spec;
 }
@@ -63,6 +64,10 @@ TEST(CampaignDsl, RejectsMalformedSpecs) {
   EXPECT_FALSE(CampaignSpec::parse("campaign x\nmesh maybe\n").has_value());
   EXPECT_FALSE(CampaignSpec::parse("campaign x\nwarp 9\n").has_value());
   EXPECT_FALSE(CampaignSpec::parse("campaign x\nhabitats 1 2\n").has_value());
+  // trace_sample is a percentage list: out-of-range or non-numeric rejects.
+  EXPECT_FALSE(CampaignSpec::parse("campaign x\ntrace_sample 101\n").has_value());
+  EXPECT_FALSE(CampaignSpec::parse("campaign x\ntrace_sample -1\n").has_value());
+  EXPECT_FALSE(CampaignSpec::parse("campaign x\ntrace_sample half\n").has_value());
 }
 
 TEST(CampaignDsl, ExpandAssignsAxesRoundRobin) {
@@ -76,6 +81,7 @@ TEST(CampaignDsl, ExpandAssignsAxesRoundRobin) {
     EXPECT_EQ(habitats[i].fault_preset,
               (std::array{"none", "battery-stress", "mesh-partition"}[i % 3]));
     EXPECT_EQ(habitats[i].cascade, (std::array{"none", "power-storm"}[i % 2]));
+    EXPECT_EQ(habitats[i].trace_sample, i % 2 == 0 ? 100 : 50);
     EXPECT_EQ(habitats[i].replication, 2);
   }
 }
@@ -115,10 +121,15 @@ TEST(CampaignDsl, MissionConfigEncodesCrewAndInstrumentation) {
   EXPECT_TRUE(config.mesh.enabled);
   EXPECT_EQ(config.mesh.replication_factor, 2);
   EXPECT_TRUE(config.collect_from_mesh);
+  EXPECT_EQ(config.trace_keep_millionths, 1'000'000U);  // default: keep everything
 
   HabitatSpec six;
   six.crew = 6;
   EXPECT_FALSE(make_mission_config(six).script.c_death_enabled);
+
+  HabitatSpec sampled;
+  sampled.trace_sample = 50;
+  EXPECT_EQ(make_mission_config(sampled).trace_keep_millionths, 500'000U);
 }
 
 TEST(CampaignDsl, CascadeScenarioAppendsExpandedFaults) {

@@ -11,6 +11,7 @@
 // recorder's wraparound accounting.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cstdint>
 #include <string>
@@ -83,6 +84,8 @@ TEST(TracerTest, EmissionIsDeterministic) {
 
 TEST(TracerTest, CapDropsAreCountedAndIdsKeepFlowing) {
   Tracer t(42, /*max_spans=*/4);
+  // Lift the per-kind budget so this test isolates the global cap.
+  t.set_kind_budget(SpanKind::kChunkOffload, 0);
   Registry registry;
   Counter& dropped = registry.counter("hs.obs.trace_dropped_total");
   t.set_dropped_counter(&dropped);
@@ -96,6 +99,9 @@ TEST(TracerTest, CapDropsAreCountedAndIdsKeepFlowing) {
   EXPECT_EQ(t.total_emitted(), 10U);
   EXPECT_EQ(t.dropped_count(), 6U);
   EXPECT_EQ(dropped.value(), 6U);
+  // The cap drops are attributed to the kind that hit the wall.
+  EXPECT_EQ(t.kind_kept(SpanKind::kChunkOffload), 4U);
+  EXPECT_EQ(t.kind_dropped(SpanKind::kChunkOffload), 6U);
   // Ids are assigned even for dropped spans (id assignment never depends
   // on the cap), and they are all distinct.
   for (std::size_t i = 0; i < ids.size(); ++i) {
@@ -113,6 +119,8 @@ TEST(TracerTest, CapDoesNotChangeSurvivingIds) {
   // reshuffle.
   Tracer wide(42, 100);
   Tracer tight(42, 3);
+  wide.set_kind_budget(SpanKind::kChunkOffload, 0);
+  tight.set_kind_budget(SpanKind::kChunkOffload, 0);
   for (int i = 0; i < 8; ++i) {
     wide.emit(wide.chunk_trace(1, static_cast<std::uint64_t>(i)), SpanKind::kChunkOffload,
               Subsys::kMesh, i, i);
@@ -238,13 +246,16 @@ TEST(TraceCsvTest, StrictParserRejectsMalformedInput) {
     ASSERT_FALSE(r.has_value());
     EXPECT_NE(r.error().message.find("newline"), std::string::npos);
   }
-  // Wrong field count — and the error names the offending line.
+  // Wrong field count — and the error names the offending line (after
+  // the header, the #tracer/#sampling/#kind metadata and the span rows).
   {
+    const auto lines = static_cast<std::size_t>(std::count(good.begin(), good.end(), '\n'));
     const std::string bad = good + "deadbeef,1,2\n";
     const auto r = Tracer::from_csv(bad);
     ASSERT_FALSE(r.has_value());
     EXPECT_NE(r.error().message.find("expected 11 fields"), std::string::npos);
-    EXPECT_NE(r.error().message.find("line 7"), std::string::npos) << r.error().message;
+    EXPECT_NE(r.error().message.find("line " + std::to_string(lines + 1)), std::string::npos)
+        << r.error().message;
   }
   // Bad hex in an id field.
   {
@@ -279,6 +290,151 @@ TEST(TraceCsvTest, StrictParserRejectsMalformedInput) {
   }
   // Empty input.
   EXPECT_FALSE(Tracer::from_csv("").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Head-based sampling and per-kind budgets
+// ---------------------------------------------------------------------------
+
+TEST(TraceSamplingTest, KeepsOrDropsWholeStories) {
+  for (const std::uint64_t seed : {std::uint64_t{7}, std::uint64_t{42}}) {
+    Tracer full(seed);
+    Tracer half(seed);
+    half.set_sampling(Tracer::kSampleScale / 2);
+    // 64 three-span stories (offload -> replicate -> ack), one trace each.
+    for (std::uint64_t c = 0; c < 64; ++c) {
+      for (Tracer* t : {&full, &half}) {
+        const TraceId trace = t->chunk_trace(0, c);
+        const SpanId off = t->emit(trace, SpanKind::kChunkOffload, Subsys::kMesh,
+                                   static_cast<SimTime>(c), static_cast<SimTime>(c), 0, 0,
+                                   static_cast<std::int64_t>(c));
+        const SpanId rep = t->emit(trace, SpanKind::kChunkReplicate, Subsys::kMesh,
+                                   static_cast<SimTime>(c), static_cast<SimTime>(c), off);
+        t->emit(trace, SpanKind::kChunkAck, Subsys::kMesh, static_cast<SimTime>(c + 1),
+                static_cast<SimTime>(c + 1), rep);
+      }
+    }
+    // The sampled tracer's span list is exactly the sampled_in() filter of
+    // the full run — stories survive or vanish atomically (ids included,
+    // because id assignment never depends on the keep/drop decision).
+    std::vector<TraceSpan> expect;
+    for (const TraceSpan& s : full.spans()) {
+      if (half.sampled_in(s.trace)) expect.push_back(s);
+    }
+    EXPECT_EQ(half.spans(), expect) << "seed " << seed;
+    EXPECT_FALSE(expect.empty()) << "seed " << seed;
+    EXPECT_LT(expect.size(), full.spans().size()) << "seed " << seed;
+    EXPECT_EQ(half.spans().size() % 3, 0U) << "orphaned story fragment, seed " << seed;
+    EXPECT_EQ(half.dropped_count(), full.spans().size() - expect.size());
+    EXPECT_EQ(half.total_emitted(), full.spans().size());
+  }
+}
+
+TEST(TraceSamplingTest, FullThresholdKeepsEverythingZeroKeepsNothing) {
+  Tracer all(42);
+  Tracer none(42);
+  none.set_sampling(0);
+  for (std::uint64_t c = 0; c < 16; ++c) {
+    EXPECT_TRUE(all.sampled_in(all.chunk_trace(0, c)));
+    none.emit(none.chunk_trace(0, c), SpanKind::kChunkOffload, Subsys::kMesh, 0, 0);
+  }
+  EXPECT_EQ(none.size(), 0U);
+  EXPECT_EQ(none.dropped_count(), 16U);
+}
+
+TEST(TraceBudgetTest, BudgetsProtectRareKindsUnderCapPressure) {
+  Tracer t(42, /*max_spans=*/8);
+  // Chatty kinds default to half the cap; alert kinds are unbudgeted.
+  EXPECT_EQ(t.kind_budget(SpanKind::kSimEvent), 4U);
+  EXPECT_EQ(t.kind_budget(SpanKind::kAlertRaised), 0U);
+  Registry registry;
+  t.set_drop_metrics(&registry);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    t.emit(t.sim_event_trace(i), SpanKind::kSimEvent, Subsys::kSim, 0, 0);
+  }
+  // The budget (not the cap) stopped the flood, leaving room for the
+  // rare story that arrives after it.
+  EXPECT_EQ(t.size(), 4U);
+  t.emit(t.alert_trace(0), SpanKind::kAlertRaised, Subsys::kSupport, 99, 99);
+  EXPECT_EQ(t.size(), 5U);
+  EXPECT_EQ(t.kind_kept(SpanKind::kSimEvent), 4U);
+  EXPECT_EQ(t.kind_dropped(SpanKind::kSimEvent), 16U);
+  EXPECT_EQ(t.kind_kept(SpanKind::kAlertRaised), 1U);
+  EXPECT_EQ(t.kind_dropped(SpanKind::kAlertRaised), 0U);
+  // Accounting agrees three ways: tracer totals, per-kind counters, and
+  // the registry (total + per-kind lazily registered counter).
+  EXPECT_EQ(t.dropped_count(), 16U);
+  EXPECT_EQ(t.total_emitted() - t.size(), t.dropped_count());
+  const MetricsSnapshot snap = registry.snapshot();
+  const SnapshotEntry* total = snap.find("hs.obs.trace_dropped_total");
+  const SnapshotEntry* per_kind = snap.find("hs.obs.trace_dropped.sim_event");
+  ASSERT_NE(total, nullptr);
+  ASSERT_NE(per_kind, nullptr);
+  EXPECT_EQ(total->count, 16U);
+  EXPECT_EQ(per_kind->count, 16U);
+  // Kinds that never dropped a span register no counter at all.
+  EXPECT_EQ(snap.find("hs.obs.trace_dropped.alert_raised"), nullptr);
+}
+
+TEST(TraceMetaTest, MetaRoundTripsThroughParseDump) {
+  Tracer t(42, /*max_spans=*/4);
+  t.set_sampling(Tracer::kSampleScale / 2);
+  t.set_kind_budget(SpanKind::kChunkOffload, 2);
+  for (std::uint64_t c = 0; c < 12; ++c) {
+    t.emit(t.chunk_trace(0, c), SpanKind::kChunkOffload, Subsys::kMesh, 0, 0);
+  }
+  const auto parsed = Tracer::parse_dump(t.to_csv());
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().message;
+  EXPECT_TRUE(parsed->meta.present);
+  EXPECT_EQ(parsed->meta, t.meta());
+  EXPECT_EQ(parsed->meta.seed, 42U);
+  EXPECT_EQ(parsed->meta.max_spans, 4U);
+  EXPECT_EQ(parsed->meta.keep_millionths, Tracer::kSampleScale / 2);
+  EXPECT_EQ(parsed->meta.emitted, 12U);
+  EXPECT_EQ(parsed->spans, t.spans());
+}
+
+TEST(TraceMetaTest, DumpsWithoutMetadataStillParse) {
+  // Pre-sampling dumps carry no # lines; they must stay readable.
+  const std::string old_dump =
+      "trace,span,parent,link,kind,subsys,start_us,end_us,a,b,c\n"
+      "0000000000000001,0000000000000002,0000000000000000,0000000000000000,"
+      "sim_event,sim,0,0,0,0,0\n";
+  const auto parsed = Tracer::parse_dump(old_dump);
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().message;
+  EXPECT_FALSE(parsed->meta.present);
+  EXPECT_EQ(parsed->spans.size(), 1U);
+}
+
+TEST(TraceMetaTest, StrictParserRejectsMalformedMetadata) {
+  const std::string header = "trace,span,parent,link,kind,subsys,start_us,end_us,a,b,c\n";
+  const std::string span =
+      "0000000000000001,0000000000000002,0000000000000000,0000000000000000,"
+      "sim_event,sim,0,0,0,0,0\n";
+  const struct {
+    const char* lines;
+    const char* expect;
+  } cases[] = {
+      {"#tracer,42\n", "#tracer wants seed,max_spans"},
+      {"#tracer,42,100\n#tracer,42,100\n", "duplicate #tracer line"},
+      {"#sampling,2000000,0,0\n", "bad #sampling field"},
+      {"#sampling,500000,0\n", "#sampling wants keep,emitted,dropped"},
+      {"#sampling,500000,0,0\n#sampling,500000,0,0\n", "duplicate #sampling line"},
+      {"#kind,warp_drive,0,0,0\n", "unknown span kind"},
+      {"#kind,sim_event,0,1,0\n#kind,sim_event,0,1,0\n", "duplicate #kind line"},
+      {"#kind,sim_event,0,x,0\n", "bad #kind field"},
+      {"#wormhole,1\n", "unknown metadata directive"},
+  };
+  for (const auto& c : cases) {
+    const auto r = Tracer::parse_dump(header + c.lines + span);
+    ASSERT_FALSE(r.has_value()) << c.lines;
+    EXPECT_NE(r.error().message.find(c.expect), std::string::npos)
+        << c.lines << " -> " << r.error().message;
+  }
+  // Metadata must precede every span row.
+  const auto late = Tracer::parse_dump(header + span + "#tracer,42,100\n");
+  ASSERT_FALSE(late.has_value());
+  EXPECT_NE(late.error().message.find("metadata after span rows"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

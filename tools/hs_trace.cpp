@@ -43,6 +43,7 @@ struct Options {
   std::string scenario;
   std::uint64_t seed = 42;
   int days = 7;
+  int sample_percent = 100;  ///< --scenario trace sampling (0..100)
   bool summarize = false;
   std::string follow_chunk;  ///< "ORIGIN:SEQ" or "auto"
   std::string critical_path; ///< alert index or "auto"
@@ -52,7 +53,7 @@ struct Options {
 void usage(std::FILE* to) {
   std::fprintf(to,
                "usage: hs_trace (--input trace.csv | --scenario mesh-partition|baseline)\n"
-               "                [--seed N] [--days D] [--summarize]\n"
+               "                [--seed N] [--days D] [--sample PERCENT] [--summarize]\n"
                "                [--follow-chunk ORIGIN:SEQ|auto] [--critical-path INDEX|auto]\n"
                "                [--export-perfetto out.json]\n");
 }
@@ -80,6 +81,13 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (std::strcmp(arg, "--days") == 0) {
       if ((v = value(i)) == nullptr) return false;
       opt.days = std::atoi(v);
+    } else if (std::strcmp(arg, "--sample") == 0) {
+      if ((v = value(i)) == nullptr) return false;
+      opt.sample_percent = std::atoi(v);
+      if (opt.sample_percent < 0 || opt.sample_percent > 100) {
+        std::fprintf(stderr, "hs_trace: --sample wants a percentage in [0, 100]\n");
+        return false;
+      }
     } else if (std::strcmp(arg, "--summarize") == 0) {
       opt.summarize = true;
     } else if (std::strcmp(arg, "--follow-chunk") == 0) {
@@ -118,6 +126,8 @@ bool run_scenario(const Options& opt, std::string& trace_csv, int& replication_f
   config.seed = opt.seed;
   config.mesh.enabled = true;
   config.collect_from_mesh = true;
+  config.trace_keep_millionths =
+      static_cast<std::uint32_t>(opt.sample_percent) * 10'000U;
   if (opt.scenario == "mesh-partition") {
     config.fault_plan = faults::FaultPlan::mesh_partition();
   } else if (opt.scenario != "baseline") {
@@ -179,17 +189,21 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  auto parsed = obs::Tracer::from_csv(csv);
+  auto parsed = obs::Tracer::parse_dump(csv);
   if (!parsed.has_value()) {
     std::fprintf(stderr, "hs_trace: %s\n", parsed.error().message.c_str());
     return 1;
   }
-  const obs::TraceIndex index(std::move(*parsed));
+  const obs::TraceMeta meta = std::move(parsed->meta);
+  const obs::TraceIndex index(std::move(parsed->spans));
 
   int status = 0;
 
   if (opt.summarize) {
     std::fputs(obs::format_summary(index.summarize()).c_str(), stdout);
+    // Sampling/budget census: the dump's own metadata, so it works on
+    // files written by other runs, not just --scenario mode.
+    std::fputs(obs::format_trace_meta(meta).c_str(), stdout);
   }
 
   if (!opt.follow_chunk.empty()) {
@@ -234,17 +248,51 @@ int main(int argc, char** argv) {
       }
       if (alert < 0 && !indices.empty()) alert = indices.front();
       if (alert < 0) {
-        std::fprintf(stderr, "hs_trace: no alert in the trace\n");
+        // The metadata tells apart "mission raised nothing" from "every
+        // alert story hashed outside the keep threshold".
+        std::uint64_t raised_dropped = 0;
+        for (const obs::TraceKindStats& k : meta.kinds) {
+          if (k.kind == obs::SpanKind::kAlertRaised) raised_dropped = k.dropped;
+        }
+        if (raised_dropped > 0) {
+          std::fprintf(stderr,
+                       "hs_trace: no alert survived sampling (%llu raise span(s) dropped at "
+                       "keep threshold %u/1000000); re-run with --sample 100 to capture them\n",
+                       static_cast<unsigned long long>(raised_dropped), meta.keep_millionths);
+        } else {
+          std::fprintf(stderr, "hs_trace: no alert in the trace\n");
+        }
         return 1;
       }
     } else {
       alert = std::atoll(opt.critical_path.c_str());
     }
     const obs::AlertPath path = index.critical_path(alert);
-    std::fputs(obs::format_alert_path(path).c_str(), stdout);
+    std::fputs(obs::format_alert_path(path, &meta).c_str(), stdout);
     if (!path.found) {
-      std::fprintf(stderr, "hs_trace: alert %lld has no raise span\n",
-                   static_cast<long long>(alert));
+      // Not silently empty: with the dump's seed + threshold on record
+      // the keep/drop decision is reproducible, so say which of "sampled
+      // out" / "never raised" it was.
+      const bool sampled = meta.present && meta.keep_millionths < obs::Tracer::kSampleScale;
+      if (sampled) {
+        obs::Tracer probe(meta.seed);
+        probe.set_sampling(meta.keep_millionths);
+        const obs::TraceId trace = probe.alert_trace(static_cast<std::uint64_t>(alert));
+        if (!probe.sampled_in(trace)) {
+          std::fprintf(stderr,
+                       "hs_trace: alert %lld's trace was sampled out (keep threshold "
+                       "%u/1000000); re-run with --sample 100 to capture it\n",
+                       static_cast<long long>(alert), meta.keep_millionths);
+        } else {
+          std::fprintf(stderr,
+                       "hs_trace: alert %lld has no raise span (its trace is inside the "
+                       "%u/1000000 sample, so it was never raised or hit a budget/cap)\n",
+                       static_cast<long long>(alert), meta.keep_millionths);
+        }
+      } else {
+        std::fprintf(stderr, "hs_trace: alert %lld has no raise span\n",
+                     static_cast<long long>(alert));
+      }
       status = 1;
     }
   }
